@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Reproduces paper Fig. 5 (memory capacity analysis): success rate and
+ * average steps for JARVIS-1 (single-agent), MindAgent (centralized), and
+ * CoELA (decentralized) across memory windows and task difficulties, plus
+ * the retrieval-latency growth and the full-history inconsistency dip.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+
+#include "bench_util.h"
+#include "stats/csv.h"
+#include "stats/table.h"
+
+/** Usage: bench_fig5_memory [csv_output_dir] */
+int
+main(int argc, char **argv)
+{
+    using namespace ebs;
+    std::ofstream csv_file;
+    std::unique_ptr<stats::CsvWriter> csv;
+    if (argc > 1) {
+        csv_file.open(std::string(argv[1]) + "/fig5_memory.csv");
+        csv = std::make_unique<stats::CsvWriter>(
+            csv_file, std::vector<std::string>{
+                          "system", "difficulty", "capacity", "success",
+                          "avg_steps", "retrieval_s_per_step"});
+    }
+    constexpr int kSeeds = 10;
+    const char *systems[] = {"JARVIS-1", "MindAgent", "CoELA"};
+    const int capacities[] = {5, 10, 20, 30, 40, 60};
+    const env::Difficulty difficulties[] = {env::Difficulty::Easy,
+                                            env::Difficulty::Medium,
+                                            env::Difficulty::Hard};
+
+    std::printf("=== Fig. 5: memory capacity vs success/steps "
+                "(%d seeds) ===\n\n",
+                kSeeds);
+
+    for (const char *name : systems) {
+        const auto &spec = workloads::workload(name);
+        std::printf("--- %s ---\n", name);
+        stats::Table table({"difficulty", "capacity (steps)", "success",
+                            "avg steps", "retrieval s/step"});
+        for (const auto difficulty : difficulties) {
+            for (const int capacity : capacities) {
+                core::AgentConfig config = spec.config;
+                config.memory.capacity_steps = capacity;
+                const auto r = bench::runAveraged(spec, config, difficulty,
+                                                  kSeeds);
+                const double retrieval_per_step =
+                    r.avg_steps > 0
+                        ? r.latency.total(stats::ModuleKind::Memory) /
+                              (kSeeds * r.avg_steps)
+                        : 0.0;
+                table.addRow({env::difficultyName(difficulty),
+                              std::to_string(capacity),
+                              stats::Table::pct(r.success_rate, 0),
+                              stats::Table::num(r.avg_steps, 1),
+                              stats::Table::num(retrieval_per_step, 3)});
+                if (csv)
+                    csv->row({name, env::difficultyName(difficulty),
+                              std::to_string(capacity),
+                              stats::Table::num(r.success_rate, 3),
+                              stats::Table::num(r.avg_steps, 2),
+                              stats::Table::num(retrieval_per_step, 4)});
+            }
+        }
+        std::printf("%s\n", table.render().c_str());
+    }
+
+    std::printf(
+        "Expected shape: success rises (and steps fall) with capacity;\n"
+        "easy tasks saturate at small windows; retrieval latency grows\n"
+        "with capacity; unbounded history shows a slight quality dip from\n"
+        "memory inconsistency (paper Takeaway 4).\n");
+    return 0;
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the substrate components whose
+ * compute cost backs the execution-module latency story: A* grid search,
+ * RRT motion planning, memory retrieval, the token counter, and the LLM
+ * engine's sampling path.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/coordinator.h"
+#include "envs/transport_env.h"
+#include "llm/engine.h"
+#include "llm/token.h"
+#include "memory/memory.h"
+#include "plan/astar.h"
+#include "plan/rrt.h"
+
+namespace {
+
+using namespace ebs;
+
+void
+BM_AStarOpenGrid(benchmark::State &state)
+{
+    const int side = static_cast<int>(state.range(0));
+    env::GridMap grid(side, side);
+    for (auto _ : state) {
+        auto path = plan::aStar(grid, {0, 0}, {side - 1, side - 1});
+        benchmark::DoNotOptimize(path);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AStarOpenGrid)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void
+BM_AStarApartment(benchmark::State &state)
+{
+    const env::GridMap grid = env::GridMap::apartment(3, 3, 8, 8);
+    for (auto _ : state) {
+        auto path = plan::aStar(grid, {1, 1},
+                                {grid.width() - 2, grid.height() - 2});
+        benchmark::DoNotOptimize(path);
+    }
+}
+BENCHMARK(BM_AStarApartment);
+
+void
+BM_RrtCluttered(benchmark::State &state)
+{
+    plan::Workspace ws;
+    ws.max_x = 20.0;
+    ws.max_y = 20.0;
+    ws.obstacles = {{{7.0, 7.0}, 2.0}, {{13.0, 13.0}, 2.0},
+                    {{7.0, 13.0}, 1.5}, {{13.0, 7.0}, 1.5}};
+    sim::Rng rng(5);
+    plan::RrtParams params;
+    params.step_size = 0.8;
+    for (auto _ : state) {
+        auto path = plan::rrtPlan(ws, {1.0, 1.0}, {19.0, 19.0}, rng, params);
+        benchmark::DoNotOptimize(path);
+    }
+}
+BENCHMARK(BM_RrtCluttered);
+
+void
+BM_MemoryRetrieve(benchmark::State &state)
+{
+    memory::MemoryModule::Config cfg;
+    cfg.capacity_steps = 0;
+    memory::MemoryModule mem(cfg, sim::Rng(7));
+    const int records = static_cast<int>(state.range(0));
+    for (int step = 0; step < records; ++step) {
+        env::Observation obs;
+        obs.step = step;
+        obs.room = step % 6;
+        env::ObservedObject seen;
+        seen.id = step % 40;
+        seen.pos = {step % 13, step % 11};
+        obs.objects.push_back(seen);
+        mem.recordObservation(obs);
+    }
+    for (auto _ : state) {
+        auto ctx = mem.retrieve(records);
+        benchmark::DoNotOptimize(ctx);
+    }
+}
+BENCHMARK(BM_MemoryRetrieve)->Arg(64)->Arg(512)->Arg(4096);
+
+void
+BM_TokenCounter(benchmark::State &state)
+{
+    const std::string text(static_cast<std::size_t>(state.range(0)), 'a');
+    for (auto _ : state)
+        benchmark::DoNotOptimize(llm::approxTokens(text));
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TokenCounter)->Arg(256)->Arg(4096)->Arg(65536);
+
+void
+BM_LlmEngineComplete(benchmark::State &state)
+{
+    llm::LlmEngine engine(llm::ModelProfile::gpt4Api(), sim::Rng(9));
+    llm::LlmRequest req;
+    req.tokens_in = 1500;
+    req.tokens_out_mean = 100;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(engine.complete(req));
+}
+BENCHMARK(BM_LlmEngineComplete);
+
+void
+BM_EpisodeTransportEasy(benchmark::State &state)
+{
+    for (auto _ : state) {
+        envs::TransportEnv environment(env::Difficulty::Easy, 1,
+                                       sim::Rng(3));
+        core::AgentConfig config;
+        core::EpisodeOptions options;
+        options.seed = 3;
+        auto result =
+            core::runSingleAgent(environment, config, options);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_EpisodeTransportEasy);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Reproduces the paper's Sec. V-D pipeline-efficiency analysis on CoELA:
+ * the fraction of pre-generated messages that actually matter (~20%),
+ * sequential vs. parallel per-step latency, and the two inter-module
+ * optimizations the paper recommends — planning-guided multi-step
+ * execution (Rec. 7) and planning-then-communication (Rec. 8).
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "stats/table.h"
+
+int
+main()
+{
+    using namespace ebs;
+    constexpr int kSeeds = 10;
+    const auto &spec = workloads::workload("CoELA");
+    const auto difficulty = env::Difficulty::Medium;
+
+    std::printf("=== Sec. V-D: modular pipeline efficiency (CoELA, "
+                "%d seeds) ===\n\n",
+                kSeeds);
+
+    const auto base =
+        bench::runAveraged(spec, spec.config, difficulty, kSeeds);
+
+    std::printf("Message utility: %.0f of %.0f generated messages per task "
+                "carried information (%.1f%%; paper: ~20%%)\n\n",
+                base.msgs_useful, base.msgs_generated,
+                base.msgs_useful / base.msgs_generated * 100.0);
+
+    stats::Table table({"pipeline variant", "success", "steps", "s/step",
+                        "runtime (min)", "msgs/task"});
+    auto add = [&](const char *label, const bench::RunStats &r) {
+        table.addRow({label, stats::Table::pct(r.success_rate, 0),
+                      stats::Table::num(r.avg_steps, 1),
+                      stats::Table::num(r.avg_step_latency_s, 1),
+                      stats::Table::num(r.avg_runtime_min, 1),
+                      stats::Table::num(r.msgs_generated, 0)});
+    };
+    add("sequential baseline", base);
+
+    core::PipelineOptions parallel;
+    parallel.parallel_agents = true;
+    add("parallel agent pipelines",
+        bench::runAveraged(spec, spec.config, difficulty, kSeeds, -1,
+                           parallel));
+
+    core::PipelineOptions guided;
+    guided.plan_every_k = 3;
+    add("plan-guided multi-step (Rec. 7, k=3)",
+        bench::runAveraged(spec, spec.config, difficulty, kSeeds, -1,
+                           guided));
+
+    core::PipelineOptions on_demand;
+    on_demand.comm_on_demand = true;
+    add("planning-then-communication (Rec. 8)",
+        bench::runAveraged(spec, spec.config, difficulty, kSeeds, -1,
+                           on_demand));
+
+    core::PipelineOptions combined;
+    combined.plan_every_k = 3;
+    combined.comm_on_demand = true;
+    combined.parallel_agents = true;
+    add("all three combined",
+        bench::runAveraged(spec, spec.config, difficulty, kSeeds, -1,
+                           combined));
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Expected shape: parallel pipelines cut wall-clock without\n"
+                "changing work; Rec. 7 removes per-action replanning; Rec. 8\n"
+                "eliminates most pre-generated messages — all with success\n"
+                "held roughly constant (paper Takeaway 6).\n");
+    return 0;
+}

@@ -1,0 +1,60 @@
+#ifndef EBS_BENCH_BENCH_UTIL_H
+#define EBS_BENCH_BENCH_UTIL_H
+
+#include <cstdint>
+#include <string>
+
+#include "workloads/workload.h"
+
+namespace ebs::bench {
+
+/** Averaged episode metrics over several seeds. */
+struct RunStats
+{
+    double success_rate = 0.0;
+    double avg_steps = 0.0;
+    double avg_runtime_min = 0.0;
+    double avg_step_latency_s = 0.0;
+    stats::LatencyRecorder latency; ///< merged across episodes
+    double msgs_generated = 0.0;
+    double msgs_useful = 0.0;
+    long long llm_calls = 0;
+    long long tokens = 0;
+};
+
+/** Run a workload variant over `seeds` seeds and average the results. */
+inline RunStats
+runAveraged(const workloads::WorkloadSpec &spec,
+            const core::AgentConfig &config, env::Difficulty difficulty,
+            int seeds, int n_agents = -1,
+            const core::PipelineOptions &pipeline = {})
+{
+    RunStats out;
+    for (int seed = 1; seed <= seeds; ++seed) {
+        core::EpisodeOptions options;
+        options.seed = 1000ULL + static_cast<std::uint64_t>(seed) * 7919ULL;
+        options.pipeline = pipeline;
+        const auto r =
+            spec.runWithConfig(config, difficulty, options, n_agents);
+        out.success_rate += r.success;
+        out.avg_steps += r.steps;
+        out.avg_runtime_min += r.sim_seconds / 60.0;
+        out.avg_step_latency_s += r.secondsPerStep();
+        out.latency.merge(r.latency);
+        out.msgs_generated += r.messages_generated;
+        out.msgs_useful += r.messages_useful;
+        out.llm_calls += static_cast<long long>(r.llm.calls);
+        out.tokens += r.llm.tokens_in + r.llm.tokens_out;
+    }
+    out.success_rate /= seeds;
+    out.avg_steps /= seeds;
+    out.avg_runtime_min /= seeds;
+    out.avg_step_latency_s /= seeds;
+    out.msgs_generated /= seeds;
+    out.msgs_useful /= seeds;
+    return out;
+}
+
+} // namespace ebs::bench
+
+#endif // EBS_BENCH_BENCH_UTIL_H

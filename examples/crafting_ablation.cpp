@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Domain scenario: long-horizon crafting (JARVIS-1's "obtain diamond
+ * pickaxe" family) used as a module-ablation playground. Runs the full
+ * agent and each single-module ablation on the same hard task and prints
+ * the sensitivity table — the Fig. 3 methodology exposed through the
+ * public API so users can ablate their own configurations.
+ *
+ * Usage: crafting_ablation [seed]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/coordinator.h"
+#include "envs/craft_env.h"
+#include "stats/table.h"
+
+namespace {
+
+ebs::core::EpisodeResult
+runVariant(std::uint64_t seed, void (*ablate)(ebs::core::AgentConfig &))
+{
+    ebs::sim::Rng layout_rng = ebs::sim::Rng(seed).fork(7);
+    ebs::envs::CraftEnv environment(ebs::env::Difficulty::Medium, 1,
+                                    layout_rng);
+
+    ebs::core::AgentConfig config; // GPT-4 planner, full module set
+    config.reflect_model = ebs::llm::ModelProfile::llama13bLocal();
+    config.memory.capacity_steps = 40;
+    if (ablate != nullptr)
+        ablate(config);
+
+    ebs::core::EpisodeOptions options;
+    options.seed = seed;
+    options.max_steps_override = 60;
+    return ebs::core::runSingleAgent(environment, config, options);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t seed =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5;
+
+    std::printf("Crafting agent (iron pickaxe) module ablations\n\n");
+
+    struct Variant
+    {
+        const char *label;
+        void (*ablate)(ebs::core::AgentConfig &);
+    };
+    const Variant variants[] = {
+        {"full agent", nullptr},
+        {"w/o memory",
+         [](ebs::core::AgentConfig &c) { c.has_memory = false; }},
+        {"w/o reflection",
+         [](ebs::core::AgentConfig &c) { c.has_reflection = false; }},
+        {"w/o execution",
+         [](ebs::core::AgentConfig &c) { c.has_execution = false; }},
+    };
+
+    ebs::stats::Table table({"variant", "success", "steps", "progress",
+                             "runtime (min)"});
+    for (const auto &variant : variants) {
+        const auto r = runVariant(seed, variant.ablate);
+        table.addRow({variant.label, r.success ? "yes" : "no",
+                      std::to_string(r.steps),
+                      ebs::stats::Table::pct(r.final_progress, 0),
+                      ebs::stats::Table::num(r.sim_seconds / 60.0, 1)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Memory forgets resource locations; reflection catches\n"
+                "failed mining/crafting attempts; without the execution\n"
+                "module the LLM steers every primitive and the task\n"
+                "collapses to the step limit (paper Fig. 3).\n");
+    return 0;
+}

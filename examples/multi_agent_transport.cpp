@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Domain scenario: cooperative object transport (the task family motivating
+ * CoELA in the paper's introduction). Builds a decentralized two-agent team
+ * on a hard TDW-MAT-style task, runs it with and without communication, and
+ * shows the dialogue cost / benefit trade-off plus the per-module latency
+ * split.
+ *
+ * Usage: multi_agent_transport [seed]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/coordinator.h"
+#include "envs/transport_env.h"
+#include "stats/table.h"
+
+namespace {
+
+ebs::core::EpisodeResult
+runOnce(std::uint64_t seed, bool with_comm)
+{
+    ebs::sim::Rng layout_rng = ebs::sim::Rng(seed).fork(7);
+    ebs::envs::TransportEnv environment(ebs::env::Difficulty::Hard,
+                                        /*n_agents=*/2, layout_rng);
+
+    ebs::core::AgentConfig config;
+    config.has_communication = with_comm;
+    config.has_reflection = false; // CoELA-style composition
+    config.llm_action_selection = true;
+    config.memory.capacity_steps = 40;
+
+    ebs::core::EpisodeOptions options;
+    options.seed = seed;
+    return ebs::core::runDecentralized(environment, config, options);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t seed =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 11;
+
+    std::printf("Cooperative transport, 2 embodied agents, hard task\n\n");
+
+    ebs::stats::Table table({"variant", "success", "steps", "runtime (min)",
+                             "msgs generated", "msgs useful"});
+    for (const bool with_comm : {true, false}) {
+        const auto r = runOnce(seed, with_comm);
+        table.addRow({with_comm ? "with dialogue" : "without dialogue",
+                      r.success ? "yes" : "no", std::to_string(r.steps),
+                      ebs::stats::Table::num(r.sim_seconds / 60.0, 1),
+                      std::to_string(r.messages_generated),
+                      std::to_string(r.messages_useful)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "The paper's observation: most pre-generated messages are\n"
+        "redundant, so disabling dialogue barely moves the success rate\n"
+        "while removing its latency cost (Takeaway 2).\n");
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Suite overview: run every workload in the 14-system suite once (medium
+ * difficulty, default team size) and print a one-line summary per system —
+ * a quick health check of the whole library.
+ *
+ * Usage: suite_overview [seed]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "stats/table.h"
+#include "workloads/workload.h"
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t seed =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7;
+
+    ebs::stats::Table table({"workload", "paradigm", "env", "agents", "ok",
+                             "steps", "min", "s/step", "LLM%"});
+
+    for (const auto &spec : ebs::workloads::suite()) {
+        ebs::core::EpisodeOptions options;
+        options.seed = seed;
+        const auto r = spec.run(ebs::env::Difficulty::Medium, options);
+
+        const double llm_share =
+            r.latency.fraction(ebs::stats::ModuleKind::Planning) +
+            r.latency.fraction(ebs::stats::ModuleKind::Communication) +
+            r.latency.fraction(ebs::stats::ModuleKind::Reflection);
+
+        table.addRow({spec.name,
+                      ebs::workloads::paradigmName(spec.paradigm),
+                      spec.env_name,
+                      std::to_string(spec.paradigm ==
+                                             ebs::workloads::Paradigm::
+                                                 SingleModular
+                                         ? 1
+                                         : spec.default_agents),
+                      r.success ? "yes" : "no",
+                      std::to_string(r.steps),
+                      ebs::stats::Table::num(r.sim_seconds / 60.0, 1),
+                      ebs::stats::Table::num(r.secondsPerStep(), 1),
+                      ebs::stats::Table::pct(llm_share)});
+    }
+
+    std::printf("%s", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Domain scenario: scaling a warehouse robot fleet (the multi-robot
+ * collaboration setting of CMAS/DMAS). Runs the same order-fulfilment task
+ * with growing fleet sizes under both coordination paradigms and prints
+ * how success and wall-clock latency scale — the paper's Fig. 7 story on a
+ * single concrete use case.
+ *
+ * Usage: warehouse_fleet [seed]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/coordinator.h"
+#include "envs/warehouse_env.h"
+#include "stats/table.h"
+
+namespace {
+
+ebs::core::EpisodeResult
+runFleet(std::uint64_t seed, int n_robots, bool centralized)
+{
+    ebs::sim::Rng layout_rng = ebs::sim::Rng(seed).fork(7);
+    ebs::envs::WarehouseEnv environment(ebs::env::Difficulty::Medium,
+                                        n_robots, layout_rng);
+
+    ebs::core::AgentConfig config;
+    config.has_communication = true;
+    config.has_reflection = false;
+    config.memory.capacity_steps = 40;
+
+    ebs::core::EpisodeOptions options;
+    options.seed = seed;
+    return centralized
+               ? ebs::core::runCentralized(environment, config, options)
+               : ebs::core::runDecentralized(environment, config, options);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t seed =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 23;
+
+    std::printf("Warehouse order fulfilment: fleet scaling\n\n");
+
+    ebs::stats::Table table({"paradigm", "robots", "success", "steps",
+                             "runtime (min)", "LLM calls"});
+    for (const bool centralized : {true, false}) {
+        for (const int robots : {2, 4, 8}) {
+            const auto r = runFleet(seed, robots, centralized);
+            table.addRow({centralized ? "centralized" : "decentralized",
+                          std::to_string(robots),
+                          r.success ? "yes" : "no",
+                          std::to_string(r.steps),
+                          ebs::stats::Table::num(r.sim_seconds / 60.0, 1),
+                          std::to_string(r.llm.calls)});
+        }
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf(
+        "Centralized fleets keep LLM calls linear in fleet size but the\n"
+        "joint plan degrades; decentralized fleets parallelize planning\n"
+        "but dialogue volume and latency grow much faster (Takeaway 7).\n");
+    return 0;
+}

@@ -1,0 +1,535 @@
+#include "core/coordinator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <vector>
+
+namespace ebs::core {
+
+namespace {
+
+/**
+ * Shared episode machinery: agent construction, per-phase latency
+ * combination (sequential sum vs. parallel max), and result assembly.
+ */
+class Harness
+{
+  public:
+    Harness(env::Environment &environment, const AgentConfig &config,
+            const EpisodeOptions &options)
+        : env_(environment), options_(options),
+          master_rng_(options.seed)
+    {
+        const int n = env_.world().agentCount();
+        for (int i = 0; i < n; ++i) {
+            agents_.push_back(std::make_unique<Agent>(
+                i, config, &env_, master_rng_.fork(100 + i), &clock_,
+                &recorder_, nullptr));
+        }
+    }
+
+    std::vector<std::unique_ptr<Agent>> &agents() { return agents_; }
+    Agent &agent(int i) { return *agents_[static_cast<std::size_t>(i)]; }
+    int agentCount() const { return static_cast<int>(agents_.size()); }
+    sim::Rng &rng() { return master_rng_; }
+    sim::SimClock &clock() { return clock_; }
+    stats::LatencyRecorder &recorder() { return recorder_; }
+
+    int
+    maxSteps() const
+    {
+        return options_.max_steps_override > 0 ? options_.max_steps_override
+                                               : env_.task().maxSteps();
+    }
+
+    /**
+     * Run `turn` once per agent, measuring each agent's latency
+     * contribution; advance the clock by the sum (sequential pipeline) or
+     * the max (parallel execution across agents).
+     */
+    template <typename Fn>
+    void
+    phase(Fn &&turn)
+    {
+        double total = 0.0;
+        double longest = 0.0;
+        for (auto &agent : agents_) {
+            const double before = recorder_.grandTotal();
+            turn(*agent);
+            const double delta = recorder_.grandTotal() - before;
+            total += delta;
+            longest = std::max(longest, delta);
+        }
+        advanceBy(total, longest);
+    }
+
+    /** Run a single-actor phase (e.g., the central planner). */
+    template <typename Fn>
+    void
+    soloPhase(Fn &&body)
+    {
+        const double before = recorder_.grandTotal();
+        body();
+        const double delta = recorder_.grandTotal() - before;
+        clock_.advance(delta);
+    }
+
+    /** Finish bookkeeping for one global step; true when episode is over. */
+    bool
+    stepDone(EpisodeResult &result, int step)
+    {
+        result.steps = step + 1;
+        result.final_progress = env_.task().progress(env_.world());
+        return env_.task().satisfied(env_.world());
+    }
+
+    EpisodeResult
+    finish(bool success, const llm::LlmUsage &extra = {})
+    {
+        EpisodeResult result = partial_;
+        result.success = success;
+        result.sim_seconds = clock_.now();
+        result.final_progress = env_.task().progress(env_.world());
+        result.latency = recorder_;
+        result.llm = extra;
+        for (const auto &agent : agents_) {
+            const auto usage = agent->llmUsage();
+            result.llm.calls += usage.calls;
+            result.llm.tokens_in += usage.tokens_in;
+            result.llm.tokens_out += usage.tokens_out;
+            result.llm.total_latency_s += usage.total_latency_s;
+        }
+        result.steps = steps_;
+        result.messages_generated = messages_generated_;
+        result.messages_useful = messages_useful_;
+        result.token_series = std::move(token_series_);
+        return result;
+    }
+
+    void setSteps(int steps) { steps_ = steps; }
+    void countMessage(bool useful)
+    {
+        ++messages_generated_;
+        if (useful)
+            ++messages_useful_;
+    }
+
+    void
+    recordTokens(int step, int agent, int plan_tokens, int message_tokens)
+    {
+        if (options_.record_tokens)
+            token_series_.push_back({step, agent, plan_tokens,
+                                     message_tokens});
+    }
+
+    const PipelineOptions &pipeline() const { return options_.pipeline; }
+
+  private:
+    void
+    advanceBy(double total, double longest)
+    {
+        if (options_.pipeline.parallel_agents ||
+            options_.pipeline.batch_llm_calls) {
+            // Concurrent per-agent pipelines (or batched inference): the
+            // wall-clock cost is the slowest agent plus a small serial
+            // residue; the recorder still holds the full work done.
+            clock_.advance(longest + 0.15 * (total - longest));
+        } else {
+            clock_.advance(total);
+        }
+    }
+
+    env::Environment &env_;
+    EpisodeOptions options_;
+    sim::Rng master_rng_;
+    sim::SimClock clock_;
+    stats::LatencyRecorder recorder_;
+    std::vector<std::unique_ptr<Agent>> agents_;
+    EpisodeResult partial_;
+    std::vector<StepTokens> token_series_;
+    int steps_ = 0;
+    int messages_generated_ = 0;
+    int messages_useful_ = 0;
+};
+
+/** Broadcast a message to every other agent. */
+void
+broadcast(Harness &harness, const Message &message, int step)
+{
+    for (int i = 0; i < harness.agentCount(); ++i)
+        if (i != message.from_agent)
+            harness.agent(i).receiveMessage(message, step);
+}
+
+} // namespace
+
+EpisodeResult
+runSingleAgent(env::Environment &environment, const AgentConfig &config,
+               const EpisodeOptions &options)
+{
+    assert(environment.world().agentCount() == 1);
+    Harness harness(environment, config, options);
+    Agent &agent = harness.agent(0);
+
+    const int plan_every = std::max(1, options.pipeline.plan_every_k);
+    int guided_steps_left = 0; // plan-guided multi-step execution (Rec. 7)
+    bool success = false;
+
+    for (int step = 0; step < harness.maxSteps(); ++step) {
+        environment.beginStep();
+        harness.setSteps(step + 1);
+
+        harness.phase([&](Agent &a) { a.sense(step); });
+
+        env::Subgoal subgoal;
+        bool plan_sound = true;
+        bool skipped_plan = false;
+        if (guided_steps_left > 0) {
+            // Follow the standing plan without a fresh LLM call.
+            subgoal = agent.chooseSubgoal(true, false, step);
+            --guided_steps_left;
+            skipped_plan = true;
+        } else {
+            PlanContext context;
+            context.step = step;
+            context.n_agents = 1;
+            context.compression = options.pipeline.context_compression;
+            PlanDecision decision;
+            harness.phase([&](Agent &a) { decision = a.plan(step, context); });
+            subgoal = decision.subgoal;
+            plan_sound = decision.from_oracle;
+            harness.recordTokens(step, 0, decision.prompt_tokens, 0);
+            if (decision.from_oracle && plan_every > 1)
+                guided_steps_left = plan_every - 1;
+        }
+
+        ExecResult exec;
+        harness.phase([&](Agent &a) { exec = a.execute(step, subgoal); });
+        harness.phase([&](Agent &a) {
+            a.reflect(step, subgoal, exec, plan_sound);
+        });
+        if (!exec.success)
+            guided_steps_left = 0; // guided execution aborts on failure
+
+        if (skipped_plan)
+            harness.recordTokens(step, 0, 0, 0);
+
+        EpisodeResult probe;
+        if (harness.stepDone(probe, step)) {
+            success = true;
+            break;
+        }
+    }
+
+    return harness.finish(success);
+}
+
+EpisodeResult
+runCentralized(env::Environment &environment, const AgentConfig &config,
+               const EpisodeOptions &options)
+{
+    Harness harness(environment, config, options);
+    const int n = harness.agentCount();
+
+    // The central planner has its own LLM engine and latency stream.
+    llm::LlmEngine central(config.planner_model, harness.rng().fork(999));
+    llm::LlmEngine central_comm(config.comm_model, harness.rng().fork(998));
+    int dialogue_tokens = 0; // accumulated feedback in the central context
+    bool success = false;
+
+    for (int step = 0; step < harness.maxSteps(); ++step) {
+        environment.beginStep();
+        harness.setSteps(step + 1);
+
+        harness.phase([&](Agent &a) { a.sense(step); });
+
+        // Central joint plan: prompt covers every agent's state plus the
+        // accumulated feedback dialogue.
+        bool good = false;
+        int central_tokens = 0;
+        harness.soloPhase([&] {
+            llm::LlmRequest request;
+            request.kind = llm::CallKind::Planning;
+            request.tokens_in = config.lat.plan_prompt_base +
+                                n * config.lat.state_tokens_per_agent +
+                                static_cast<int>(
+                                    dialogue_tokens *
+                                    std::clamp(options.pipeline
+                                                   .context_compression,
+                                               0.05, 1.0));
+            request.tokens_out_mean =
+                config.lat.plan_out_tokens + 24 * (n - 1);
+            request.complexity = std::clamp(
+                config.central_joint_complexity * (n - 1), 0.0, 0.95);
+            const auto response = central.complete(request);
+            harness.recorder().record(stats::ModuleKind::Planning,
+                                      response.latency_s);
+            good = response.good;
+            central_tokens = request.tokens_in + response.tokens_out;
+        });
+        harness.recordTokens(step, -1, central_tokens, 0);
+
+        // Instruction broadcast (one message generation for the team).
+        if (config.has_communication) {
+            harness.soloPhase([&] {
+                llm::LlmRequest request;
+                request.kind = llm::CallKind::Communication;
+                request.tokens_in = config.lat.comm_prompt_base + 30 * n;
+                request.tokens_out_mean = config.lat.comm_out_tokens +
+                                          12 * (n - 1);
+                const auto response = central_comm.complete(request);
+                harness.recorder().record(stats::ModuleKind::Communication,
+                                          response.latency_s);
+                harness.countMessage(true);
+                harness.recordTokens(step, -1, 0,
+                                     request.tokens_in +
+                                         response.tokens_out);
+            });
+        }
+
+        // Each agent follows its instruction; a bad joint plan still gets
+        // parts right (per-agent partial correctness), and feedback flows
+        // back to the central context.
+        std::vector<env::Subgoal> subgoals(static_cast<std::size_t>(n));
+        std::vector<char> sound(static_cast<std::size_t>(n), 1);
+        harness.phase([&](Agent &a) {
+            const bool agent_good =
+                good || harness.rng().bernoulli(0.25);
+            const bool hallucinate =
+                !agent_good &&
+                harness.rng().bernoulli(config.hallucination_rate);
+            sound[static_cast<std::size_t>(a.id())] = agent_good;
+            subgoals[static_cast<std::size_t>(a.id())] =
+                a.chooseSubgoal(agent_good, hallucinate, step);
+        });
+
+        std::vector<ExecResult> execs(static_cast<std::size_t>(n));
+        harness.phase([&](Agent &a) {
+            execs[static_cast<std::size_t>(a.id())] =
+                a.execute(step, subgoals[static_cast<std::size_t>(a.id())]);
+        });
+        harness.phase([&](Agent &a) {
+            const auto &exec = execs[static_cast<std::size_t>(a.id())];
+            a.reflect(step, subgoals[static_cast<std::size_t>(a.id())],
+                      exec, sound[static_cast<std::size_t>(a.id())] != 0);
+        });
+
+        // Local feedback: ~40 tokens per agent per step accumulate in the
+        // central planner's context.
+        dialogue_tokens += 40 * n;
+
+        EpisodeResult probe;
+        if (harness.stepDone(probe, step)) {
+            success = true;
+            break;
+        }
+    }
+
+    llm::LlmUsage extra = central.usage();
+    const auto &cc = central_comm.usage();
+    extra.calls += cc.calls;
+    extra.tokens_in += cc.tokens_in;
+    extra.tokens_out += cc.tokens_out;
+    extra.total_latency_s += cc.total_latency_s;
+    return harness.finish(success, extra);
+}
+
+EpisodeResult
+runHierarchical(env::Environment &environment, const AgentConfig &config,
+                const EpisodeOptions &options, int cluster_size)
+{
+    Harness harness(environment, config, options);
+    const int n = harness.agentCount();
+    const int k = std::max(1, cluster_size);
+    const int clusters = (n + k - 1) / k;
+    auto cluster_of = [&](int agent_id) { return agent_id / k; };
+
+    // One planning engine per cluster lead.
+    std::vector<llm::LlmEngine> leads;
+    for (int c = 0; c < clusters; ++c)
+        leads.emplace_back(config.planner_model,
+                           harness.rng().fork(700 + c));
+    bool success = false;
+
+    for (int step = 0; step < harness.maxSteps(); ++step) {
+        environment.beginStep();
+        harness.setSteps(step + 1);
+
+        harness.phase([&](Agent &a) { a.sense(step); });
+
+        // Cross-cluster coordination: one message per cluster lead,
+        // broadcast to the other leads (bounded, not quadratic in n).
+        if (config.has_communication && clusters > 1) {
+            std::vector<Message> outbox;
+            harness.phase([&](Agent &a) {
+                if (a.id() % k != 0)
+                    return; // only cluster leads speak
+                Message m = a.generateMessage(step, clusters);
+                harness.countMessage(m.useful);
+                outbox.push_back(std::move(m));
+            });
+            for (const auto &m : outbox)
+                for (int c = 0; c < clusters; ++c)
+                    if (c * k != m.from_agent && c * k < n)
+                        harness.agent(c * k).receiveMessage(m, step);
+        }
+
+        // Per-cluster joint plans: coordination space bounded by k.
+        std::vector<char> cluster_good(static_cast<std::size_t>(clusters));
+        for (int c = 0; c < clusters; ++c) {
+            const int members = std::min(k, n - c * k);
+            harness.soloPhase([&] {
+                llm::LlmRequest request;
+                request.kind = llm::CallKind::Planning;
+                request.tokens_in = config.lat.plan_prompt_base +
+                                    members *
+                                        config.lat.state_tokens_per_agent;
+                request.tokens_out_mean =
+                    config.lat.plan_out_tokens + 20 * (members - 1);
+                request.complexity = std::clamp(
+                    config.central_joint_complexity * (members - 1), 0.0,
+                    0.95);
+                const auto response =
+                    leads[static_cast<std::size_t>(c)].complete(request);
+                harness.recorder().record(stats::ModuleKind::Planning,
+                                          response.latency_s);
+                cluster_good[static_cast<std::size_t>(c)] = response.good;
+            });
+        }
+
+        std::vector<env::Subgoal> subgoals(static_cast<std::size_t>(n));
+        std::vector<char> sound(static_cast<std::size_t>(n), 1);
+        harness.phase([&](Agent &a) {
+            const auto idx = static_cast<std::size_t>(a.id());
+            const bool agent_good =
+                cluster_good[static_cast<std::size_t>(
+                    cluster_of(a.id()))] != 0 ||
+                harness.rng().bernoulli(0.25);
+            const bool hallucinate =
+                !agent_good &&
+                harness.rng().bernoulli(config.hallucination_rate);
+            sound[idx] = agent_good;
+            subgoals[idx] = a.chooseSubgoal(agent_good, hallucinate, step);
+        });
+
+        std::vector<ExecResult> execs(static_cast<std::size_t>(n));
+        harness.phase([&](Agent &a) {
+            execs[static_cast<std::size_t>(a.id())] =
+                a.execute(step, subgoals[static_cast<std::size_t>(a.id())]);
+        });
+        harness.phase([&](Agent &a) {
+            const auto idx = static_cast<std::size_t>(a.id());
+            a.reflect(step, subgoals[idx], execs[idx], sound[idx] != 0);
+        });
+
+        EpisodeResult probe;
+        if (harness.stepDone(probe, step)) {
+            success = true;
+            break;
+        }
+    }
+
+    llm::LlmUsage extra;
+    for (const auto &lead : leads) {
+        const auto &usage = lead.usage();
+        extra.calls += usage.calls;
+        extra.tokens_in += usage.tokens_in;
+        extra.tokens_out += usage.tokens_out;
+        extra.total_latency_s += usage.total_latency_s;
+    }
+    return harness.finish(success, extra);
+}
+
+EpisodeResult
+runDecentralized(env::Environment &environment, const AgentConfig &config,
+                 const EpisodeOptions &options)
+{
+    Harness harness(environment, config, options);
+    const int n = harness.agentCount();
+    const int plan_every = std::max(1, options.pipeline.plan_every_k);
+    std::vector<int> guided_left(static_cast<std::size_t>(n), 0);
+    bool success = false;
+
+    for (int step = 0; step < harness.maxSteps(); ++step) {
+        environment.beginStep();
+        harness.setSteps(step + 1);
+
+        harness.phase([&](Agent &a) { a.sense(step); });
+
+        // Dialogue: in the default pipeline, every agent pre-generates a
+        // message every step (the paper's observed inefficiency), in
+        // turn-taking rounds that grow with the team size.
+        if (config.has_communication && !options.pipeline.comm_on_demand) {
+            const int rounds = 1 + (n - 1) / 4;
+            for (int round = 0; round < rounds; ++round) {
+                std::vector<Message> outbox;
+                harness.phase([&](Agent &a) {
+                    Message m = a.generateMessage(step, n);
+                    harness.countMessage(m.useful);
+                    harness.recordTokens(step, a.id(), 0,
+                                         a.lastMessageTokens());
+                    outbox.push_back(std::move(m));
+                });
+                for (const auto &m : outbox)
+                    broadcast(harness, m, step);
+            }
+        }
+
+        // Independent planning with teammate-intent complexity.
+        std::vector<env::Subgoal> subgoals(static_cast<std::size_t>(n));
+        std::vector<char> sound(static_cast<std::size_t>(n), 1);
+        harness.phase([&](Agent &a) {
+            const auto idx = static_cast<std::size_t>(a.id());
+            if (guided_left[idx] > 0) {
+                // Plan-guided multi-step execution (Rec. 7): follow the
+                // standing plan without a fresh LLM call.
+                subgoals[idx] = a.chooseSubgoal(true, false, step);
+                sound[idx] = 1;
+                --guided_left[idx];
+                return;
+            }
+            PlanContext context;
+            context.step = step;
+            context.n_agents = n;
+            context.compression = options.pipeline.context_compression;
+            const PlanDecision decision = a.plan(step, context);
+            subgoals[idx] = decision.subgoal;
+            sound[idx] = decision.from_oracle;
+            if (decision.from_oracle && plan_every > 1)
+                guided_left[idx] = plan_every - 1;
+            harness.recordTokens(step, a.id(), decision.prompt_tokens, 0);
+
+            // Planning-then-communication (Rec. 8): only talk when the
+            // plan decided it is needed.
+            if (config.has_communication &&
+                options.pipeline.comm_on_demand && decision.wants_comm) {
+                Message m = a.generateMessage(step, n);
+                harness.countMessage(m.useful);
+                broadcast(harness, m, step);
+            }
+        });
+
+        std::vector<ExecResult> execs(static_cast<std::size_t>(n));
+        harness.phase([&](Agent &a) {
+            execs[static_cast<std::size_t>(a.id())] =
+                a.execute(step, subgoals[static_cast<std::size_t>(a.id())]);
+        });
+        harness.phase([&](Agent &a) {
+            const auto idx = static_cast<std::size_t>(a.id());
+            a.reflect(step, subgoals[idx], execs[idx], sound[idx] != 0);
+            if (!execs[idx].success)
+                guided_left[idx] = 0; // guided execution aborts on failure
+        });
+
+        EpisodeResult probe;
+        if (harness.stepDone(probe, step)) {
+            success = true;
+            break;
+        }
+    }
+
+    return harness.finish(success);
+}
+
+} // namespace ebs::core

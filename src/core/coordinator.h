@@ -1,0 +1,67 @@
+#ifndef EBS_CORE_COORDINATOR_H
+#define EBS_CORE_COORDINATOR_H
+
+#include "core/agent.h"
+#include "core/config.h"
+#include "core/episode.h"
+#include "env/env.h"
+
+namespace ebs::core {
+
+/** Options controlling one episode run. */
+struct EpisodeOptions
+{
+    std::uint64_t seed = 1;      ///< master seed (agents fork substreams)
+    bool record_tokens = false;  ///< fill EpisodeResult::token_series
+    int max_steps_override = -1; ///< override the task's step budget
+    PipelineOptions pipeline;    ///< optimization ablation switches
+};
+
+/**
+ * Run a single-agent episode in the modularized paradigm (paper Fig. 1b):
+ * per step, sense -> (memory retrieve) -> plan -> execute -> reflect.
+ *
+ * The environment must contain exactly one agent body.
+ */
+EpisodeResult runSingleAgent(env::Environment &environment,
+                             const AgentConfig &config,
+                             const EpisodeOptions &options);
+
+/**
+ * Run a centralized multi-agent episode (paper Fig. 1d): a central LLM
+ * planner ingests every agent's state, produces the joint next-step plan,
+ * and communicates instructions; agents execute and send local feedback.
+ * LLM calls scale linearly with the agent count, but joint-plan quality
+ * degrades as the coordination space grows.
+ */
+EpisodeResult runCentralized(env::Environment &environment,
+                             const AgentConfig &config,
+                             const EpisodeOptions &options);
+
+/**
+ * Run a decentralized multi-agent episode (paper Fig. 1e): every agent
+ * plans for itself and engages in dialogue rounds with the others. Message
+ * volume grows quadratically with the agent count; dialogue history is
+ * concatenated into subsequent prompts.
+ */
+EpisodeResult runDecentralized(env::Environment &environment,
+                               const AgentConfig &config,
+                               const EpisodeOptions &options);
+
+/**
+ * Run a hierarchical multi-agent episode (paper Recommendation 9): agents
+ * are grouped into clusters of `cluster_size`; each cluster is planned
+ * centrally by one joint LLM call (small coordination space), and cluster
+ * leads exchange one round of messages across clusters (bounded dialogue).
+ * LLM calls scale with the number of clusters, not agents², and joint-plan
+ * complexity is bounded by the cluster size — the paper's proposed remedy
+ * for both paradigms' scalability failures.
+ */
+EpisodeResult runHierarchical(env::Environment &environment,
+                              const AgentConfig &config,
+                              const EpisodeOptions &options,
+                              int cluster_size = 3);
+
+} // namespace ebs::core
+
+#endif // EBS_CORE_COORDINATOR_H

@@ -1,0 +1,46 @@
+#ifndef EBS_CORE_EPISODE_H
+#define EBS_CORE_EPISODE_H
+
+#include <vector>
+
+#include "llm/engine.h"
+#include "stats/latency_recorder.h"
+
+namespace ebs::core {
+
+/** Per-step prompt-size sample for the Fig. 6 token-growth series. */
+struct StepTokens
+{
+    int step = 0;
+    int agent = 0;          ///< agent id; -1 = central planner
+    int plan_tokens = 0;    ///< planning prompt + completion size
+    int message_tokens = 0; ///< communication prompt + completion size
+};
+
+/** Everything measured over one episode (one long-horizon task run). */
+struct EpisodeResult
+{
+    bool success = false;
+    int steps = 0;             ///< global steps consumed (paper's L)
+    double sim_seconds = 0.0;  ///< end-to-end wall-clock (simulated)
+    double final_progress = 0.0;
+
+    stats::LatencyRecorder latency; ///< per-module work accounting
+    llm::LlmUsage llm;              ///< aggregated across engines
+
+    int messages_generated = 0; ///< comm-module invocations
+    int messages_useful = 0;    ///< messages that carried information
+
+    std::vector<StepTokens> token_series; ///< filled when requested
+
+    /** Average simulated seconds per step (0 when no steps ran). */
+    double
+    secondsPerStep() const
+    {
+        return steps > 0 ? sim_seconds / steps : 0.0;
+    }
+};
+
+} // namespace ebs::core
+
+#endif // EBS_CORE_EPISODE_H

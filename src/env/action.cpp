@@ -1,0 +1,56 @@
+#include "env/action.h"
+
+namespace ebs::env {
+
+const char *
+primOpName(PrimOp op)
+{
+    switch (op) {
+      case PrimOp::MoveStep:
+        return "MoveStep";
+      case PrimOp::Pick:
+        return "Pick";
+      case PrimOp::Place:
+        return "Place";
+      case PrimOp::PutIn:
+        return "PutIn";
+      case PrimOp::TakeOut:
+        return "TakeOut";
+      case PrimOp::Open:
+        return "Open";
+      case PrimOp::Close:
+        return "Close";
+      case PrimOp::Chop:
+        return "Chop";
+      case PrimOp::Cook:
+        return "Cook";
+      case PrimOp::Craft:
+        return "Craft";
+      case PrimOp::Mine:
+        return "Mine";
+      case PrimOp::Lift:
+        return "Lift";
+      case PrimOp::Wait:
+        return "Wait";
+    }
+    return "?";
+}
+
+std::string
+Primitive::describe() const
+{
+    std::string out = primOpName(op);
+    out += '(';
+    if (target != kNoObject)
+        out += "obj " + std::to_string(target);
+    if (op == PrimOp::MoveStep || op == PrimOp::Place) {
+        if (target != kNoObject)
+            out += ", ";
+        out += "(" + std::to_string(dest.x) + "," + std::to_string(dest.y) +
+               ")";
+    }
+    out += ')';
+    return out;
+}
+
+} // namespace ebs::env

@@ -1,0 +1,145 @@
+#include "env/env.h"
+
+#include <cassert>
+
+namespace ebs::env {
+
+const char *
+difficultyName(Difficulty d)
+{
+    switch (d) {
+      case Difficulty::Easy:
+        return "easy";
+      case Difficulty::Medium:
+        return "medium";
+      case Difficulty::Hard:
+        return "hard";
+    }
+    return "?";
+}
+
+Environment::Environment(GridMap grid)
+    : world_(std::move(grid))
+{
+}
+
+void
+Environment::setTask(std::unique_ptr<Task> task)
+{
+    assert(task != nullptr);
+    assert(task_ == nullptr && "task installed twice");
+    task_ = std::move(task);
+}
+
+const Task &
+Environment::task() const
+{
+    assert(task_ != nullptr && "environment has no task installed");
+    return *task_;
+}
+
+Observation
+Environment::observe(int agent_id, int step) const
+{
+    const AgentBody &body = world_.agent(agent_id);
+    Observation obs;
+    obs.agent_id = agent_id;
+    obs.step = step;
+    obs.self_pos = body.pos;
+    obs.room = world_.grid().room(body.pos);
+    obs.carrying = body.carrying != kNoObject;
+    obs.carried = body.carrying;
+
+    for (const auto &obj : world_.objects()) {
+        // Visible if in the agent's room; contents of closed containers
+        // stay hidden (the agent must open them to look inside).
+        const Vec2i pos = world_.effectivePos(obj.id);
+        if (world_.grid().room(pos) != obs.room)
+            continue;
+        if (obj.inside != kNoObject) {
+            const Object &container = world_.object(obj.inside);
+            if (container.openable && !container.open)
+                continue;
+        }
+        ObservedObject seen;
+        seen.id = obj.id;
+        seen.cls = obj.cls;
+        seen.kind = obj.kind;
+        seen.state = obj.state;
+        seen.pos = pos;
+        seen.room = obs.room;
+        seen.inside = obj.inside;
+        seen.held_by = obj.held_by;
+        seen.openable = obj.openable;
+        seen.open = obj.open;
+        obs.objects.push_back(seen);
+    }
+    return obs;
+}
+
+ActionResult
+Environment::applyPrimitive(int agent_id, const Primitive &prim)
+{
+    switch (prim.op) {
+      case PrimOp::Chop:
+      case PrimOp::Cook:
+      case PrimOp::Craft:
+      case PrimOp::Mine:
+      case PrimOp::Lift:
+        return applyDomain(agent_id, prim);
+      default:
+        return world_.applySpatial(agent_id, prim);
+    }
+}
+
+int
+Environment::actionSpaceSize(int agent_id) const
+{
+    return static_cast<int>(validSubgoals(agent_id).size());
+}
+
+Vec2i
+Environment::roomAnchor(int room) const
+{
+    const GridMap &grid = world_.grid();
+    // Prefer a central *interior* cell so exploration lands mid-room:
+    // doorway cells carry a room label but border another room, and an
+    // agent stopping adjacent to one may never actually enter.
+    Vec2i best{-1, -1};
+    long best_score = -1;
+    static const Vec2i kDirs[4] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+    for (int y = 0; y < grid.height(); ++y) {
+        for (int x = 0; x < grid.width(); ++x) {
+            const Vec2i p{x, y};
+            if (!grid.walkable(p) || grid.room(p) != room)
+                continue;
+            bool interior = true;
+            for (const auto &d : kDirs) {
+                const int neighbor_room = grid.room(p + d);
+                if (neighbor_room >= 0 && neighbor_room != room)
+                    interior = false;
+            }
+            if (!interior)
+                continue;
+            // Score by closeness to the room's bounding-box center proxy:
+            // just take the first then middle-ish via running average trick.
+            const long score =
+                -(std::abs(2 * x - grid.width()) +
+                  std::abs(2 * y - grid.height()));
+            if (best.x < 0 || score > best_score) {
+                best = p;
+                best_score = score;
+            }
+        }
+    }
+    if (best.x < 0) {
+        // Degenerate room with no interior cell: fall back to any cell.
+        for (int y = 0; y < grid.height() && best.x < 0; ++y)
+            for (int x = 0; x < grid.width() && best.x < 0; ++x)
+                if (grid.walkable({x, y}) && grid.room({x, y}) == room)
+                    best = {x, y};
+    }
+    return best;
+}
+
+} // namespace ebs::env

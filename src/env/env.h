@@ -1,0 +1,101 @@
+#ifndef EBS_ENV_ENV_H
+#define EBS_ENV_ENV_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "env/action.h"
+#include "env/observation.h"
+#include "env/subgoal.h"
+#include "env/task.h"
+#include "env/world.h"
+
+namespace ebs::env {
+
+/**
+ * Base class for embodied environments.
+ *
+ * An environment owns the ground-truth world and the task instance, applies
+ * primitives (spatial ops via World, domain ops via applyDomain), produces
+ * partial egocentric observations, and exposes a *task oracle*: the set of
+ * subgoals that would advance the task right now. The oracle is what lets
+ * the LLM capability model act mechanically — a "good" planning call picks a
+ * useful subgoal the agent knows about; a bad one picks a merely-valid or
+ * invalid subgoal, and the consequences play out in the world for real.
+ */
+class Environment
+{
+  public:
+    virtual ~Environment() = default;
+
+    /** Short domain name ("transport", "kitchen", ...). */
+    virtual std::string domainName() const = 0;
+
+    World &world() { return world_; }
+    const World &world() const { return world_; }
+
+    /** The task instance; must have been set by the concrete environment. */
+    const Task &task() const;
+
+    /** Partial observation for one agent (default: current-room view). */
+    virtual Observation observe(int agent_id, int step) const;
+
+    /** Hook called at the start of each global step (clears lift votes...). */
+    virtual void beginStep() {}
+
+    /** Apply one primitive for an agent. */
+    ActionResult applyPrimitive(int agent_id, const Primitive &prim);
+
+    /**
+     * Oracle: subgoals that advance the task for this agent right now,
+     * computed from ground truth. Empty when the task is finished or the
+     * agent cannot contribute.
+     */
+    virtual std::vector<Subgoal> usefulSubgoals(int agent_id) const = 0;
+
+    /**
+     * All subgoals the agent could validly attempt right now, including
+     * wasteful ones (used to sample suboptimal plans).
+     */
+    virtual std::vector<Subgoal> validSubgoals(int agent_id) const = 0;
+
+    /**
+     * Low-level motion cost from `from` adjacent-to/onto `to`, in grid
+     * steps; fills `path` with the cell sequence when non-null. Returns a
+     * negative value when unreachable. Implemented by concrete environments
+     * (grid A* or continuous RRT).
+     */
+    virtual double motionCost(const Vec2i &from, const Vec2i &to,
+                              std::vector<Vec2i> *path) const = 0;
+
+    /**
+     * Size of the currently-valid decision space for an agent; drives the
+     * joint-reasoning complexity penalty in the LLM capability model.
+     */
+    virtual int actionSpaceSize(int agent_id) const;
+
+    /**
+     * A representative walkable cell of a room (used as the Explore
+     * navigation target). Returns {-1,-1} when the room has no free cell.
+     */
+    env::Vec2i roomAnchor(int room) const;
+
+  protected:
+    /** Construct with the world grid; the task is installed by the concrete
+     * environment once the world is populated (object ids are then known). */
+    explicit Environment(GridMap grid);
+
+    /** Install the task instance (non-null, once). */
+    void setTask(std::unique_ptr<Task> task);
+
+    /** Apply a domain primitive (Chop/Cook/Craft/Mine/Lift). */
+    virtual ActionResult applyDomain(int agent_id, const Primitive &prim) = 0;
+
+    World world_;
+    std::unique_ptr<Task> task_;
+};
+
+} // namespace ebs::env
+
+#endif // EBS_ENV_ENV_H

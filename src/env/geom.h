@@ -1,0 +1,59 @@
+#ifndef EBS_ENV_GEOM_H
+#define EBS_ENV_GEOM_H
+
+#include <cmath>
+#include <cstdlib>
+
+namespace ebs::env {
+
+/** Integer grid coordinate. */
+struct Vec2i
+{
+    int x = 0;
+    int y = 0;
+
+    bool operator==(const Vec2i &) const = default;
+
+    Vec2i operator+(const Vec2i &o) const { return {x + o.x, y + o.y}; }
+    Vec2i operator-(const Vec2i &o) const { return {x - o.x, y - o.y}; }
+};
+
+/** Manhattan (L1) distance between grid cells. */
+inline int
+manhattan(const Vec2i &a, const Vec2i &b)
+{
+    return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/** Chebyshev (L-inf) distance; adjacency means chebyshev() <= 1. */
+inline int
+chebyshev(const Vec2i &a, const Vec2i &b)
+{
+    return std::max(std::abs(a.x - b.x), std::abs(a.y - b.y));
+}
+
+/** Continuous 2-D point for the manipulation workspace. */
+struct Vec2d
+{
+    double x = 0.0;
+    double y = 0.0;
+
+    bool operator==(const Vec2d &) const = default;
+
+    Vec2d operator+(const Vec2d &o) const { return {x + o.x, y + o.y}; }
+    Vec2d operator-(const Vec2d &o) const { return {x - o.x, y - o.y}; }
+    Vec2d operator*(double k) const { return {x * k, y * k}; }
+};
+
+/** Euclidean distance between continuous points. */
+inline double
+dist(const Vec2d &a, const Vec2d &b)
+{
+    const double dx = a.x - b.x;
+    const double dy = a.y - b.y;
+    return std::sqrt(dx * dx + dy * dy);
+}
+
+} // namespace ebs::env
+
+#endif // EBS_ENV_GEOM_H

@@ -1,0 +1,124 @@
+#include "env/grid.h"
+
+#include <cassert>
+
+namespace ebs::env {
+
+GridMap::GridMap(int width, int height)
+    : width_(width), height_(height),
+      walkable_(static_cast<std::size_t>(width) * height, 1),
+      room_(static_cast<std::size_t>(width) * height, 0)
+{
+    assert(width > 0 && height > 0);
+}
+
+std::size_t
+GridMap::idx(const Vec2i &p) const
+{
+    return static_cast<std::size_t>(p.y) * width_ + p.x;
+}
+
+bool
+GridMap::walkable(const Vec2i &p) const
+{
+    return inBounds(p) && walkable_[idx(p)] != 0;
+}
+
+void
+GridMap::setWalkable(const Vec2i &p, bool w)
+{
+    assert(inBounds(p));
+    walkable_[idx(p)] = w ? 1 : 0;
+    if (!w)
+        room_[idx(p)] = -1;
+}
+
+int
+GridMap::room(const Vec2i &p) const
+{
+    if (!inBounds(p))
+        return -1;
+    return room_[idx(p)];
+}
+
+void
+GridMap::setRoom(const Vec2i &p, int room)
+{
+    assert(inBounds(p));
+    room_[idx(p)] = static_cast<std::int16_t>(room);
+    if (room + 1 > room_count_)
+        room_count_ = room + 1;
+}
+
+std::vector<Vec2i>
+GridMap::neighbors(const Vec2i &p) const
+{
+    static const Vec2i kDirs[4] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+    std::vector<Vec2i> out;
+    out.reserve(4);
+    for (const auto &d : kDirs) {
+        const Vec2i q = p + d;
+        if (walkable(q))
+            out.push_back(q);
+    }
+    return out;
+}
+
+GridMap
+GridMap::apartment(int rooms_x, int rooms_y, int room_w, int room_h)
+{
+    assert(rooms_x >= 1 && rooms_y >= 1);
+    assert(room_w >= 3 && room_h >= 3);
+
+    // +1 wall between rooms and around the border.
+    const int width = rooms_x * (room_w + 1) + 1;
+    const int height = rooms_y * (room_h + 1) + 1;
+    GridMap map(width, height);
+
+    // Carve walls first: border and inter-room separators.
+    for (int y = 0; y < height; ++y) {
+        for (int x = 0; x < width; ++x) {
+            const bool on_wall = x % (room_w + 1) == 0 || y % (room_h + 1) == 0;
+            if (on_wall)
+                map.setWalkable({x, y}, false);
+        }
+    }
+
+    // Assign room labels to interiors.
+    for (int ry = 0; ry < rooms_y; ++ry) {
+        for (int rx = 0; rx < rooms_x; ++rx) {
+            const int room_id = ry * rooms_x + rx;
+            for (int y = 1; y <= room_h; ++y) {
+                for (int x = 1; x <= room_w; ++x) {
+                    map.setRoom({rx * (room_w + 1) + x, ry * (room_h + 1) + y},
+                                room_id);
+                }
+            }
+        }
+    }
+
+    // Doorways between horizontally adjacent rooms.
+    for (int ry = 0; ry < rooms_y; ++ry) {
+        for (int rx = 0; rx + 1 < rooms_x; ++rx) {
+            const int wall_x = (rx + 1) * (room_w + 1);
+            const int door_y = ry * (room_h + 1) + 1 + room_h / 2;
+            const Vec2i door{wall_x, door_y};
+            map.setWalkable(door, true);
+            map.setRoom(door, ry * rooms_x + rx);
+        }
+    }
+    // Doorways between vertically adjacent rooms.
+    for (int ry = 0; ry + 1 < rooms_y; ++ry) {
+        for (int rx = 0; rx < rooms_x; ++rx) {
+            const int wall_y = (ry + 1) * (room_h + 1);
+            const int door_x = rx * (room_w + 1) + 1 + room_w / 2;
+            const Vec2i door{door_x, wall_y};
+            map.setWalkable(door, true);
+            map.setRoom(door, ry * rooms_x + rx);
+        }
+    }
+
+    return map;
+}
+
+} // namespace ebs::env

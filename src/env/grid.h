@@ -1,0 +1,67 @@
+#ifndef EBS_ENV_GRID_H
+#define EBS_ENV_GRID_H
+
+#include <cstdint>
+#include <vector>
+
+#include "env/geom.h"
+
+namespace ebs::env {
+
+/**
+ * 2-D occupancy grid with room labels.
+ *
+ * Rooms drive partial observability: an agent sees objects in its current
+ * room only, mirroring the egocentric views of TDW / VirtualHome. Walls are
+ * non-walkable cells; doorways connect rooms.
+ */
+class GridMap
+{
+  public:
+    /** An all-walkable map of the given size, single room 0. */
+    GridMap(int width, int height);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+
+    bool
+    inBounds(const Vec2i &p) const
+    {
+        return p.x >= 0 && p.x < width_ && p.y >= 0 && p.y < height_;
+    }
+
+    bool walkable(const Vec2i &p) const;
+    void setWalkable(const Vec2i &p, bool w);
+
+    /** Room id of a cell (-1 for walls / out of bounds). */
+    int room(const Vec2i &p) const;
+    void setRoom(const Vec2i &p, int room);
+
+    /** Number of distinct room labels assigned so far. */
+    int roomCount() const { return room_count_; }
+
+    /** 4-connected walkable neighbors of a cell. */
+    std::vector<Vec2i> neighbors(const Vec2i &p) const;
+
+    /**
+     * Build a rooms_x by rooms_y apartment: each room is room_w x room_h
+     * cells, separated by one-cell walls with a centered doorway between
+     * horizontally and vertically adjacent rooms. Room ids are assigned in
+     * row-major order.
+     */
+    static GridMap apartment(int rooms_x, int rooms_y, int room_w,
+                             int room_h);
+
+  private:
+    std::size_t idx(const Vec2i &p) const;
+
+    int width_;
+    int height_;
+    int room_count_ = 1;
+    std::vector<std::uint8_t> walkable_;
+    std::vector<std::int16_t> room_;
+};
+
+} // namespace ebs::env
+
+#endif // EBS_ENV_GRID_H

@@ -1,0 +1,23 @@
+#include "env/object.h"
+
+namespace ebs::env {
+
+const char *
+objectClassName(ObjectClass cls)
+{
+    switch (cls) {
+      case ObjectClass::Item:
+        return "Item";
+      case ObjectClass::Container:
+        return "Container";
+      case ObjectClass::Station:
+        return "Station";
+      case ObjectClass::Target:
+        return "Target";
+      case ObjectClass::Resource:
+        return "Resource";
+    }
+    return "?";
+}
+
+} // namespace ebs::env

@@ -1,0 +1,43 @@
+#ifndef EBS_ENV_OBSERVATION_H
+#define EBS_ENV_OBSERVATION_H
+
+#include <vector>
+
+#include "env/geom.h"
+#include "env/object.h"
+
+namespace ebs::env {
+
+/** One object as seen by an agent's sensors. */
+struct ObservedObject
+{
+    ObjectId id = kNoObject;
+    ObjectClass cls = ObjectClass::Item;
+    int kind = 0;
+    int state = 0;
+    Vec2i pos;
+    int room = -1;
+    ObjectId inside = kNoObject;
+    int held_by = -1;
+    bool openable = false;
+    bool open = true;
+};
+
+/**
+ * Egocentric partial observation: what one agent's sensing module sees this
+ * step (its own pose plus the objects in its current room / sensing range).
+ */
+struct Observation
+{
+    int agent_id = -1;
+    int step = 0;
+    Vec2i self_pos;
+    int room = -1;
+    bool carrying = false;
+    ObjectId carried = kNoObject;
+    std::vector<ObservedObject> objects;
+};
+
+} // namespace ebs::env
+
+#endif // EBS_ENV_OBSERVATION_H

@@ -1,0 +1,71 @@
+#include "env/subgoal.h"
+
+namespace ebs::env {
+
+const char *
+subgoalKindName(SubgoalKind kind)
+{
+    switch (kind) {
+      case SubgoalKind::Explore:
+        return "Explore";
+      case SubgoalKind::GoTo:
+        return "GoTo";
+      case SubgoalKind::PickUp:
+        return "PickUp";
+      case SubgoalKind::PlaceAt:
+        return "PlaceAt";
+      case SubgoalKind::PutInto:
+        return "PutInto";
+      case SubgoalKind::TakeFrom:
+        return "TakeFrom";
+      case SubgoalKind::OpenObj:
+        return "OpenObj";
+      case SubgoalKind::Chop:
+        return "Chop";
+      case SubgoalKind::Cook:
+        return "Cook";
+      case SubgoalKind::Craft:
+        return "Craft";
+      case SubgoalKind::Mine:
+        return "Mine";
+      case SubgoalKind::LiftWith:
+        return "LiftWith";
+      case SubgoalKind::Wait:
+        return "Wait";
+    }
+    return "?";
+}
+
+std::string
+Subgoal::describe() const
+{
+    std::string out = subgoalKindName(kind);
+    out += '(';
+    bool first = true;
+    auto sep = [&] {
+        if (!first)
+            out += ", ";
+        first = false;
+    };
+    if (target != kNoObject) {
+        sep();
+        out += "obj " + std::to_string(target);
+    }
+    if (dest_obj != kNoObject) {
+        sep();
+        out += "-> obj " + std::to_string(dest_obj);
+    }
+    if (dest.x >= 0) {
+        sep();
+        out += "-> (" + std::to_string(dest.x) + "," +
+               std::to_string(dest.y) + ")";
+    }
+    if (param != 0) {
+        sep();
+        out += "#" + std::to_string(param);
+    }
+    out += ')';
+    return out;
+}
+
+} // namespace ebs::env

@@ -1,0 +1,53 @@
+#ifndef EBS_ENV_SUBGOAL_H
+#define EBS_ENV_SUBGOAL_H
+
+#include <string>
+
+#include "env/geom.h"
+#include "env/object.h"
+
+namespace ebs::env {
+
+/**
+ * High-level subgoal vocabulary shared by the planning and execution
+ * modules. The planner (LLM) emits one subgoal per agent step; the execution
+ * module compiles it into a primitive sequence.
+ */
+enum class SubgoalKind
+{
+    Explore,  ///< visit an unvisited room to discover objects
+    GoTo,     ///< navigate adjacent to `target` (or to cell `dest`)
+    PickUp,   ///< go to and grasp `target`
+    PlaceAt,  ///< carry held object to cell `dest` and put it down
+    PutInto,  ///< carry held object to container/zone `dest_obj` and insert
+    TakeFrom, ///< retrieve `target` out of container `dest_obj`
+    OpenObj,  ///< open `target`
+    Chop,     ///< process ingredient `target` at a board
+    Cook,     ///< cook ingredient `target` at station `dest_obj`
+    Craft,    ///< craft recipe `param` at station `dest_obj`
+    Mine,     ///< harvest resource node `target`
+    LiftWith, ///< jointly lift heavy object `target` (multi-agent)
+    Wait,     ///< idle this step
+};
+
+/** Display name of a subgoal kind. */
+const char *subgoalKindName(SubgoalKind kind);
+
+/** One subgoal instance. */
+struct Subgoal
+{
+    SubgoalKind kind = SubgoalKind::Wait;
+    ObjectId target = kNoObject;   ///< primary object operand
+    ObjectId dest_obj = kNoObject; ///< destination object (container/station)
+    Vec2i dest{-1, -1};            ///< destination cell (PlaceAt / Explore)
+    int param = 0;                 ///< recipe id or other op-specific code
+
+    bool operator==(const Subgoal &) const = default;
+
+    /** Human-readable rendering for prompts, traces, and tests. */
+    std::string describe() const;
+};
+
+} // namespace ebs::env
+
+#endif // EBS_ENV_SUBGOAL_H

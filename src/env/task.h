@@ -1,0 +1,48 @@
+#ifndef EBS_ENV_TASK_H
+#define EBS_ENV_TASK_H
+
+#include <string>
+
+namespace ebs::env {
+
+class World;
+
+/** Task difficulty tiers used throughout the paper's sweeps. */
+enum class Difficulty
+{
+    Easy,
+    Medium,
+    Hard,
+};
+
+/** Display name ("easy"/"medium"/"hard"). */
+const char *difficultyName(Difficulty d);
+
+/**
+ * A long-horizon task over a world: a goal predicate with progress
+ * reporting and a step budget (the paper's L_max cap).
+ */
+class Task
+{
+  public:
+    virtual ~Task() = default;
+
+    /** Natural-language task description, used in prompts. */
+    virtual std::string description() const = 0;
+
+    /** True when the goal is fully satisfied. */
+    virtual bool satisfied(const World &world) const = 0;
+
+    /** Fraction of the goal achieved, in [0, 1]. */
+    virtual double progress(const World &world) const = 0;
+
+    /** Step budget; exceeding it fails the episode (L_max). */
+    virtual int maxSteps() const = 0;
+
+    /** The difficulty tier this instance was generated at. */
+    virtual Difficulty difficulty() const = 0;
+};
+
+} // namespace ebs::env
+
+#endif // EBS_ENV_TASK_H

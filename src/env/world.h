@@ -1,0 +1,87 @@
+#ifndef EBS_ENV_WORLD_H
+#define EBS_ENV_WORLD_H
+
+#include <vector>
+
+#include "env/action.h"
+#include "env/grid.h"
+#include "env/object.h"
+
+namespace ebs::env {
+
+/** Embodied state of one agent body. */
+struct AgentBody
+{
+    int id = -1;
+    Vec2i pos;
+    ObjectId carrying = kNoObject; ///< single-object gripper
+    bool lifting = false;          ///< currently part of a joint lift
+};
+
+/**
+ * Ground-truth world state: grid + objects + agent bodies, with validated
+ * application of the *spatial* primitives (movement, grasping, containers).
+ * Domain primitives (Chop/Cook/Craft/Mine/Lift) are validated and applied by
+ * the owning Environment, which knows the domain rules.
+ */
+class World
+{
+  public:
+    explicit World(GridMap grid);
+
+    const GridMap &grid() const { return grid_; }
+    GridMap &grid() { return grid_; }
+
+    // --- construction ---
+
+    /** Add an object; assigns and returns its id. Snaps `room` from grid. */
+    ObjectId addObject(Object obj);
+
+    /** Add an agent body at a position; returns its id. */
+    int addAgent(const Vec2i &pos);
+
+    // --- access ---
+
+    const Object &object(ObjectId id) const;
+    Object &object(ObjectId id);
+    const std::vector<Object> &objects() const { return objects_; }
+
+    const AgentBody &agent(int id) const;
+    AgentBody &agent(int id);
+    int agentCount() const { return static_cast<int>(agents_.size()); }
+
+    /** Ids of loose objects currently in the given room. */
+    std::vector<ObjectId> objectsInRoom(int room) const;
+
+    /** Ids of objects held inside the given container. */
+    std::vector<ObjectId> contents(ObjectId container) const;
+
+    /** Current position of an object, following holder/container chains. */
+    Vec2i effectivePos(ObjectId id) const;
+
+    /**
+     * Apply a spatial primitive for an agent. Returns failure for domain
+     * ops (Chop/Cook/Craft/Mine/Lift) — those belong to the Environment.
+     */
+    ActionResult applySpatial(int agent_id, const Primitive &prim);
+
+    /** True if any agent other than `agent_id` stands on `cell`. */
+    bool occupiedByOther(int agent_id, const Vec2i &cell) const;
+
+  private:
+    ActionResult doMoveStep(AgentBody &agent, const Primitive &prim);
+    ActionResult doPick(AgentBody &agent, const Primitive &prim);
+    ActionResult doPlace(AgentBody &agent, const Primitive &prim);
+    ActionResult doPutIn(AgentBody &agent, const Primitive &prim);
+    ActionResult doTakeOut(AgentBody &agent, const Primitive &prim);
+    ActionResult doOpenClose(AgentBody &agent, const Primitive &prim,
+                             bool open);
+
+    GridMap grid_;
+    std::vector<Object> objects_;
+    std::vector<AgentBody> agents_;
+};
+
+} // namespace ebs::env
+
+#endif // EBS_ENV_WORLD_H

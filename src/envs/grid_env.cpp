@@ -1,0 +1,130 @@
+#include "envs/grid_env.h"
+
+#include <cassert>
+
+#include "plan/astar.h"
+
+namespace ebs::envs {
+
+GridEnvironment::GridEnvironment(env::GridMap grid)
+    : env::Environment(std::move(grid))
+{
+}
+
+double
+GridEnvironment::motionCost(const env::Vec2i &from, const env::Vec2i &to,
+                            std::vector<env::Vec2i> *path) const
+{
+    // Other agents' bodies are temporary obstacles; the requesting agent
+    // is identified by standing at `from`.
+    std::vector<env::Vec2i> blocked;
+    for (int i = 0; i < world_.agentCount(); ++i) {
+        const env::Vec2i pos = world_.agent(i).pos;
+        if (!(pos == from))
+            blocked.push_back(pos);
+    }
+    const auto result = plan::aStar(world_.grid(), from, to,
+                                    /*adjacent_ok=*/true, &blocked);
+    if (!result)
+        return -1.0;
+    if (path != nullptr)
+        *path = result->cells;
+    return result->cost;
+}
+
+env::ActionResult
+GridEnvironment::applyDomain(int, const env::Primitive &prim)
+{
+    return env::ActionResult::failure(
+        std::string("domain op not supported here: ") +
+        env::primOpName(prim.op));
+}
+
+env::Vec2i
+GridEnvironment::randomFreeCellInRoom(int room, sim::Rng &rng) const
+{
+    const env::GridMap &grid = world_.grid();
+    std::vector<env::Vec2i> cells;
+    for (int y = 0; y < grid.height(); ++y)
+        for (int x = 0; x < grid.width(); ++x)
+            if (grid.walkable({x, y}) && grid.room({x, y}) == room)
+                cells.push_back({x, y});
+    assert(!cells.empty() && "room has no free cell");
+    return rng.pick(cells);
+}
+
+env::Vec2i
+GridEnvironment::randomFreeCell(sim::Rng &rng) const
+{
+    const env::GridMap &grid = world_.grid();
+    for (int attempts = 0; attempts < 10000; ++attempts) {
+        const env::Vec2i p{rng.uniformInt(0, grid.width() - 1),
+                           rng.uniformInt(0, grid.height() - 1)};
+        if (grid.walkable(p))
+            return p;
+    }
+    assert(false && "no free cell found");
+    return {0, 0};
+}
+
+std::vector<env::ObjectId>
+GridEnvironment::looseItemsOfKind(int kind) const
+{
+    std::vector<env::ObjectId> out;
+    for (const auto &obj : world_.objects())
+        if (obj.cls == env::ObjectClass::Item && obj.kind == kind &&
+            obj.loose())
+            out.push_back(obj.id);
+    return out;
+}
+
+env::ObjectId
+GridEnvironment::nearestLooseItem(const env::Vec2i &from, int kind) const
+{
+    env::ObjectId best = env::kNoObject;
+    int best_dist = 0;
+    for (const auto &obj : world_.objects()) {
+        if (obj.cls != env::ObjectClass::Item || obj.kind != kind ||
+            !obj.loose())
+            continue;
+        const int d = env::manhattan(from, obj.pos);
+        if (best == env::kNoObject || d < best_dist) {
+            best = obj.id;
+            best_dist = d;
+        }
+    }
+    return best;
+}
+
+env::ObjectId
+GridEnvironment::findObject(env::ObjectClass cls, int kind) const
+{
+    for (const auto &obj : world_.objects())
+        if (obj.cls == cls && obj.kind == kind)
+            return obj.id;
+    return env::kNoObject;
+}
+
+std::vector<env::ObjectId>
+GridEnvironment::objectsOfClass(env::ObjectClass cls) const
+{
+    std::vector<env::ObjectId> out;
+    for (const auto &obj : world_.objects())
+        if (obj.cls == cls)
+            out.push_back(obj.id);
+    return out;
+}
+
+void
+GridEnvironment::spawnAgents(int count, sim::Rng &rng)
+{
+    for (int i = 0; i < count; ++i) {
+        env::Vec2i cell = randomFreeCell(rng);
+        for (int tries = 0; tries < 100 && world_.occupiedByOther(-1, cell);
+             ++tries)
+            cell = randomFreeCell(rng);
+        world_.addAgent(cell);
+    }
+}
+
+} // namespace ebs::envs

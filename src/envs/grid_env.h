@@ -1,0 +1,55 @@
+#ifndef EBS_ENVS_GRID_ENV_H
+#define EBS_ENVS_GRID_ENV_H
+
+#include <memory>
+#include <vector>
+
+#include "env/env.h"
+#include "sim/rng.h"
+
+namespace ebs::envs {
+
+/**
+ * Common base for grid-world environments: A* motion planning and shared
+ * spawn/query helpers. Concrete domains add their objects, tasks, oracle
+ * subgoals, and domain primitives on top.
+ */
+class GridEnvironment : public env::Environment
+{
+  public:
+    /** Motion via A* (adjacent-arrival); returns -1 when unreachable. */
+    double motionCost(const env::Vec2i &from, const env::Vec2i &to,
+                      std::vector<env::Vec2i> *path) const override;
+
+  protected:
+    explicit GridEnvironment(env::GridMap grid);
+
+    /** Domain ops are invalid unless a subclass overrides. */
+    env::ActionResult applyDomain(int agent_id,
+                                  const env::Primitive &prim) override;
+
+    /** A uniformly random walkable cell of a room (asserts one exists). */
+    env::Vec2i randomFreeCellInRoom(int room, sim::Rng &rng) const;
+
+    /** A uniformly random walkable cell anywhere. */
+    env::Vec2i randomFreeCell(sim::Rng &rng) const;
+
+    /** Ids of loose Items with the given kind code. */
+    std::vector<env::ObjectId> looseItemsOfKind(int kind) const;
+
+    /** Nearest loose Item of a kind to `from` (kNoObject if none). */
+    env::ObjectId nearestLooseItem(const env::Vec2i &from, int kind) const;
+
+    /** First object of a class and kind (kNoObject if none). */
+    env::ObjectId findObject(env::ObjectClass cls, int kind) const;
+
+    /** All objects of a class. */
+    std::vector<env::ObjectId> objectsOfClass(env::ObjectClass cls) const;
+
+    /** Spawn `count` agents at random free cells (distinct where possible). */
+    void spawnAgents(int count, sim::Rng &rng);
+};
+
+} // namespace ebs::envs
+
+#endif // EBS_ENVS_GRID_ENV_H

@@ -1,0 +1,57 @@
+#ifndef EBS_ENVS_PREDICATE_TASK_H
+#define EBS_ENVS_PREDICATE_TASK_H
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "env/task.h"
+#include "env/world.h"
+
+namespace ebs::envs {
+
+/**
+ * Task defined by a progress functional over the world (0..1). Satisfied
+ * when progress reaches 1. Most domains express their goals this way
+ * ("fraction of boxes delivered", "fraction of dishes served").
+ */
+class PredicateTask : public env::Task
+{
+  public:
+    using Progress = std::function<double(const env::World &)>;
+
+    PredicateTask(std::string description, env::Difficulty difficulty,
+                  int max_steps, Progress progress)
+        : description_(std::move(description)), difficulty_(difficulty),
+          max_steps_(max_steps), progress_(std::move(progress))
+    {
+    }
+
+    std::string description() const override { return description_; }
+
+    bool
+    satisfied(const env::World &world) const override
+    {
+        return progress_(world) >= 1.0 - 1e-9;
+    }
+
+    double
+    progress(const env::World &world) const override
+    {
+        return progress_(world);
+    }
+
+    int maxSteps() const override { return max_steps_; }
+
+    env::Difficulty difficulty() const override { return difficulty_; }
+
+  private:
+    std::string description_;
+    env::Difficulty difficulty_;
+    int max_steps_;
+    Progress progress_;
+};
+
+} // namespace ebs::envs
+
+#endif // EBS_ENVS_PREDICATE_TASK_H

@@ -1,0 +1,137 @@
+#include "llm/engine.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ebs::llm {
+
+namespace {
+
+/** Penalty applied to quality when the prompt was truncated. */
+constexpr double kTruncationQualityFactor = 0.80;
+
+/** Base quality axis of the profile for a call kind. */
+double
+baseQuality(const ModelProfile &profile, CallKind kind)
+{
+    switch (kind) {
+      case CallKind::Planning:
+        return profile.plan_quality;
+      case CallKind::Communication:
+        return profile.comm_quality;
+      case CallKind::Reflection:
+        return profile.reflect_quality;
+      case CallKind::ActionSelection:
+        // Menu-style selection is easier than free-form planning.
+        return std::min(1.0, profile.plan_quality * 1.05);
+    }
+    return 0.5;
+}
+
+} // namespace
+
+LlmEngine::LlmEngine(ModelProfile profile, sim::Rng rng)
+    : profile_(std::move(profile)), rng_(rng)
+{
+}
+
+double
+LlmEngine::qualityFor(const LlmRequest &request, int effective_in) const
+{
+    double q = baseQuality(profile_, request.kind);
+    q *= profile_.dilutionFactor(effective_in);
+    q *= std::clamp(1.0 - request.complexity, 0.0, 1.0);
+    if (request.tokens_in > profile_.context_limit)
+        q *= kTruncationQualityFactor;
+    return std::clamp(q, 0.0, 1.0);
+}
+
+double
+LlmEngine::expectedLatency(const LlmRequest &request) const
+{
+    const int in = std::min(request.tokens_in, profile_.context_limit);
+    double latency = 0.0;
+    if (profile_.remote)
+        latency += profile_.api_rtt_mean_s;
+    latency += in / profile_.prefill_tok_per_s;
+    latency += request.tokens_out_mean / profile_.decode_tok_per_s;
+    return latency;
+}
+
+LlmResponse
+LlmEngine::complete(const LlmRequest &request)
+{
+    assert(request.tokens_in >= 0);
+
+    LlmResponse resp;
+    resp.truncated = request.tokens_in > profile_.context_limit;
+    resp.tokens_in = std::min(request.tokens_in, profile_.context_limit);
+
+    // Generation length varies around the mean (+/- ~25%).
+    const double out_mean = std::max(1.0, double(request.tokens_out_mean));
+    resp.tokens_out =
+        std::max(1, static_cast<int>(rng_.lognormal(out_mean, 0.25)));
+
+    double latency = 0.0;
+    if (profile_.remote)
+        latency += rng_.lognormal(profile_.api_rtt_mean_s, profile_.api_rtt_cv);
+    latency += resp.tokens_in / profile_.prefill_tok_per_s;
+    latency += resp.tokens_out / profile_.decode_tok_per_s;
+    resp.latency_s = latency;
+
+    resp.parse_ok = rng_.bernoulli(profile_.format_compliance);
+    const double q = qualityFor(request, resp.tokens_in);
+    resp.good = resp.parse_ok && rng_.bernoulli(q);
+
+    ++usage_.calls;
+    usage_.tokens_in += resp.tokens_in;
+    usage_.tokens_out += resp.tokens_out;
+    usage_.total_latency_s += resp.latency_s;
+    return resp;
+}
+
+std::vector<LlmResponse>
+LlmEngine::completeBatch(const std::vector<LlmRequest> &requests)
+{
+    std::vector<LlmResponse> out;
+    out.reserve(requests.size());
+    if (requests.empty())
+        return out;
+
+    // Joint prefill + longest decode; one RTT for the whole batch.
+    double prefill_s = 0.0;
+    double max_decode_s = 0.0;
+    for (const auto &req : requests) {
+        LlmResponse resp;
+        resp.truncated = req.tokens_in > profile_.context_limit;
+        resp.tokens_in = std::min(req.tokens_in, profile_.context_limit);
+        const double out_mean = std::max(1.0, double(req.tokens_out_mean));
+        resp.tokens_out =
+            std::max(1, static_cast<int>(rng_.lognormal(out_mean, 0.25)));
+        resp.parse_ok = rng_.bernoulli(profile_.format_compliance);
+        resp.good =
+            resp.parse_ok && rng_.bernoulli(qualityFor(req, resp.tokens_in));
+
+        prefill_s += resp.tokens_in / profile_.prefill_tok_per_s;
+        max_decode_s = std::max(max_decode_s,
+                                resp.tokens_out / profile_.decode_tok_per_s);
+        out.push_back(resp);
+    }
+
+    double batch_latency = prefill_s + max_decode_s;
+    if (profile_.remote)
+        batch_latency +=
+            rng_.lognormal(profile_.api_rtt_mean_s, profile_.api_rtt_cv);
+
+    for (auto &resp : out) {
+        resp.latency_s = batch_latency;
+        ++usage_.calls;
+        usage_.tokens_in += resp.tokens_in;
+        usage_.tokens_out += resp.tokens_out;
+    }
+    usage_.total_latency_s += batch_latency;
+    return out;
+}
+
+} // namespace ebs::llm

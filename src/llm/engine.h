@@ -1,0 +1,106 @@
+#ifndef EBS_LLM_ENGINE_H
+#define EBS_LLM_ENGINE_H
+
+#include <cstddef>
+#include <vector>
+
+#include "llm/model_profile.h"
+#include "sim/rng.h"
+
+namespace ebs::llm {
+
+/** Purpose of an LLM call; selects the capability axis that gates it. */
+enum class CallKind
+{
+    Planning,        ///< high-level plan / subgoal proposal
+    Communication,   ///< message generation or comprehension
+    Reflection,      ///< outcome judgment / self-correction
+    ActionSelection, ///< choosing among primitive/menu actions
+};
+
+/** One simulated completion request. */
+struct LlmRequest
+{
+    CallKind kind = CallKind::Planning;
+    int tokens_in = 0;        ///< prompt size
+    int tokens_out_mean = 64; ///< expected generation length
+    /**
+     * Extra task complexity in [0, 1): joint multi-agent reasoning, deep
+     * dependency chains. Multiplies quality by (1 - complexity).
+     */
+    double complexity = 0.0;
+};
+
+/** Result of one simulated completion. */
+struct LlmResponse
+{
+    double latency_s = 0.0;  ///< end-to-end inference latency
+    int tokens_in = 0;       ///< prompt tokens actually consumed
+    int tokens_out = 0;      ///< generated tokens
+    bool truncated = false;  ///< prompt exceeded the context window
+    bool parse_ok = true;    ///< output was format-compliant
+    /**
+     * True when the model produced the *good* output for this call — a
+     * correct plan, a useful message, an accurate reflection. Sampled from
+     * the profile's quality, degraded by dilution, truncation, and
+     * complexity.
+     */
+    bool good = true;
+};
+
+/** Aggregate usage counters maintained by an engine. */
+struct LlmUsage
+{
+    std::size_t calls = 0;
+    long tokens_in = 0;
+    long tokens_out = 0;
+    double total_latency_s = 0.0;
+};
+
+/**
+ * Simulated LLM inference backend.
+ *
+ * Substitutes the paper's GPT-4 API / local A6000 inference: computes
+ * latency from the profile's RTT + prefill + decode rates, enforces the
+ * context window, and samples output quality from the profile's calibrated
+ * capability model. All randomness comes from the injected Rng, so runs are
+ * reproducible.
+ */
+class LlmEngine
+{
+  public:
+    LlmEngine(ModelProfile profile, sim::Rng rng);
+
+    /** Run one completion. */
+    LlmResponse complete(const LlmRequest &request);
+
+    /**
+     * Run several completions as a single batch (Recommendation 1).
+     *
+     * Prefill is processed jointly at batch throughput; decode runs at
+     * per-stream speed for the longest response, so the batch finishes in
+     * roughly max-decode time plus the summed prefill — far less than the
+     * sequential sum. Returns one response per request; `latency_s` on each
+     * is the *batch* completion time.
+     */
+    std::vector<LlmResponse> completeBatch(
+        const std::vector<LlmRequest> &requests);
+
+    const ModelProfile &profile() const { return profile_; }
+    const LlmUsage &usage() const { return usage_; }
+    void resetUsage() { usage_ = LlmUsage{}; }
+
+    /** Deterministic latency mean for a request (no sampling), for tests. */
+    double expectedLatency(const LlmRequest &request) const;
+
+  private:
+    double qualityFor(const LlmRequest &request, int effective_in) const;
+
+    ModelProfile profile_;
+    sim::Rng rng_;
+    LlmUsage usage_;
+};
+
+} // namespace ebs::llm
+
+#endif // EBS_LLM_ENGINE_H

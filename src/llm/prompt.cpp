@@ -1,0 +1,79 @@
+#include "llm/prompt.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "llm/token.h"
+
+namespace ebs::llm {
+
+void
+Prompt::addText(std::string name, std::string text)
+{
+    sections_.push_back({std::move(name), std::move(text), 0});
+}
+
+void
+Prompt::addTokens(std::string name, int tokens)
+{
+    assert(tokens >= 0);
+    sections_.push_back({std::move(name), std::string(), tokens});
+}
+
+int
+Prompt::tokens() const
+{
+    int total = 0;
+    for (const auto &s : sections_)
+        total += approxTokens(s.text) + s.extra_tokens;
+    return total;
+}
+
+int
+Prompt::sectionTokens(const std::string &name) const
+{
+    for (const auto &s : sections_)
+        if (s.name == name)
+            return approxTokens(s.text) + s.extra_tokens;
+    return 0;
+}
+
+std::string
+Prompt::render() const
+{
+    std::string out;
+    for (const auto &s : sections_) {
+        out += "## " + s.name + "\n";
+        if (!s.text.empty()) {
+            out += s.text;
+            out += '\n';
+        }
+        if (s.extra_tokens > 0) {
+            out += "[" + std::to_string(s.extra_tokens) + " tokens]\n";
+        }
+    }
+    return out;
+}
+
+Prompt
+Prompt::compressed(const std::vector<std::string> &compressible,
+                   double ratio) const
+{
+    assert(ratio > 0.0 && ratio <= 1.0);
+    Prompt out;
+    for (const auto &s : sections_) {
+        const bool target =
+            std::find(compressible.begin(), compressible.end(), s.name) !=
+            compressible.end();
+        if (!target) {
+            out.sections_.push_back(s);
+            continue;
+        }
+        const int toks = approxTokens(s.text) + s.extra_tokens;
+        out.addTokens(s.name + " (summarized)",
+                      static_cast<int>(toks * ratio));
+    }
+    return out;
+}
+
+} // namespace ebs::llm

@@ -1,0 +1,61 @@
+#ifndef EBS_LLM_PROMPT_H
+#define EBS_LLM_PROMPT_H
+
+#include <string>
+#include <vector>
+
+namespace ebs::llm {
+
+/**
+ * A structured prompt: an ordered list of named sections, each contributing
+ * either literal text or an explicit token count.
+ *
+ * Workload prompts mix real text (task descriptions, action menus) with
+ * synthetic bulk (retrieved memory, concatenated dialogue history) whose
+ * *size* matters but whose content does not; explicit-token sections model
+ * the latter exactly without fabricating filler strings.
+ */
+class Prompt
+{
+  public:
+    /** One prompt section. */
+    struct Section
+    {
+        std::string name;
+        std::string text;   ///< literal content (may be empty)
+        int extra_tokens;   ///< tokens accounted beyond the literal text
+    };
+
+    /** Append a literal-text section. */
+    void addText(std::string name, std::string text);
+
+    /** Append a size-only section of `tokens` tokens. */
+    void addTokens(std::string name, int tokens);
+
+    /** Total token count across all sections. */
+    int tokens() const;
+
+    /** Token count of one named section (0 if absent; first match wins). */
+    int sectionTokens(const std::string &name) const;
+
+    const std::vector<Section> &sections() const { return sections_; }
+
+    /** Concatenated literal text (size-only sections render as markers). */
+    std::string render() const;
+
+    /**
+     * Context-compression transform (Recommendation 6): scales every section
+     * whose name appears in `compressible` by `ratio` (0 < ratio <= 1),
+     * returning a new prompt. Literal text in compressed sections is
+     * replaced by an equivalent token allowance.
+     */
+    Prompt compressed(const std::vector<std::string> &compressible,
+                      double ratio) const;
+
+  private:
+    std::vector<Section> sections_;
+};
+
+} // namespace ebs::llm
+
+#endif // EBS_LLM_PROMPT_H

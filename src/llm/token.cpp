@@ -1,0 +1,32 @@
+#include "llm/token.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace ebs::llm {
+
+int
+approxTokens(const std::string &text)
+{
+    if (text.empty())
+        return 0;
+    int words = 0;
+    bool in_word = false;
+    for (char ch : text) {
+        const bool space = std::isspace(static_cast<unsigned char>(ch)) != 0;
+        if (!space && !in_word)
+            ++words;
+        in_word = !space;
+    }
+    const int by_chars = static_cast<int>((text.size() + 3) / 4);
+    const int by_words = (words * 4 + 2) / 3;
+    return std::max(by_chars, by_words);
+}
+
+int
+listTokens(int count, int tokens_per_item)
+{
+    return std::max(0, count) * tokens_per_item;
+}
+
+} // namespace ebs::llm

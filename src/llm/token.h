@@ -1,0 +1,23 @@
+#ifndef EBS_LLM_TOKEN_H
+#define EBS_LLM_TOKEN_H
+
+#include <string>
+
+namespace ebs::llm {
+
+/**
+ * Approximate token count of a text string.
+ *
+ * Uses the standard BPE rule of thumb (~4 characters or ~0.75 words per
+ * token, whichever yields more tokens). The paper's token-length findings
+ * (Fig. 6) depend on growth *shape*, not on exact tokenizer output, so an
+ * approximation is sufficient and keeps the simulator dependency-free.
+ */
+int approxTokens(const std::string &text);
+
+/** Token count of `count` short items (ids, coordinates) in a list. */
+int listTokens(int count, int tokens_per_item = 6);
+
+} // namespace ebs::llm
+
+#endif // EBS_LLM_TOKEN_H

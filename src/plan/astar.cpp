@@ -1,0 +1,113 @@
+#include "plan/astar.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+
+namespace ebs::plan {
+
+namespace {
+
+thread_local std::size_t last_expanded = 0;
+
+struct Node
+{
+    int f;
+    int g;
+    int idx;
+
+    bool
+    operator>(const Node &o) const
+    {
+        // Tie-break on larger g (deeper nodes first) for faster goal pops.
+        return f != o.f ? f > o.f : g < o.g;
+    }
+};
+
+} // namespace
+
+std::size_t
+aStarLastExpanded()
+{
+    return last_expanded;
+}
+
+std::optional<GridPath>
+aStar(const env::GridMap &grid, const env::Vec2i &start,
+      const env::Vec2i &goal, bool adjacent_ok,
+      const std::vector<env::Vec2i> *blocked)
+{
+    last_expanded = 0;
+    if (!grid.inBounds(start) || !grid.inBounds(goal))
+        return std::nullopt;
+    if (!grid.walkable(start))
+        return std::nullopt;
+
+    auto is_blocked = [&](const env::Vec2i &p) {
+        if (blocked == nullptr)
+            return false;
+        for (const auto &b : *blocked)
+            if (b == p)
+                return true;
+        return false;
+    };
+
+    auto at_goal = [&](const env::Vec2i &p) {
+        return adjacent_ok ? env::chebyshev(p, goal) <= 1 : p == goal;
+    };
+    if (at_goal(start))
+        return GridPath{{start}, 0.0};
+
+    const int w = grid.width();
+    const int h = grid.height();
+    const std::size_t n = static_cast<std::size_t>(w) * h;
+    std::vector<std::int32_t> g_score(n, -1);
+    std::vector<std::int32_t> parent(n, -1);
+
+    auto index = [&](const env::Vec2i &p) { return p.y * w + p.x; };
+    auto heuristic = [&](const env::Vec2i &p) {
+        const int d = env::manhattan(p, goal);
+        return adjacent_ok ? std::max(0, d - 1) : d;
+    };
+
+    std::priority_queue<Node, std::vector<Node>, std::greater<Node>> open;
+    g_score[static_cast<std::size_t>(index(start))] = 0;
+    open.push({heuristic(start), 0, index(start)});
+
+    while (!open.empty()) {
+        const Node cur = open.top();
+        open.pop();
+        const env::Vec2i p{cur.idx % w, cur.idx / w};
+        if (cur.g > g_score[static_cast<std::size_t>(cur.idx)])
+            continue; // stale heap entry
+        ++last_expanded;
+
+        if (at_goal(p)) {
+            GridPath path;
+            path.cost = cur.g;
+            int idx = cur.idx;
+            while (idx >= 0) {
+                path.cells.push_back({idx % w, idx / w});
+                idx = parent[static_cast<std::size_t>(idx)];
+            }
+            std::reverse(path.cells.begin(), path.cells.end());
+            return path;
+        }
+
+        for (const auto &q : grid.neighbors(p)) {
+            if (is_blocked(q))
+                continue;
+            const int qi = index(q);
+            const int ng = cur.g + 1;
+            if (g_score[static_cast<std::size_t>(qi)] < 0 ||
+                ng < g_score[static_cast<std::size_t>(qi)]) {
+                g_score[static_cast<std::size_t>(qi)] = ng;
+                parent[static_cast<std::size_t>(qi)] = cur.idx;
+                open.push({ng + heuristic(q), ng, qi});
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace ebs::plan

@@ -1,0 +1,48 @@
+#ifndef EBS_PLAN_ASTAR_H
+#define EBS_PLAN_ASTAR_H
+
+#include <optional>
+#include <vector>
+
+#include "env/geom.h"
+#include "env/grid.h"
+
+namespace ebs::plan {
+
+/** Result of a grid path query. */
+struct GridPath
+{
+    std::vector<env::Vec2i> cells; ///< start..goal inclusive
+    double cost = 0.0;             ///< number of unit moves
+};
+
+/**
+ * A* shortest path on a GridMap (4-connected, unit edge cost, Manhattan
+ * heuristic — admissible and consistent, so the first expansion of the goal
+ * is optimal).
+ *
+ * This is the real low-level planner used by the execution module
+ * (substituting the A-star controllers of CoELA / COHERENT / DaDu-E); its
+ * compute cost is part of the execution-module latency story.
+ *
+ * @param adjacent_ok when true, reaching any cell adjacent (chebyshev <= 1)
+ *                    to the goal counts as arrival — the common case for
+ *                    interacting with objects that sit on furniture.
+ * @param blocked     extra temporarily-untraversable cells (other agents'
+ *                    positions); may be null.
+ * @return nullopt when no path exists.
+ */
+std::optional<GridPath> aStar(const env::GridMap &grid,
+                              const env::Vec2i &start,
+                              const env::Vec2i &goal,
+                              bool adjacent_ok = false,
+                              const std::vector<env::Vec2i> *blocked =
+                                  nullptr);
+
+/** Cells expanded by the most recent aStar call on this thread (for perf
+ * tests and the microbench). */
+std::size_t aStarLastExpanded();
+
+} // namespace ebs::plan
+
+#endif // EBS_PLAN_ASTAR_H

@@ -1,0 +1,151 @@
+#include "plan/rrt.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ebs::plan {
+
+bool
+Workspace::free(const env::Vec2d &p) const
+{
+    if (p.x < min_x || p.x > max_x || p.y < min_y || p.y > max_y)
+        return false;
+    for (const auto &obs : obstacles)
+        if (env::dist(p, obs.center) < obs.radius)
+            return false;
+    return true;
+}
+
+bool
+Workspace::segmentFree(const env::Vec2d &a, const env::Vec2d &b,
+                       double step) const
+{
+    const double len = env::dist(a, b);
+    const int samples = std::max(1, static_cast<int>(len / step));
+    for (int i = 0; i <= samples; ++i) {
+        const double t = static_cast<double>(i) / samples;
+        if (!free(a + (b - a) * t))
+            return false;
+    }
+    return true;
+}
+
+namespace {
+
+double
+pathLength(const std::vector<env::Vec2d> &pts)
+{
+    double len = 0.0;
+    for (std::size_t i = 1; i < pts.size(); ++i)
+        len += env::dist(pts[i - 1], pts[i]);
+    return len;
+}
+
+} // namespace
+
+std::optional<RrtPath>
+rrtPlan(const Workspace &ws, const env::Vec2d &start, const env::Vec2d &goal,
+        sim::Rng &rng, const RrtParams &params)
+{
+    if (!ws.free(start) || !ws.free(goal))
+        return std::nullopt;
+
+    // Trivial case: straight shot.
+    if (ws.segmentFree(start, goal)) {
+        RrtPath path;
+        path.points = {start, goal};
+        path.length = env::dist(start, goal);
+        path.iterations = 1;
+        return path;
+    }
+
+    std::vector<env::Vec2d> nodes = {start};
+    std::vector<int> parents = {-1};
+
+    int goal_node = -1;
+    int iter = 0;
+    for (; iter < params.max_iterations; ++iter) {
+        env::Vec2d sample;
+        if (rng.bernoulli(params.goal_bias)) {
+            sample = goal;
+        } else {
+            sample = {rng.uniform(ws.min_x, ws.max_x),
+                      rng.uniform(ws.min_y, ws.max_y)};
+        }
+
+        // Nearest node (linear scan; tree sizes stay small).
+        std::size_t nearest = 0;
+        double best = env::dist(nodes[0], sample);
+        for (std::size_t i = 1; i < nodes.size(); ++i) {
+            const double d = env::dist(nodes[i], sample);
+            if (d < best) {
+                best = d;
+                nearest = i;
+            }
+        }
+
+        // Extend toward the sample by step_size.
+        env::Vec2d dir = sample - nodes[nearest];
+        const double len = std::sqrt(dir.x * dir.x + dir.y * dir.y);
+        if (len < 1e-9)
+            continue;
+        const double scale = std::min(1.0, params.step_size / len);
+        const env::Vec2d candidate = nodes[nearest] + dir * scale;
+
+        if (!ws.free(candidate) ||
+            !ws.segmentFree(nodes[nearest], candidate))
+            continue;
+
+        nodes.push_back(candidate);
+        parents.push_back(static_cast<int>(nearest));
+
+        if (env::dist(candidate, goal) <= params.goal_tolerance &&
+            ws.segmentFree(candidate, goal)) {
+            nodes.push_back(goal);
+            parents.push_back(static_cast<int>(nodes.size()) - 2);
+            goal_node = static_cast<int>(nodes.size()) - 1;
+            break;
+        }
+    }
+
+    if (goal_node < 0)
+        return std::nullopt;
+
+    RrtPath path;
+    path.iterations = iter + 1;
+    for (int idx = goal_node; idx >= 0;
+         idx = parents[static_cast<std::size_t>(idx)])
+        path.points.push_back(nodes[static_cast<std::size_t>(idx)]);
+    std::reverse(path.points.begin(), path.points.end());
+    path.length = pathLength(path.points);
+    return smoothPath(ws, path);
+}
+
+RrtPath
+smoothPath(const Workspace &ws, const RrtPath &path)
+{
+    if (path.points.size() <= 2)
+        return path;
+
+    RrtPath out;
+    out.iterations = path.iterations;
+    out.points.push_back(path.points.front());
+    std::size_t anchor = 0;
+    while (anchor + 1 < path.points.size()) {
+        // Greedily connect the anchor to the farthest visible point.
+        std::size_t best = anchor + 1;
+        for (std::size_t j = path.points.size() - 1; j > anchor + 1; --j) {
+            if (ws.segmentFree(path.points[anchor], path.points[j])) {
+                best = j;
+                break;
+            }
+        }
+        out.points.push_back(path.points[best]);
+        anchor = best;
+    }
+    out.length = pathLength(out.points);
+    return out;
+}
+
+} // namespace ebs::plan

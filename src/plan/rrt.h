@@ -1,0 +1,70 @@
+#ifndef EBS_PLAN_RRT_H
+#define EBS_PLAN_RRT_H
+
+#include <optional>
+#include <vector>
+
+#include "env/geom.h"
+#include "sim/rng.h"
+
+namespace ebs::plan {
+
+/** Circular obstacle in the continuous workspace. */
+struct CircleObstacle
+{
+    env::Vec2d center;
+    double radius = 0.0;
+};
+
+/** Continuous workspace for RRT queries: an axis-aligned box + obstacles. */
+struct Workspace
+{
+    double min_x = 0.0, min_y = 0.0;
+    double max_x = 1.0, max_y = 1.0;
+    std::vector<CircleObstacle> obstacles;
+
+    /** True if a point is inside the box and outside every obstacle. */
+    bool free(const env::Vec2d &p) const;
+
+    /** True if the straight segment a-b stays collision-free (sampled). */
+    bool segmentFree(const env::Vec2d &a, const env::Vec2d &b,
+                     double step = 0.01) const;
+};
+
+/** Tuning parameters for RRT. */
+struct RrtParams
+{
+    int max_iterations = 4000;
+    double step_size = 0.05;      ///< extension length per iteration
+    double goal_bias = 0.10;      ///< probability of sampling the goal
+    double goal_tolerance = 0.03; ///< arrival radius around the goal
+};
+
+/** A continuous path with its length. */
+struct RrtPath
+{
+    std::vector<env::Vec2d> points; ///< start..goal inclusive
+    double length = 0.0;
+    int iterations = 0; ///< tree extensions performed (compute cost proxy)
+};
+
+/**
+ * Rapidly-exploring Random Tree planner in a 2-D workspace with circular
+ * obstacles, with greedy shortcut smoothing.
+ *
+ * Substitutes the RRT low-level controllers of RoCo / COHERENT; its
+ * iteration count feeds the execution-latency model, so harder scenes
+ * genuinely cost more.
+ *
+ * @return nullopt when no path is found within max_iterations.
+ */
+std::optional<RrtPath> rrtPlan(const Workspace &ws, const env::Vec2d &start,
+                               const env::Vec2d &goal, sim::Rng &rng,
+                               const RrtParams &params = {});
+
+/** Greedy shortcut smoothing of a piecewise-linear path. */
+RrtPath smoothPath(const Workspace &ws, const RrtPath &path);
+
+} // namespace ebs::plan
+
+#endif // EBS_PLAN_RRT_H

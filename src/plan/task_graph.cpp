@@ -1,0 +1,65 @@
+#include "plan/task_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ebs::plan {
+
+int
+TaskGraph::add(std::string name, std::vector<int> deps)
+{
+    const int id = static_cast<int>(nodes_.size());
+    for ([[maybe_unused]] int dep : deps)
+        assert(dep >= 0 && dep < id && "dependencies must pre-exist");
+    nodes_.push_back({id, std::move(name), std::move(deps), false});
+    return id;
+}
+
+const TaskGraph::Node &
+TaskGraph::node(int id) const
+{
+    assert(id >= 0 && id < static_cast<int>(nodes_.size()));
+    return nodes_[static_cast<std::size_t>(id)];
+}
+
+void
+TaskGraph::markDone(int id)
+{
+    assert(id >= 0 && id < static_cast<int>(nodes_.size()));
+    nodes_[static_cast<std::size_t>(id)].done = true;
+}
+
+bool
+TaskGraph::allDone() const
+{
+    return std::all_of(nodes_.begin(), nodes_.end(),
+                       [](const Node &n) { return n.done; });
+}
+
+std::vector<int>
+TaskGraph::ready() const
+{
+    std::vector<int> out;
+    for (const auto &n : nodes_) {
+        if (n.done)
+            continue;
+        const bool deps_done =
+            std::all_of(n.deps.begin(), n.deps.end(),
+                        [&](int d) { return node(d).done; });
+        if (deps_done)
+            out.push_back(n.id);
+    }
+    return out;
+}
+
+int
+TaskGraph::depth(int id) const
+{
+    const Node &n = node(id);
+    int best = 0;
+    for (int dep : n.deps)
+        best = std::max(best, depth(dep));
+    return best + 1;
+}
+
+} // namespace ebs::plan

@@ -1,0 +1,56 @@
+#ifndef EBS_PLAN_TASK_GRAPH_H
+#define EBS_PLAN_TASK_GRAPH_H
+
+#include <string>
+#include <vector>
+
+namespace ebs::plan {
+
+/**
+ * Dependency DAG over named subtasks, used for crafting tech-trees
+ * (JARVIS-1 / DEPS "obtain diamond pickaxe" chains) and DEPS-style plan
+ * decomposition.
+ */
+class TaskGraph
+{
+  public:
+    /** One subtask node. */
+    struct Node
+    {
+        int id = -1;
+        std::string name;
+        std::vector<int> deps; ///< node ids that must complete first
+        bool done = false;
+    };
+
+    /**
+     * Add a node with dependencies (ids of previously added nodes).
+     * @return the new node's id.
+     */
+    int add(std::string name, std::vector<int> deps = {});
+
+    const Node &node(int id) const;
+    std::size_t size() const { return nodes_.size(); }
+
+    /** Mark a node complete. */
+    void markDone(int id);
+
+    bool done(int id) const { return node(id).done; }
+    bool allDone() const;
+
+    /** Ids of nodes whose dependencies are all done but are not yet done. */
+    std::vector<int> ready() const;
+
+    /**
+     * Depth of the longest dependency chain ending at `id` (1 for roots) —
+     * a measure of task-horizon used by difficulty scaling.
+     */
+    int depth(int id) const;
+
+  private:
+    std::vector<Node> nodes_;
+};
+
+} // namespace ebs::plan
+
+#endif // EBS_PLAN_TASK_GRAPH_H

@@ -1,0 +1,41 @@
+#ifndef EBS_SIM_CLOCK_H
+#define EBS_SIM_CLOCK_H
+
+#include <cassert>
+
+namespace ebs::sim {
+
+/**
+ * Virtual wall-clock for the simulation, in seconds.
+ *
+ * The simulator never sleeps: module latencies (LLM inference, perception,
+ * actuation, retrieval) advance this clock, and all reported latencies and
+ * end-to-end runtimes are read from it. Time is monotone non-decreasing.
+ */
+class SimClock
+{
+  public:
+    SimClock() = default;
+
+    /** Current simulated time in seconds since reset. */
+    double now() const { return now_; }
+
+    /** Advance by dt seconds (dt >= 0). Returns the new time. */
+    double
+    advance(double dt)
+    {
+        assert(dt >= 0.0);
+        now_ += dt;
+        return now_;
+    }
+
+    /** Reset to t = 0. */
+    void reset() { now_ = 0.0; }
+
+  private:
+    double now_ = 0.0;
+};
+
+} // namespace ebs::sim
+
+#endif // EBS_SIM_CLOCK_H

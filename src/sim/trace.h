@@ -1,0 +1,62 @@
+#ifndef EBS_SIM_TRACE_H
+#define EBS_SIM_TRACE_H
+
+#include <string>
+#include <vector>
+
+namespace ebs::sim {
+
+/** One timestamped event in a simulation trace. */
+struct TraceEvent
+{
+    double t = 0.0;       ///< simulated time, seconds
+    std::string category; ///< e.g. "llm", "action", "message"
+    std::string label;    ///< human-readable detail
+};
+
+/**
+ * Append-only event trace for debugging and for benches that need per-event
+ * series (e.g. token counts over time steps).
+ *
+ * Tracing is cheap but not free; it is disabled by default and enabled by
+ * episode runners only when a bench or test asks for it.
+ */
+class EventTrace
+{
+  public:
+    /** Enable or disable recording. Disabled traces drop events. */
+    void setEnabled(bool on) { enabled_ = on; }
+
+    bool enabled() const { return enabled_; }
+
+    /** Record one event if enabled. */
+    void
+    record(double t, std::string category, std::string label)
+    {
+        if (enabled_)
+            events_.push_back({t, std::move(category), std::move(label)});
+    }
+
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+    /** All events whose category matches exactly. */
+    std::vector<TraceEvent>
+    byCategory(const std::string &category) const
+    {
+        std::vector<TraceEvent> out;
+        for (const auto &e : events_)
+            if (e.category == category)
+                out.push_back(e);
+        return out;
+    }
+
+    void clear() { events_.clear(); }
+
+  private:
+    bool enabled_ = false;
+    std::vector<TraceEvent> events_;
+};
+
+} // namespace ebs::sim
+
+#endif // EBS_SIM_TRACE_H

@@ -1,0 +1,48 @@
+#include "stats/csv.h"
+
+#include <cassert>
+
+namespace ebs::stats {
+
+std::string
+csvEscape(const std::string &field)
+{
+    const bool needs_quote =
+        field.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quote)
+        return field;
+    std::string out = "\"";
+    for (char ch : field) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+CsvWriter::CsvWriter(std::ostream &os, const std::vector<std::string> &headers)
+    : os_(os), arity_(headers.size())
+{
+    writeRow(headers);
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &cells)
+{
+    assert(cells.size() == arity_);
+    writeRow(cells);
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0)
+            os_ << ',';
+        os_ << csvEscape(cells[i]);
+    }
+    os_ << '\n';
+}
+
+} // namespace ebs::stats

@@ -1,0 +1,35 @@
+#ifndef EBS_STATS_CSV_H
+#define EBS_STATS_CSV_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ebs::stats {
+
+/**
+ * Minimal CSV writer (RFC-4180 quoting) for exporting bench series so they
+ * can be plotted outside the harness.
+ */
+class CsvWriter
+{
+  public:
+    /** Write the header row to the stream. */
+    CsvWriter(std::ostream &os, const std::vector<std::string> &headers);
+
+    /** Write one data row; must match the header arity. */
+    void row(const std::vector<std::string> &cells);
+
+  private:
+    void writeRow(const std::vector<std::string> &cells);
+
+    std::ostream &os_;
+    std::size_t arity_;
+};
+
+/** Quote a CSV field if it contains separators, quotes, or newlines. */
+std::string csvEscape(const std::string &field);
+
+} // namespace ebs::stats
+
+#endif // EBS_STATS_CSV_H

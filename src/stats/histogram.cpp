@@ -1,0 +1,62 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace ebs::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0)
+{
+    assert(hi > lo);
+    assert(buckets >= 1);
+}
+
+void
+Histogram::add(double x)
+{
+    const double span = hi_ - lo_;
+    auto idx = static_cast<long>((x - lo_) / span *
+                                 static_cast<double>(counts_.size()));
+    idx = std::clamp<long>(idx, 0, static_cast<long>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+}
+
+double
+Histogram::bucketLo(std::size_t bucket) const
+{
+    const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + w * static_cast<double>(bucket);
+}
+
+double
+Histogram::bucketHi(std::size_t bucket) const
+{
+    const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + w * static_cast<double>(bucket + 1);
+}
+
+std::string
+Histogram::render(std::size_t width) const
+{
+    std::size_t max_count = 0;
+    for (std::size_t c : counts_)
+        max_count = std::max(max_count, c);
+
+    std::string out;
+    char line[160];
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const std::size_t bar =
+            max_count == 0 ? 0 : counts_[i] * width / max_count;
+        std::snprintf(line, sizeof(line), "[%8.2f, %8.2f) %6zu ",
+                      bucketLo(i), bucketHi(i), counts_[i]);
+        out += line;
+        out.append(bar, '#');
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace ebs::stats

@@ -1,0 +1,49 @@
+#ifndef EBS_STATS_HISTOGRAM_H
+#define EBS_STATS_HISTOGRAM_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ebs::stats {
+
+/**
+ * Fixed-range linear histogram. Samples below the range land in the first
+ * bucket, above it in the last, so counts are never dropped.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo       lower edge of the histogram range
+     * @param hi       upper edge (must be > lo)
+     * @param buckets  number of buckets (>= 1)
+     */
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    /** Add one sample. */
+    void add(double x);
+
+    std::size_t bucketCount() const { return counts_.size(); }
+    std::size_t count(std::size_t bucket) const { return counts_[bucket]; }
+    std::size_t totalCount() const { return total_; }
+
+    /** Inclusive lower edge of a bucket. */
+    double bucketLo(std::size_t bucket) const;
+
+    /** Exclusive upper edge of a bucket. */
+    double bucketHi(std::size_t bucket) const;
+
+    /** Render as a small ASCII bar chart (for bench/debug output). */
+    std::string render(std::size_t width = 40) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+} // namespace ebs::stats
+
+#endif // EBS_STATS_HISTOGRAM_H

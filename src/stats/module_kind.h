@@ -1,0 +1,53 @@
+#ifndef EBS_STATS_MODULE_KIND_H
+#define EBS_STATS_MODULE_KIND_H
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace ebs::stats {
+
+/**
+ * The six building blocks of an embodied agent (paper Sec. II-A), plus an
+ * Other bucket for overheads that belong to none of them.
+ *
+ * Latency accounting, ablation switches, and figure legends are all keyed by
+ * this enum, mirroring Fig. 1a / Fig. 2a of the paper.
+ */
+enum class ModuleKind : std::size_t
+{
+    Sensing = 0,
+    Planning,
+    Communication,
+    Memory,
+    Reflection,
+    Execution,
+    Other,
+};
+
+/** Number of ModuleKind values (for fixed-size per-module arrays). */
+inline constexpr std::size_t kNumModuleKinds = 7;
+
+/** Short display name, as used in figure legends. */
+constexpr std::string_view
+moduleKindName(ModuleKind kind)
+{
+    constexpr std::array<std::string_view, kNumModuleKinds> names = {
+        "Sensing", "Planning", "Communication", "Memory",
+        "Reflection", "Execution", "Other",
+    };
+    return names[static_cast<std::size_t>(kind)];
+}
+
+/** All kinds, in enum order, for iteration. */
+constexpr std::array<ModuleKind, kNumModuleKinds>
+allModuleKinds()
+{
+    return {ModuleKind::Sensing, ModuleKind::Planning,
+            ModuleKind::Communication, ModuleKind::Memory,
+            ModuleKind::Reflection, ModuleKind::Execution, ModuleKind::Other};
+}
+
+} // namespace ebs::stats
+
+#endif // EBS_STATS_MODULE_KIND_H

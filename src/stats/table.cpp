@@ -1,0 +1,71 @@
+#include "stats/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace ebs::stats {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    assert(!headers_.empty());
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    assert(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::pct(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row, std::string &out) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out += row[c];
+            out.append(widths[c] - row[c].size(), ' ');
+            if (c + 1 < row.size())
+                out += "  ";
+        }
+        out += '\n';
+    };
+
+    std::string out;
+    emit_row(headers_, out);
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+        out.append(widths[c], '-');
+        if (c + 1 < widths.size())
+            out += "  ";
+    }
+    out += '\n';
+    for (const auto &row : rows_)
+        emit_row(row, out);
+    return out;
+}
+
+} // namespace ebs::stats

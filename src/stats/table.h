@@ -1,0 +1,40 @@
+#ifndef EBS_STATS_TABLE_H
+#define EBS_STATS_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace ebs::stats {
+
+/**
+ * Simple aligned ASCII table writer used by the benchmark harness to print
+ * the rows/series of the paper's tables and figures.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have the same arity as the headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with the given precision. */
+    static std::string num(double v, int precision = 2);
+
+    /** Convenience: format a percentage ("42.0%"). */
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Render the full table, padded and with a header separator. */
+    std::string render() const;
+
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace ebs::stats
+
+#endif // EBS_STATS_TABLE_H

@@ -1,0 +1,102 @@
+#ifndef EBS_WORKLOADS_CALIBRATION_H
+#define EBS_WORKLOADS_CALIBRATION_H
+
+#include <memory>
+
+#include "core/config.h"
+#include "env/env.h"
+#include "sim/rng.h"
+
+namespace ebs::workloads {
+
+/**
+ * @file
+ * Shared calibration helpers for the 14 workload specs.
+ *
+ * Constants here are eyeballed from the paper's Fig. 2 (per-step module
+ * latency shares and 10-40 min totals), Table II (which model backs which
+ * module), and the hardware setup of Sec. III-E (GPT-4 over the OpenAI
+ * API; local models on an A6000; action execution on an i7 CPU). The
+ * reproduction target is the *shape* of every figure, not absolute
+ * seconds.
+ */
+
+/** Perception latency presets, per Table II sensing backends. */
+inline sim::LatencyDist
+sensingVit()
+{
+    return {0.55, 0.25}; // ViT / OWL-ViT on A6000
+}
+
+inline sim::LatencyDist
+sensingMaskRcnn()
+{
+    return {0.85, 0.25}; // Mask R-CNN is heavier
+}
+
+inline sim::LatencyDist
+sensingMineClip()
+{
+    return {0.45, 0.25};
+}
+
+inline sim::LatencyDist
+sensingSymbolic()
+{
+    return {0.05, 0.2}; // symbolic game info, nearly free
+}
+
+inline sim::LatencyDist
+sensingPointCloud()
+{
+    return {0.70, 0.30}; // LiDAR point-cloud pipeline
+}
+
+inline sim::LatencyDist
+sensingDino()
+{
+    return {0.60, 0.25};
+}
+
+inline sim::LatencyDist
+sensingVild()
+{
+    return {0.50, 0.25};
+}
+
+inline sim::LatencyDist
+sensingDiffusion()
+{
+    return {2.4, 0.30}; // COMBO's diffusion world-model reconstruction
+}
+
+/** Non-LLM reflection (DEPS uses CLIP scoring): fast, decent accuracy. */
+inline llm::ModelProfile
+clipReflector()
+{
+    llm::ModelProfile p;
+    p.name = "CLIP (local)";
+    p.remote = false;
+    p.prefill_tok_per_s = 20000;
+    p.decode_tok_per_s = 4000; // effectively instant scoring
+    p.context_limit = 2048;
+    p.plan_quality = 0.3;
+    p.comm_quality = 0.3;
+    p.reflect_quality = 0.78;
+    p.format_compliance = 1.0;
+    return p;
+}
+
+/** Default memory window used by memory-equipped workloads. */
+inline memory::MemoryModule::Config
+defaultMemory()
+{
+    memory::MemoryModule::Config cfg;
+    cfg.enabled = true;
+    cfg.capacity_steps = 40;
+    return cfg;
+}
+
+} // namespace ebs::workloads
+
+#endif // EBS_WORKLOADS_CALIBRATION_H

@@ -1,0 +1,98 @@
+#include "workloads/workload.h"
+
+#include <cassert>
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ebs::workloads {
+
+const char *
+paradigmName(Paradigm paradigm)
+{
+    switch (paradigm) {
+      case Paradigm::SingleModular:
+        return "Single-Agent Modularized";
+      case Paradigm::MultiCentralized:
+        return "Multi-Agent Centralized";
+      case Paradigm::MultiDecentralized:
+        return "Multi-Agent Decentralized";
+    }
+    return "?";
+}
+
+core::EpisodeResult
+WorkloadSpec::run(env::Difficulty difficulty,
+                  const core::EpisodeOptions &options, int n_agents) const
+{
+    return runWithConfig(config, difficulty, options, n_agents);
+}
+
+core::EpisodeResult
+WorkloadSpec::runWithConfig(const core::AgentConfig &config_override,
+                            env::Difficulty difficulty,
+                            const core::EpisodeOptions &options,
+                            int n_agents) const
+{
+    int agents = n_agents > 0 ? n_agents : default_agents;
+    if (paradigm == Paradigm::SingleModular)
+        agents = 1;
+
+    sim::Rng env_rng = sim::Rng(options.seed).fork(7);
+    auto environment = make_env(difficulty, agents, env_rng);
+    assert(environment != nullptr);
+
+    core::EpisodeOptions effective = options;
+    if (effective.max_steps_override <= 0 && step_budget_factor < 1.0) {
+        effective.max_steps_override = std::max(
+            5, static_cast<int>(environment->task().maxSteps() *
+                                step_budget_factor));
+    }
+
+    switch (paradigm) {
+      case Paradigm::SingleModular:
+        return core::runSingleAgent(*environment, config_override, effective);
+      case Paradigm::MultiCentralized:
+        return core::runCentralized(*environment, config_override, effective);
+      case Paradigm::MultiDecentralized:
+        return core::runDecentralized(*environment, config_override,
+                                      effective);
+    }
+    return {};
+}
+
+const std::vector<WorkloadSpec> &
+suite()
+{
+    static const std::vector<WorkloadSpec> kSuite = [] {
+        std::vector<WorkloadSpec> all;
+        all.push_back(makeEmbodiedGpt());
+        all.push_back(makeJarvis1());
+        all.push_back(makeDaduE());
+        all.push_back(makeMp5());
+        all.push_back(makeDeps());
+        all.push_back(makeMindAgent());
+        all.push_back(makeOla());
+        all.push_back(makeCoherent());
+        all.push_back(makeCmas());
+        all.push_back(makeCoela());
+        all.push_back(makeCombo());
+        all.push_back(makeRoco());
+        all.push_back(makeDmas());
+        all.push_back(makeHmas());
+        return all;
+    }();
+    return kSuite;
+}
+
+const WorkloadSpec &
+workload(const std::string &name)
+{
+    for (const auto &spec : suite())
+        if (spec.name == name)
+            return spec;
+    std::fprintf(stderr, "unknown workload: %s\n", name.c_str());
+    std::abort();
+}
+
+} // namespace ebs::workloads

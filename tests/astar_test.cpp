@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "env/grid.h"
+#include "plan/astar.h"
+
+namespace ebs::plan {
+namespace {
+
+using env::GridMap;
+using env::Vec2i;
+
+TEST(AStar, TrivialSameCell)
+{
+    GridMap g(5, 5);
+    const auto path = aStar(g, {2, 2}, {2, 2});
+    ASSERT_TRUE(path.has_value());
+    EXPECT_DOUBLE_EQ(path->cost, 0.0);
+    EXPECT_EQ(path->cells.size(), 1u);
+}
+
+TEST(AStar, StraightLineIsManhattan)
+{
+    GridMap g(10, 10);
+    const auto path = aStar(g, {1, 1}, {6, 1});
+    ASSERT_TRUE(path.has_value());
+    EXPECT_DOUBLE_EQ(path->cost, 5.0);
+    EXPECT_EQ(path->cells.front(), (Vec2i{1, 1}));
+    EXPECT_EQ(path->cells.back(), (Vec2i{6, 1}));
+}
+
+TEST(AStar, OptimalOnOpenGrid)
+{
+    GridMap g(20, 20);
+    const auto path = aStar(g, {0, 0}, {7, 9});
+    ASSERT_TRUE(path.has_value());
+    EXPECT_DOUBLE_EQ(path->cost, 16.0); // Manhattan distance, no obstacles
+}
+
+TEST(AStar, RoutesAroundWall)
+{
+    GridMap g(7, 7);
+    for (int y = 0; y < 6; ++y)
+        g.setWalkable({3, y}, false); // wall with a gap at y=6
+    const auto path = aStar(g, {1, 0}, {5, 0});
+    ASSERT_TRUE(path.has_value());
+    EXPECT_GT(path->cost, 4.0);
+    // Every step is unit-length and walkable.
+    for (std::size_t i = 1; i < path->cells.size(); ++i) {
+        EXPECT_EQ(env::manhattan(path->cells[i - 1], path->cells[i]), 1);
+        EXPECT_TRUE(g.walkable(path->cells[i]));
+    }
+}
+
+TEST(AStar, UnreachableReturnsNullopt)
+{
+    GridMap g(7, 7);
+    for (int y = 0; y < 7; ++y)
+        g.setWalkable({3, y}, false); // full wall
+    EXPECT_FALSE(aStar(g, {1, 1}, {5, 1}).has_value());
+}
+
+TEST(AStar, StartOnWallFails)
+{
+    GridMap g(5, 5);
+    g.setWalkable({1, 1}, false);
+    EXPECT_FALSE(aStar(g, {1, 1}, {3, 3}).has_value());
+}
+
+TEST(AStar, OutOfBoundsFails)
+{
+    GridMap g(5, 5);
+    EXPECT_FALSE(aStar(g, {0, 0}, {9, 9}).has_value());
+    EXPECT_FALSE(aStar(g, {-1, 0}, {2, 2}).has_value());
+}
+
+TEST(AStar, AdjacentOkStopsNextToGoal)
+{
+    GridMap g(8, 8);
+    const auto path = aStar(g, {0, 0}, {5, 5}, /*adjacent_ok=*/true);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_LE(env::chebyshev(path->cells.back(), {5, 5}), 1);
+    EXPECT_LT(path->cost, 10.0);
+}
+
+TEST(AStar, AdjacentOkReachesUnwalkableGoal)
+{
+    GridMap g(8, 8);
+    g.setWalkable({5, 5}, false); // object on furniture
+    EXPECT_FALSE(aStar(g, {0, 0}, {5, 5}).has_value());
+    const auto path = aStar(g, {0, 0}, {5, 5}, /*adjacent_ok=*/true);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_LE(env::chebyshev(path->cells.back(), {5, 5}), 1);
+}
+
+TEST(AStar, BlockedCellsAvoided)
+{
+    GridMap g(5, 3);
+    // Corridor at y=1 only.
+    for (int x = 0; x < 5; ++x) {
+        g.setWalkable({x, 0}, false);
+        g.setWalkable({x, 2}, false);
+    }
+    const std::vector<Vec2i> blocked = {{2, 1}};
+    EXPECT_TRUE(aStar(g, {0, 1}, {4, 1}).has_value());
+    EXPECT_FALSE(aStar(g, {0, 1}, {4, 1}, false, &blocked).has_value());
+}
+
+TEST(AStar, BlockedDetourTaken)
+{
+    GridMap g(5, 5);
+    const std::vector<Vec2i> blocked = {{2, 2}};
+    const auto direct = aStar(g, {0, 2}, {4, 2});
+    const auto detour = aStar(g, {0, 2}, {4, 2}, false, &blocked);
+    ASSERT_TRUE(direct.has_value());
+    ASSERT_TRUE(detour.has_value());
+    EXPECT_GE(detour->cost, direct->cost);
+    for (const auto &cell : detour->cells)
+        EXPECT_FALSE(cell == (Vec2i{2, 2}));
+}
+
+TEST(AStar, ExpansionCounterPopulated)
+{
+    GridMap g(30, 30);
+    ASSERT_TRUE(aStar(g, {0, 0}, {29, 29}).has_value());
+    EXPECT_GT(aStarLastExpanded(), 0u);
+}
+
+TEST(AStar, ApartmentCrossRoomPath)
+{
+    const GridMap g = GridMap::apartment(3, 3, 6, 6);
+    const auto path = aStar(g, {1, 1}, {g.width() - 2, g.height() - 2});
+    ASSERT_TRUE(path.has_value());
+    EXPECT_GT(path->cost, 0.0);
+}
+
+/** Property: A* cost equals Manhattan distance on an empty grid, for a
+ * sweep of endpoints. */
+class AStarManhattanSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(AStarManhattanSweep, CostIsManhattan)
+{
+    const auto [gx, gy] = GetParam();
+    GridMap g(25, 25);
+    const auto path = aStar(g, {3, 4}, {gx, gy});
+    ASSERT_TRUE(path.has_value());
+    EXPECT_DOUBLE_EQ(path->cost, env::manhattan({3, 4}, {gx, gy}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Endpoints, AStarManhattanSweep,
+                         ::testing::Combine(::testing::Values(0, 7, 12, 24),
+                                            ::testing::Values(0, 9, 24)));
+
+} // namespace
+} // namespace ebs::plan

@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include "core/coordinator.h"
+#include "envs/boxnet_env.h"
+#include "envs/household_env.h"
+#include "envs/transport_env.h"
+
+namespace ebs::core {
+namespace {
+
+AgentConfig
+goodConfig()
+{
+    AgentConfig config;
+    config.planner_model.plan_quality = 1.0;
+    config.planner_model.format_compliance = 1.0;
+    config.reflect_model.reflect_quality = 1.0;
+    config.reflect_model.format_compliance = 1.0;
+    return config;
+}
+
+TEST(SingleAgent, PerfectPlannerSolvesEasyTransport)
+{
+    envs::TransportEnv environment(env::Difficulty::Easy, 1, sim::Rng(3));
+    EpisodeOptions options;
+    options.seed = 3;
+    const auto result =
+        runSingleAgent(environment, goodConfig(), options);
+    EXPECT_TRUE(result.success);
+    EXPECT_GT(result.steps, 0);
+    EXPECT_LE(result.steps, environment.task().maxSteps());
+    EXPECT_DOUBLE_EQ(result.final_progress, 1.0);
+    EXPECT_GT(result.sim_seconds, 0.0);
+    EXPECT_GT(result.llm.calls, 0u);
+}
+
+TEST(SingleAgent, DeterministicForSameSeed)
+{
+    EpisodeOptions options;
+    options.seed = 11;
+    envs::TransportEnv env_a(env::Difficulty::Easy, 1,
+                             sim::Rng(options.seed).fork(7));
+    envs::TransportEnv env_b(env::Difficulty::Easy, 1,
+                             sim::Rng(options.seed).fork(7));
+    const auto a = runSingleAgent(env_a, goodConfig(), options);
+    const auto b = runSingleAgent(env_b, goodConfig(), options);
+    EXPECT_EQ(a.steps, b.steps);
+    EXPECT_DOUBLE_EQ(a.sim_seconds, b.sim_seconds);
+    EXPECT_EQ(a.llm.tokens_in, b.llm.tokens_in);
+}
+
+TEST(SingleAgent, SimTimeEqualsRecorderTotalWhenSequential)
+{
+    envs::TransportEnv environment(env::Difficulty::Easy, 1, sim::Rng(5));
+    EpisodeOptions options;
+    options.seed = 5;
+    const auto result = runSingleAgent(environment, goodConfig(), options);
+    EXPECT_NEAR(result.sim_seconds, result.latency.grandTotal(), 1e-6);
+}
+
+TEST(SingleAgent, MaxStepsOverrideCapsEpisode)
+{
+    envs::TransportEnv environment(env::Difficulty::Hard, 1, sim::Rng(7));
+    EpisodeOptions options;
+    options.seed = 7;
+    options.max_steps_override = 3;
+    AgentConfig config = goodConfig();
+    config.planner_model.plan_quality = 0.0; // wander forever
+    const auto result = runSingleAgent(environment, config, options);
+    EXPECT_FALSE(result.success);
+    EXPECT_EQ(result.steps, 3);
+}
+
+TEST(SingleAgent, TokenSeriesRecordedOnRequest)
+{
+    envs::TransportEnv environment(env::Difficulty::Easy, 1, sim::Rng(9));
+    EpisodeOptions options;
+    options.seed = 9;
+    options.record_tokens = true;
+    const auto result = runSingleAgent(environment, goodConfig(), options);
+    ASSERT_FALSE(result.token_series.empty());
+    for (const auto &sample : result.token_series)
+        EXPECT_GE(sample.plan_tokens, 0);
+}
+
+TEST(SingleAgent, PlanEveryKSkipsLlmCalls)
+{
+    EpisodeOptions options;
+    options.seed = 13;
+    envs::TransportEnv env_a(env::Difficulty::Easy, 1,
+                             sim::Rng(options.seed).fork(7));
+    const auto base = runSingleAgent(env_a, goodConfig(), options);
+
+    options.pipeline.plan_every_k = 3;
+    envs::TransportEnv env_b(env::Difficulty::Easy, 1,
+                             sim::Rng(options.seed).fork(7));
+    const auto guided = runSingleAgent(env_b, goodConfig(), options);
+
+    EXPECT_TRUE(guided.success);
+    // Rec. 7: multi-step execution needs fewer planner invocations.
+    EXPECT_LT(static_cast<double>(guided.llm.calls) /
+                  std::max(1, guided.steps),
+              static_cast<double>(base.llm.calls) / std::max(1, base.steps));
+}
+
+TEST(Centralized, SolvesHouseholdWithPerfectPlanner)
+{
+    envs::HouseholdEnv environment(env::Difficulty::Easy, 3, sim::Rng(15));
+    EpisodeOptions options;
+    options.seed = 15;
+    AgentConfig config = goodConfig();
+    config.has_sensing = false;
+    config.has_communication = true;
+    const auto result = runCentralized(environment, config, options);
+    EXPECT_TRUE(result.success);
+    EXPECT_GT(result.messages_generated, 0);
+    // The central planner and instruction broadcast both charge latency.
+    EXPECT_GT(result.latency.total(stats::ModuleKind::Planning), 0.0);
+    EXPECT_GT(result.latency.total(stats::ModuleKind::Communication), 0.0);
+}
+
+TEST(Centralized, DeterministicForSameSeed)
+{
+    EpisodeOptions options;
+    options.seed = 17;
+    AgentConfig config = goodConfig();
+    config.has_communication = true;
+    envs::BoxNetEnv env_a(env::Difficulty::Easy, 2,
+                          sim::Rng(options.seed).fork(7));
+    envs::BoxNetEnv env_b(env::Difficulty::Easy, 2,
+                          sim::Rng(options.seed).fork(7));
+    const auto a = runCentralized(env_a, config, options);
+    const auto b = runCentralized(env_b, config, options);
+    EXPECT_EQ(a.steps, b.steps);
+    EXPECT_DOUBLE_EQ(a.sim_seconds, b.sim_seconds);
+}
+
+TEST(Decentralized, SolvesTransportWithDialogue)
+{
+    envs::TransportEnv environment(env::Difficulty::Easy, 2, sim::Rng(19));
+    EpisodeOptions options;
+    options.seed = 19;
+    AgentConfig config = goodConfig();
+    config.has_communication = true;
+    const auto result = runDecentralized(environment, config, options);
+    EXPECT_TRUE(result.success);
+    EXPECT_GT(result.messages_generated, 0);
+    EXPECT_LE(result.messages_useful, result.messages_generated);
+}
+
+TEST(Decentralized, MessageUtilityMatchesPaperObservation)
+{
+    envs::TransportEnv environment(env::Difficulty::Medium, 2,
+                                   sim::Rng(21));
+    EpisodeOptions options;
+    options.seed = 21;
+    AgentConfig config = goodConfig();
+    config.has_communication = true;
+    config.comm_model.comm_quality = 1.0;
+    config.comm_model.format_compliance = 1.0;
+    config.message_utility = 0.2;
+    const auto result = runDecentralized(environment, config, options);
+    ASSERT_GT(result.messages_generated, 20);
+    const double utility = static_cast<double>(result.messages_useful) /
+                           result.messages_generated;
+    EXPECT_NEAR(utility, 0.2, 0.12); // ~20% of messages matter
+}
+
+TEST(Decentralized, CommOnDemandCutsMessageVolume)
+{
+    EpisodeOptions options;
+    options.seed = 23;
+    AgentConfig config = goodConfig();
+    config.has_communication = true;
+
+    envs::TransportEnv env_a(env::Difficulty::Easy, 2,
+                             sim::Rng(options.seed).fork(7));
+    const auto pre = runDecentralized(env_a, config, options);
+
+    options.pipeline.comm_on_demand = true;
+    envs::TransportEnv env_b(env::Difficulty::Easy, 2,
+                             sim::Rng(options.seed).fork(7));
+    const auto on_demand = runDecentralized(env_b, config, options);
+
+    ASSERT_GT(pre.steps, 0);
+    ASSERT_GT(on_demand.steps, 0);
+    EXPECT_LT(static_cast<double>(on_demand.messages_generated) /
+                  on_demand.steps,
+              static_cast<double>(pre.messages_generated) / pre.steps);
+}
+
+TEST(Decentralized, ParallelAgentsShortenWallClock)
+{
+    EpisodeOptions options;
+    options.seed = 25;
+    AgentConfig config = goodConfig();
+    config.has_communication = true;
+
+    envs::TransportEnv env_a(env::Difficulty::Easy, 3,
+                             sim::Rng(options.seed).fork(7));
+    const auto sequential = runDecentralized(env_a, config, options);
+
+    options.pipeline.parallel_agents = true;
+    envs::TransportEnv env_b(env::Difficulty::Easy, 3,
+                             sim::Rng(options.seed).fork(7));
+    const auto parallel = runDecentralized(env_b, config, options);
+
+    EXPECT_LT(parallel.secondsPerStep(), sequential.secondsPerStep());
+    // Work done (recorder totals) stays comparable; only makespan shrinks.
+    EXPECT_LT(parallel.sim_seconds, parallel.latency.grandTotal());
+}
+
+TEST(Hierarchical, SolvesTransportWithClusters)
+{
+    envs::TransportEnv environment(env::Difficulty::Easy, 6, sim::Rng(29));
+    EpisodeOptions options;
+    options.seed = 29;
+    AgentConfig config = goodConfig();
+    config.has_communication = true;
+    const auto result =
+        runHierarchical(environment, config, options, /*cluster_size=*/3);
+    EXPECT_TRUE(result.success);
+    EXPECT_GT(result.steps, 0);
+    EXPECT_GT(result.llm.calls, 0u);
+}
+
+TEST(Hierarchical, FewerLlmCallsThanDecentralizedAtScale)
+{
+    EpisodeOptions options;
+    options.seed = 31;
+    AgentConfig config = goodConfig();
+    config.has_communication = true;
+
+    envs::TransportEnv env_a(env::Difficulty::Easy, 8,
+                             sim::Rng(options.seed).fork(7));
+    const auto flat = runDecentralized(env_a, config, options);
+    envs::TransportEnv env_b(env::Difficulty::Easy, 8,
+                             sim::Rng(options.seed).fork(7));
+    const auto clustered = runHierarchical(env_b, config, options, 3);
+
+    ASSERT_GT(flat.steps, 0);
+    ASSERT_GT(clustered.steps, 0);
+    EXPECT_LT(static_cast<double>(clustered.llm.calls) / clustered.steps,
+              static_cast<double>(flat.llm.calls) / flat.steps);
+}
+
+TEST(Hierarchical, DegeneratesGracefully)
+{
+    // cluster_size >= n behaves like one centralized cluster.
+    envs::TransportEnv environment(env::Difficulty::Easy, 2, sim::Rng(33));
+    EpisodeOptions options;
+    options.seed = 33;
+    AgentConfig config = goodConfig();
+    const auto result =
+        runHierarchical(environment, config, options, /*cluster_size=*/10);
+    EXPECT_TRUE(result.success);
+}
+
+TEST(Decentralized, TokenSeriesCoversAllAgents)
+{
+    envs::TransportEnv environment(env::Difficulty::Easy, 2, sim::Rng(27));
+    EpisodeOptions options;
+    options.seed = 27;
+    options.record_tokens = true;
+    AgentConfig config = goodConfig();
+    config.has_communication = true;
+    const auto result = runDecentralized(environment, config, options);
+    bool agent0 = false, agent1 = false;
+    for (const auto &sample : result.token_series) {
+        agent0 |= sample.agent == 0;
+        agent1 |= sample.agent == 1;
+    }
+    EXPECT_TRUE(agent0);
+    EXPECT_TRUE(agent1);
+}
+
+} // namespace
+} // namespace ebs::core

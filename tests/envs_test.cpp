@@ -1,0 +1,585 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "envs/boxlift_env.h"
+#include "envs/boxnet_env.h"
+#include "envs/craft_env.h"
+#include "envs/household_env.h"
+#include "envs/kitchen_env.h"
+#include "envs/manipulation_env.h"
+#include "envs/transport_env.h"
+#include "envs/warehouse_env.h"
+#include "test_util.h"
+
+namespace ebs::envs {
+namespace {
+
+using env::Difficulty;
+
+// ---------------------------------------------------------------- transport
+
+TEST(TransportEnv, ConstructionAndTask)
+{
+    sim::Rng rng(1);
+    TransportEnv env(Difficulty::Medium, 2, rng);
+    EXPECT_EQ(env.domainName(), "transport");
+    EXPECT_EQ(env.goalCount(), 8);
+    EXPECT_EQ(env.world().agentCount(), 2);
+    EXPECT_EQ(env.deliveredCount(), 0);
+    EXPECT_FALSE(env.task().satisfied(env.world()));
+    EXPECT_DOUBLE_EQ(env.task().progress(env.world()), 0.0);
+}
+
+TEST(TransportEnv, OracleOffersPickupsWhenEmptyHanded)
+{
+    sim::Rng rng(2);
+    TransportEnv env(Difficulty::Easy, 1, rng);
+    const auto useful = env.usefulSubgoals(0);
+    ASSERT_FALSE(useful.empty());
+    for (const auto &sg : useful)
+        EXPECT_TRUE(sg.kind == env::SubgoalKind::PickUp ||
+                    sg.kind == env::SubgoalKind::TakeFrom);
+}
+
+TEST(TransportEnv, OracleDeliversWhenCarrying)
+{
+    sim::Rng rng(3);
+    TransportEnv env(Difficulty::Easy, 1, rng);
+    // Teleport-grab: directly mutate the world for the test.
+    env::ObjectId item = env::kNoObject;
+    for (const auto &obj : env.world().objects())
+        if (obj.kind == TransportEnv::kGoalItem && obj.loose())
+            item = obj.id;
+    ASSERT_NE(item, env::kNoObject);
+    env.world().agent(0).pos = env.world().object(item).pos;
+    env::Primitive pick;
+    pick.op = env::PrimOp::Pick;
+    pick.target = item;
+    ASSERT_TRUE(env.applyPrimitive(0, pick).ok);
+
+    const auto useful = env.usefulSubgoals(0);
+    ASSERT_EQ(useful.size(), 1u);
+    EXPECT_EQ(useful[0].kind, env::SubgoalKind::PutInto);
+    EXPECT_EQ(useful[0].dest_obj, env.goalZone());
+}
+
+TEST(TransportEnv, ValidIncludesExploreAndWait)
+{
+    sim::Rng rng(4);
+    TransportEnv env(Difficulty::Easy, 1, rng);
+    bool has_explore = false, has_wait = false;
+    for (const auto &sg : env.validSubgoals(0)) {
+        has_explore |= sg.kind == env::SubgoalKind::Explore;
+        has_wait |= sg.kind == env::SubgoalKind::Wait;
+    }
+    EXPECT_TRUE(has_explore);
+    EXPECT_TRUE(has_wait);
+}
+
+TEST(TransportEnv, ObservationIsRoomLocal)
+{
+    sim::Rng rng(5);
+    TransportEnv env(Difficulty::Medium, 1, rng);
+    const auto obs = env.observe(0, 0);
+    for (const auto &seen : obs.objects)
+        EXPECT_EQ(env.world().grid().room(seen.pos), obs.room);
+}
+
+TEST(TransportEnv, ClosedContainerContentsHidden)
+{
+    sim::Rng rng(6);
+    TransportEnv env(Difficulty::Hard, 1, rng);
+    // Find a hidden item and stand next to its container.
+    for (const auto &obj : env.world().objects()) {
+        if (obj.inside == env::kNoObject || obj.kind != TransportEnv::kGoalItem)
+            continue;
+        const auto &container = env.world().object(obj.inside);
+        if (!container.openable || container.open)
+            continue;
+        env.world().agent(0).pos = container.pos;
+        const auto obs = env.observe(0, 0);
+        for (const auto &seen : obs.objects)
+            EXPECT_NE(seen.id, obj.id);
+        return;
+    }
+    GTEST_SKIP() << "layout generated no hidden item";
+}
+
+// ------------------------------------------------------------------ kitchen
+
+TEST(KitchenEnv, StateMachineChopCookServe)
+{
+    sim::Rng rng(7);
+    KitchenEnv env(Difficulty::Easy, 1, rng);
+    env::ObjectId ing = env::kNoObject;
+    for (const auto &obj : env.world().objects())
+        if (obj.cls == env::ObjectClass::Item && obj.loose())
+            ing = obj.id;
+    ASSERT_NE(ing, env::kNoObject);
+
+    // Grab the ingredient.
+    env.world().agent(0).pos = env.world().object(ing).pos;
+    env::Primitive pick;
+    pick.op = env::PrimOp::Pick;
+    pick.target = ing;
+    ASSERT_TRUE(env.applyPrimitive(0, pick).ok);
+
+    // Chop at the board.
+    env.world().agent(0).pos = env.world().object(env.board()).pos;
+    env::Primitive chop;
+    chop.op = env::PrimOp::Chop;
+    chop.target = ing;
+    ASSERT_TRUE(env.applyPrimitive(0, chop).ok);
+    EXPECT_EQ(env.world().object(ing).state, KitchenEnv::kChopped);
+
+    // Cooking before chopping is rejected; chopping twice is rejected.
+    EXPECT_FALSE(env.applyPrimitive(0, chop).ok);
+
+    // Cook at the stove.
+    env.world().agent(0).pos = env.world().object(env.stove()).pos;
+    env::Primitive cook;
+    cook.op = env::PrimOp::Cook;
+    cook.target = ing;
+    ASSERT_TRUE(env.applyPrimitive(0, cook).ok);
+    EXPECT_EQ(env.world().object(ing).state, KitchenEnv::kCooked);
+
+    // Serve at the counter.
+    env.world().agent(0).pos = env.world().object(env.counter()).pos;
+    env::Primitive serve;
+    serve.op = env::PrimOp::PutIn;
+    serve.target = env.counter();
+    ASSERT_TRUE(env.applyPrimitive(0, serve).ok);
+    EXPECT_EQ(env.servedCount(), 1);
+    EXPECT_GT(env.task().progress(env.world()), 0.0);
+}
+
+TEST(KitchenEnv, ChopRequiresBoardProximity)
+{
+    sim::Rng rng(8);
+    KitchenEnv env(Difficulty::Easy, 1, rng);
+    env::ObjectId ing = env::kNoObject;
+    for (const auto &obj : env.world().objects())
+        if (obj.cls == env::ObjectClass::Item && obj.loose())
+            ing = obj.id;
+    env.world().agent(0).pos = env.world().object(ing).pos;
+    env::Primitive pick;
+    pick.op = env::PrimOp::Pick;
+    pick.target = ing;
+    ASSERT_TRUE(env.applyPrimitive(0, pick).ok);
+
+    // Stand far from the board.
+    env.world().agent(0).pos = env.roomAnchor(1);
+    env::Primitive chop;
+    chop.op = env::PrimOp::Chop;
+    chop.target = ing;
+    EXPECT_FALSE(env.applyPrimitive(0, chop).ok);
+}
+
+TEST(KitchenEnv, MisservedIngredientIsRecoverable)
+{
+    sim::Rng rng(9);
+    KitchenEnv env(Difficulty::Easy, 1, rng);
+    env::ObjectId ing = env::kNoObject;
+    for (const auto &obj : env.world().objects())
+        if (obj.cls == env::ObjectClass::Item && obj.loose())
+            ing = obj.id;
+    env.world().agent(0).pos = env.world().object(ing).pos;
+    env::Primitive pick;
+    pick.op = env::PrimOp::Pick;
+    pick.target = ing;
+    ASSERT_TRUE(env.applyPrimitive(0, pick).ok);
+    env.world().agent(0).pos = env.world().object(env.counter()).pos;
+    env::Primitive serve;
+    serve.op = env::PrimOp::PutIn;
+    serve.target = env.counter();
+    ASSERT_TRUE(env.applyPrimitive(0, serve).ok);
+    EXPECT_EQ(env.servedCount(), 0); // raw: does not count
+
+    // The oracle offers to take it back out.
+    bool offered = false;
+    for (const auto &sg : env.usefulSubgoals(0))
+        offered |= sg.kind == env::SubgoalKind::TakeFrom && sg.target == ing;
+    EXPECT_TRUE(offered);
+}
+
+// -------------------------------------------------------------------- craft
+
+TEST(CraftEnv, RecipeBookIsConsistent)
+{
+    for (const auto &recipe : CraftEnv::recipes()) {
+        EXPECT_GT(recipe.id, 0);
+        EXPECT_GT(recipe.output_count, 0);
+        EXPECT_FALSE(recipe.inputs.empty());
+    }
+}
+
+TEST(CraftEnv, MineRequiresAdjacencyAndTool)
+{
+    sim::Rng rng(10);
+    CraftEnv env(Difficulty::Hard, 1, rng);
+    env::ObjectId diamond = env::kNoObject;
+    env::ObjectId tree = env::kNoObject;
+    for (const auto &obj : env.world().objects()) {
+        if (obj.cls != env::ObjectClass::Resource)
+            continue;
+        if (obj.kind == CraftEnv::kDiamond)
+            diamond = obj.id;
+        if (obj.kind == CraftEnv::kWood)
+            tree = obj.id;
+    }
+    ASSERT_NE(diamond, env::kNoObject);
+    ASSERT_NE(tree, env::kNoObject);
+
+    // Far away fails.
+    env::Primitive mine;
+    mine.op = env::PrimOp::Mine;
+    mine.target = tree;
+    env.world().agent(0).pos = env.roomAnchor(8);
+    if (env::chebyshev(env.world().agent(0).pos,
+                       env.world().object(tree).pos) > 1) {
+        EXPECT_FALSE(env.applyPrimitive(0, mine).ok);
+    }
+
+    // Adjacent tree succeeds with bare hands.
+    env.world().agent(0).pos = env.world().object(tree).pos;
+    EXPECT_TRUE(env.applyPrimitive(0, mine).ok);
+    EXPECT_EQ(env.inventory(0, CraftEnv::kWood), 1);
+
+    // Diamond requires an iron pickaxe.
+    mine.target = diamond;
+    env.world().agent(0).pos = env.world().object(diamond).pos;
+    EXPECT_FALSE(env.applyPrimitive(0, mine).ok);
+}
+
+TEST(CraftEnv, CraftConsumesInputsAndYieldsOutput)
+{
+    sim::Rng rng(11);
+    CraftEnv env(Difficulty::Easy, 1, rng);
+    // Mine a tree until we hold 2 wood.
+    env::ObjectId tree = env::kNoObject;
+    for (const auto &obj : env.world().objects())
+        if (obj.cls == env::ObjectClass::Resource &&
+            obj.kind == CraftEnv::kWood)
+            tree = obj.id;
+    env.world().agent(0).pos = env.world().object(tree).pos;
+    env::Primitive mine;
+    mine.op = env::PrimOp::Mine;
+    mine.target = tree;
+    ASSERT_TRUE(env.applyPrimitive(0, mine).ok);
+    ASSERT_TRUE(env.applyPrimitive(0, mine).ok);
+
+    // Craft planks at the table (recipe 1).
+    env::ObjectId table = env::kNoObject;
+    for (const auto &obj : env.world().objects())
+        if (obj.cls == env::ObjectClass::Station && obj.kind == 0)
+            table = obj.id;
+    env.world().agent(0).pos = env.world().object(table).pos;
+    env::Primitive craft;
+    craft.op = env::PrimOp::Craft;
+    craft.target = table;
+    craft.param = 1;
+    ASSERT_TRUE(env.applyPrimitive(0, craft).ok);
+    EXPECT_EQ(env.inventory(0, CraftEnv::kWood), 1);
+    EXPECT_EQ(env.inventory(0, CraftEnv::kPlank), 2);
+
+    // Missing ingredients fail cleanly.
+    craft.param = 7; // diamond pickaxe
+    EXPECT_FALSE(env.applyPrimitive(0, craft).ok);
+}
+
+TEST(CraftEnv, NodeDepletes)
+{
+    sim::Rng rng(12);
+    CraftEnv env(Difficulty::Easy, 1, rng);
+    env::ObjectId tree = env::kNoObject;
+    for (const auto &obj : env.world().objects())
+        if (obj.cls == env::ObjectClass::Resource &&
+            obj.kind == CraftEnv::kWood)
+            tree = obj.id;
+    env.world().agent(0).pos = env.world().object(tree).pos;
+    env::Primitive mine;
+    mine.op = env::PrimOp::Mine;
+    mine.target = tree;
+    int mined = 0;
+    while (env.applyPrimitive(0, mine).ok)
+        ++mined;
+    EXPECT_EQ(mined, 3); // units per node
+    EXPECT_EQ(env.world().object(tree).state, 0);
+}
+
+TEST(CraftEnv, OracleReachesGoalThroughTechTree)
+{
+    sim::Rng rng(13);
+    CraftEnv env(Difficulty::Medium, 1, rng);
+    const int steps = test::oracleRollout(env, 300);
+    EXPECT_GT(steps, 0) << "oracle rollout failed to obtain the pickaxe";
+    EXPECT_TRUE(env.achieved().count(CraftEnv::kIronPick) > 0);
+}
+
+TEST(CraftEnv, ProgressTracksMilestones)
+{
+    sim::Rng rng(14);
+    CraftEnv env(Difficulty::Easy, 1, rng);
+    EXPECT_DOUBLE_EQ(env.task().progress(env.world()), 0.0);
+    env::ObjectId tree = env::kNoObject;
+    for (const auto &obj : env.world().objects())
+        if (obj.cls == env::ObjectClass::Resource &&
+            obj.kind == CraftEnv::kWood)
+            tree = obj.id;
+    env.world().agent(0).pos = env.world().object(tree).pos;
+    env::Primitive mine;
+    mine.op = env::PrimOp::Mine;
+    mine.target = tree;
+    ASSERT_TRUE(env.applyPrimitive(0, mine).ok);
+    EXPECT_DOUBLE_EQ(env.task().progress(env.world()), 0.25);
+}
+
+// ------------------------------------------------------------------ boxlift
+
+TEST(BoxLiftEnv, JointLiftRequiresEnoughAgents)
+{
+    sim::Rng rng(15);
+    BoxLiftEnv env(Difficulty::Easy, 3, rng); // crates weigh 2
+    env::ObjectId crate = env::kNoObject;
+    for (const auto &obj : env.world().objects())
+        if (obj.cls == env::ObjectClass::Item)
+            crate = obj.id;
+    ASSERT_NE(crate, env::kNoObject);
+
+    const env::Vec2i pos = env.world().object(crate).pos;
+    env.world().agent(0).pos = {pos.x + 1, pos.y};
+    env.world().agent(1).pos = {pos.x - 1, pos.y};
+
+    env.beginStep();
+    env::Primitive lift;
+    lift.op = env::PrimOp::Lift;
+    lift.target = crate;
+    ASSERT_TRUE(env.applyPrimitive(0, lift).ok);
+    EXPECT_EQ(env.liftedCount(), 0); // one lifter is not enough
+    EXPECT_EQ(env.votesOn(crate), 1);
+    ASSERT_TRUE(env.applyPrimitive(1, lift).ok);
+    EXPECT_EQ(env.liftedCount(), 1); // second lifter completes the lift
+}
+
+TEST(BoxLiftEnv, VotesClearEachStep)
+{
+    sim::Rng rng(16);
+    BoxLiftEnv env(Difficulty::Easy, 2, rng);
+    env::ObjectId crate = env::kNoObject;
+    for (const auto &obj : env.world().objects())
+        if (obj.cls == env::ObjectClass::Item)
+            crate = obj.id;
+    const env::Vec2i pos = env.world().object(crate).pos;
+    env.world().agent(0).pos = {pos.x + 1, pos.y};
+
+    env.beginStep();
+    env::Primitive lift;
+    lift.op = env::PrimOp::Lift;
+    lift.target = crate;
+    ASSERT_TRUE(env.applyPrimitive(0, lift).ok);
+    EXPECT_EQ(env.votesOn(crate), 1);
+    env.beginStep(); // next step: the uncompleted vote evaporates
+    EXPECT_EQ(env.votesOn(crate), 0);
+}
+
+TEST(BoxLiftEnv, WeightsClampedToTeamSize)
+{
+    sim::Rng rng(17);
+    BoxLiftEnv env(Difficulty::Hard, 2, rng); // hard has weight-3 crates
+    for (const auto &obj : env.world().objects())
+        if (obj.cls == env::ObjectClass::Item) {
+            EXPECT_LE(obj.weight, 2.0);
+        }
+}
+
+TEST(BoxLiftEnv, OracleConvergesAllAgentsOnOneCrate)
+{
+    sim::Rng rng(18);
+    BoxLiftEnv env(Difficulty::Medium, 3, rng);
+    const auto a0 = env.usefulSubgoals(0);
+    const auto a1 = env.usefulSubgoals(1);
+    ASSERT_EQ(a0.size(), 1u);
+    ASSERT_EQ(a1.size(), 1u);
+    EXPECT_EQ(a0[0].target, a1[0].target);
+    EXPECT_EQ(a0[0].kind, env::SubgoalKind::LiftWith);
+}
+
+// -------------------------------------------------------------------- boxnet
+
+TEST(BoxNetEnv, EveryBoxHasDistinctTargetZone)
+{
+    sim::Rng rng(19);
+    BoxNetEnv env(Difficulty::Medium, 2, rng);
+    EXPECT_EQ(env.boxCount(), 6);
+    for (const auto &obj : env.world().objects()) {
+        if (obj.cls != env::ObjectClass::Item)
+            continue;
+        const env::ObjectId target = env.targetOf(obj.id);
+        ASSERT_NE(target, env::kNoObject);
+        // Box starts outside its target zone.
+        EXPECT_NE(env.world().object(target).room, obj.room);
+    }
+}
+
+TEST(BoxNetEnv, TargetOfNonBoxIsNone)
+{
+    sim::Rng rng(20);
+    BoxNetEnv env(Difficulty::Easy, 1, rng);
+    // Target zones themselves have no target assignment.
+    for (const auto &obj : env.world().objects())
+        if (obj.cls == env::ObjectClass::Target) {
+            EXPECT_EQ(env.targetOf(obj.id), env::kNoObject);
+        }
+}
+
+// ----------------------------------------------------------------- warehouse
+
+TEST(WarehouseEnv, FloorHasShelvesAndIsConnected)
+{
+    sim::Rng rng(21);
+    WarehouseEnv env(Difficulty::Medium, 2, rng);
+    int walls = 0;
+    const auto &grid = env.world().grid();
+    for (int y = 1; y < grid.height() - 1; ++y)
+        for (int x = 1; x < grid.width() - 1; ++x)
+            walls += !grid.walkable({x, y});
+    EXPECT_GT(walls, 0) << "no shelf obstacles generated";
+    // Every package is reachable from the depot.
+    const env::Vec2i depot_pos = env.world().object(env.depot()).pos;
+    for (const auto &obj : env.world().objects()) {
+        if (obj.kind != WarehouseEnv::kPackage)
+            continue;
+        EXPECT_GE(env.motionCost(depot_pos, obj.pos, nullptr), 0.0);
+    }
+}
+
+// -------------------------------------------------------------- manipulation
+
+TEST(ManipulationEnv, RrtPricesMotion)
+{
+    sim::Rng rng(22);
+    ManipulationEnv env(Difficulty::Medium, 2, rng);
+    EXPECT_FALSE(env.workspace().obstacles.empty());
+    const long before = env.rrtIterations();
+    const double cost =
+        env.motionCost(env.world().agent(0).pos,
+                       env.world().agent(1).pos, nullptr);
+    if (cost > 0.0) {
+        EXPECT_GT(env.rrtIterations(), before);
+    }
+}
+
+TEST(ManipulationEnv, ObstaclesBlockGridCells)
+{
+    sim::Rng rng(23);
+    ManipulationEnv env(Difficulty::Hard, 2, rng);
+    const auto &grid = env.world().grid();
+    for (const auto &obs : env.workspace().obstacles) {
+        const env::Vec2i center{static_cast<int>(obs.center.x),
+                                static_cast<int>(obs.center.y)};
+        if (grid.inBounds(center)) {
+            EXPECT_FALSE(grid.walkable(center));
+        }
+    }
+}
+
+// -------------------------------------------------- cross-env property sweep
+
+struct EnvCase
+{
+    const char *name;
+    int agents;
+    std::unique_ptr<env::Environment> (*make)(Difficulty, int, sim::Rng);
+};
+
+template <typename T>
+std::unique_ptr<env::Environment>
+makeEnv(Difficulty d, int n, sim::Rng rng)
+{
+    return std::make_unique<T>(d, n, rng);
+}
+
+const EnvCase kEnvCases[] = {
+    {"transport", 2, &makeEnv<TransportEnv>},
+    {"kitchen", 2, &makeEnv<KitchenEnv>},
+    {"household", 2, &makeEnv<HouseholdEnv>},
+    {"craft", 1, &makeEnv<CraftEnv>},
+    {"boxnet", 2, &makeEnv<BoxNetEnv>},
+    {"warehouse", 2, &makeEnv<WarehouseEnv>},
+    {"boxlift", 3, &makeEnv<BoxLiftEnv>},
+    {"manipulation", 2, &makeEnv<ManipulationEnv>},
+};
+
+class AllEnvsSweep
+    : public ::testing::TestWithParam<std::tuple<int, Difficulty>>
+{
+};
+
+/** Property: the scripted oracle solves every environment at every
+ * difficulty well inside a generous step budget — i.e., all generated
+ * tasks are solvable and the oracles are coherent. */
+TEST_P(AllEnvsSweep, OracleSolvesTask)
+{
+    const auto [case_idx, difficulty] = GetParam();
+    const EnvCase &c = kEnvCases[case_idx];
+    auto environment = c.make(difficulty, c.agents, sim::Rng(31));
+    const int steps = test::oracleRollout(*environment, 500);
+    EXPECT_GT(steps, 0) << c.name << " unsolvable at difficulty "
+                        << static_cast<int>(difficulty);
+}
+
+/** Property: oracle subgoals always compile to feasible plans. */
+TEST_P(AllEnvsSweep, OracleSubgoalsCompile)
+{
+    const auto [case_idx, difficulty] = GetParam();
+    const EnvCase &c = kEnvCases[case_idx];
+    auto environment = c.make(difficulty, c.agents, sim::Rng(37));
+    for (int a = 0; a < environment->world().agentCount(); ++a) {
+        for (const auto &sg : environment->usefulSubgoals(a)) {
+            const auto compiled = plan::compileSubgoal(*environment, a, sg);
+            EXPECT_TRUE(compiled.feasible)
+                << c.name << ": " << sg.describe() << " -> "
+                << compiled.reason;
+        }
+    }
+}
+
+/** Property: useful subgoals are a subset of valid subgoals (oracle never
+ * proposes something the action space does not admit). */
+TEST_P(AllEnvsSweep, UsefulIsSubsetOfValid)
+{
+    const auto [case_idx, difficulty] = GetParam();
+    const EnvCase &c = kEnvCases[case_idx];
+    auto environment = c.make(difficulty, c.agents, sim::Rng(41));
+    for (int a = 0; a < environment->world().agentCount(); ++a) {
+        const auto valid = environment->validSubgoals(a);
+        for (const auto &sg : environment->usefulSubgoals(a)) {
+            const bool found =
+                std::find(valid.begin(), valid.end(), sg) != valid.end();
+            EXPECT_TRUE(found) << c.name << ": " << sg.describe();
+        }
+    }
+}
+
+/** Property: observations never leak other rooms' objects. */
+TEST_P(AllEnvsSweep, ObservationIsLocal)
+{
+    const auto [case_idx, difficulty] = GetParam();
+    const EnvCase &c = kEnvCases[case_idx];
+    auto environment = c.make(difficulty, c.agents, sim::Rng(43));
+    for (int a = 0; a < environment->world().agentCount(); ++a) {
+        const auto obs = environment->observe(a, 0);
+        for (const auto &seen : obs.objects)
+            EXPECT_EQ(environment->world().grid().room(seen.pos), obs.room);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AllEnvsSweep,
+    ::testing::Combine(::testing::Range(0, 8),
+                       ::testing::Values(Difficulty::Easy, Difficulty::Medium,
+                                         Difficulty::Hard)));
+
+} // namespace
+} // namespace ebs::envs

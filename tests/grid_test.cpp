@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <queue>
+#include <set>
+
+#include "env/grid.h"
+
+namespace ebs::env {
+namespace {
+
+TEST(GridMap, DefaultAllWalkableSingleRoom)
+{
+    GridMap g(4, 3);
+    EXPECT_EQ(g.width(), 4);
+    EXPECT_EQ(g.height(), 3);
+    EXPECT_EQ(g.roomCount(), 1);
+    for (int y = 0; y < 3; ++y)
+        for (int x = 0; x < 4; ++x) {
+            EXPECT_TRUE(g.walkable({x, y}));
+            EXPECT_EQ(g.room({x, y}), 0);
+        }
+}
+
+TEST(GridMap, BoundsChecks)
+{
+    GridMap g(4, 3);
+    EXPECT_FALSE(g.inBounds({-1, 0}));
+    EXPECT_FALSE(g.inBounds({4, 0}));
+    EXPECT_FALSE(g.inBounds({0, 3}));
+    EXPECT_FALSE(g.walkable({9, 9}));
+    EXPECT_EQ(g.room({9, 9}), -1);
+}
+
+TEST(GridMap, WallsBlockAndClearRoom)
+{
+    GridMap g(4, 4);
+    g.setWalkable({1, 1}, false);
+    EXPECT_FALSE(g.walkable({1, 1}));
+    EXPECT_EQ(g.room({1, 1}), -1);
+}
+
+TEST(GridMap, NeighborsExcludeWallsAndBounds)
+{
+    GridMap g(3, 3);
+    g.setWalkable({1, 0}, false);
+    const auto n = g.neighbors({0, 0});
+    // (1,0) is a wall; (0,1) remains; out-of-bounds excluded.
+    ASSERT_EQ(n.size(), 1u);
+    EXPECT_EQ(n[0], (Vec2i{0, 1}));
+}
+
+TEST(GridApartment, DimensionsAndRoomCount)
+{
+    const GridMap g = GridMap::apartment(3, 2, 5, 4);
+    EXPECT_EQ(g.width(), 3 * 6 + 1);
+    EXPECT_EQ(g.height(), 2 * 5 + 1);
+    EXPECT_EQ(g.roomCount(), 6);
+}
+
+TEST(GridApartment, BorderIsWall)
+{
+    const GridMap g = GridMap::apartment(2, 2, 4, 4);
+    for (int x = 0; x < g.width(); ++x) {
+        EXPECT_FALSE(g.walkable({x, 0}));
+        EXPECT_FALSE(g.walkable({x, g.height() - 1}));
+    }
+    for (int y = 0; y < g.height(); ++y) {
+        EXPECT_FALSE(g.walkable({0, y}));
+        EXPECT_FALSE(g.walkable({g.width() - 1, y}));
+    }
+}
+
+TEST(GridApartment, RoomInteriorsLabeledRowMajor)
+{
+    const GridMap g = GridMap::apartment(2, 2, 4, 4);
+    EXPECT_EQ(g.room({1, 1}), 0);
+    EXPECT_EQ(g.room({6, 1}), 1);
+    EXPECT_EQ(g.room({1, 6}), 2);
+    EXPECT_EQ(g.room({6, 6}), 3);
+}
+
+/** Flood fill over walkable cells. */
+std::size_t
+reachableFrom(const GridMap &g, const Vec2i &start)
+{
+    std::set<std::pair<int, int>> seen;
+    std::queue<Vec2i> queue;
+    queue.push(start);
+    seen.insert({start.x, start.y});
+    while (!queue.empty()) {
+        const Vec2i p = queue.front();
+        queue.pop();
+        for (const auto &q : g.neighbors(p))
+            if (seen.insert({q.x, q.y}).second)
+                queue.push(q);
+    }
+    return seen.size();
+}
+
+/** Property: every walkable cell of an apartment is mutually reachable —
+ * doorways connect all rooms. */
+class ApartmentConnectivity
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(ApartmentConnectivity, AllRoomsConnected)
+{
+    const auto [rx, ry] = GetParam();
+    const GridMap g = GridMap::apartment(rx, ry, 5, 5);
+
+    std::size_t walkable = 0;
+    Vec2i start{-1, -1};
+    for (int y = 0; y < g.height(); ++y)
+        for (int x = 0; x < g.width(); ++x)
+            if (g.walkable({x, y})) {
+                ++walkable;
+                if (start.x < 0)
+                    start = {x, y};
+            }
+    ASSERT_GT(walkable, 0u);
+    EXPECT_EQ(reachableFrom(g, start), walkable);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ApartmentConnectivity,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                                            ::testing::Values(1, 2, 3)));
+
+} // namespace
+} // namespace ebs::env

@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include "llm/engine.h"
+#include "llm/model_profile.h"
+#include "llm/prompt.h"
+#include "llm/token.h"
+#include "sim/rng.h"
+
+namespace ebs::llm {
+namespace {
+
+TEST(Token, EmptyIsZero)
+{
+    EXPECT_EQ(approxTokens(""), 0);
+}
+
+TEST(Token, ScalesWithLength)
+{
+    const int small = approxTokens("hello world");
+    const int big = approxTokens(
+        "the quick brown fox jumps over the lazy dog again and again");
+    EXPECT_GT(small, 0);
+    EXPECT_GT(big, small);
+}
+
+TEST(Token, RoughlyFourCharsPerToken)
+{
+    const std::string text(400, 'x');
+    EXPECT_EQ(approxTokens(text), 100);
+}
+
+TEST(Token, ListTokens)
+{
+    EXPECT_EQ(listTokens(5), 30);
+    EXPECT_EQ(listTokens(0), 0);
+    EXPECT_EQ(listTokens(-3), 0);
+    EXPECT_EQ(listTokens(4, 10), 40);
+}
+
+TEST(ModelProfile, PresetsAreOrderedByCapability)
+{
+    const auto gpt4 = ModelProfile::gpt4Api();
+    const auto l8 = ModelProfile::llama3_8bLocal();
+    const auto l70 = ModelProfile::llama70bLocal();
+    EXPECT_GT(gpt4.plan_quality, l70.plan_quality);
+    EXPECT_GT(l70.plan_quality, l8.plan_quality);
+    EXPECT_TRUE(gpt4.remote);
+    EXPECT_FALSE(l8.remote);
+    // Local models decode faster per token than the API model here (small
+    // models on a dedicated GPU).
+    EXPECT_GT(l8.decode_tok_per_s, gpt4.decode_tok_per_s);
+}
+
+TEST(ModelProfile, DilutionFactorMonotone)
+{
+    const auto p = ModelProfile::gpt4Api();
+    EXPECT_DOUBLE_EQ(p.dilutionFactor(0), 1.0);
+    EXPECT_DOUBLE_EQ(p.dilutionFactor(1000), 1.0);
+    const double mid = p.dilutionFactor(20000);
+    const double far = p.dilutionFactor(60000);
+    EXPECT_LT(mid, 1.0);
+    EXPECT_LT(far, mid);
+    EXPECT_GT(far, 0.0);
+}
+
+TEST(ModelProfile, QuantizedIsFasterSlightlyWorse)
+{
+    const auto base = ModelProfile::llama3_8bLocal();
+    const auto q = ModelProfile::quantized(base);
+    EXPECT_GT(q.decode_tok_per_s, base.decode_tok_per_s);
+    EXPECT_LT(q.plan_quality, base.plan_quality);
+    EXPECT_NE(q.name, base.name);
+}
+
+TEST(ModelProfile, LoraTuningClosesQualityGap)
+{
+    const auto base = ModelProfile::llama3_8bLocal();
+    const auto tuned = ModelProfile::loraTuned(base, 0.5);
+    EXPECT_NEAR(tuned.plan_quality,
+                base.plan_quality + 0.5 * (1.0 - base.plan_quality), 1e-9);
+    EXPECT_GT(tuned.comm_quality, base.comm_quality);
+    EXPECT_GT(tuned.format_compliance, base.format_compliance);
+    // Inference speed unchanged: LoRA adds negligible compute.
+    EXPECT_DOUBLE_EQ(tuned.decode_tok_per_s, base.decode_tok_per_s);
+    // Gain is clamped.
+    const auto maxed = ModelProfile::loraTuned(base, 5.0);
+    EXPECT_DOUBLE_EQ(maxed.plan_quality, 1.0);
+    const auto zero = ModelProfile::loraTuned(base, 0.0);
+    EXPECT_DOUBLE_EQ(zero.plan_quality, base.plan_quality);
+}
+
+TEST(Prompt, TokensSumAcrossSections)
+{
+    Prompt p;
+    p.addTokens("memory", 100);
+    p.addTokens("dialogue", 50);
+    p.addText("task", std::string(40, 'a')); // 10 tokens by chars
+    EXPECT_EQ(p.tokens(), 160);
+    EXPECT_EQ(p.sectionTokens("memory"), 100);
+    EXPECT_EQ(p.sectionTokens("missing"), 0);
+}
+
+TEST(Prompt, RenderMentionsSections)
+{
+    Prompt p;
+    p.addText("task", "do the thing");
+    p.addTokens("memory", 12);
+    const std::string out = p.render();
+    EXPECT_NE(out.find("## task"), std::string::npos);
+    EXPECT_NE(out.find("do the thing"), std::string::npos);
+    EXPECT_NE(out.find("[12 tokens]"), std::string::npos);
+}
+
+TEST(Prompt, CompressionScalesTargetSectionsOnly)
+{
+    Prompt p;
+    p.addTokens("memory", 200);
+    p.addTokens("task", 100);
+    const Prompt c = p.compressed({"memory"}, 0.25);
+    EXPECT_EQ(c.tokens(), 50 + 100);
+}
+
+TEST(LlmEngine, LatencyCompositionRemote)
+{
+    const auto profile = ModelProfile::gpt4Api();
+    LlmEngine engine(profile, sim::Rng(1));
+    LlmRequest req;
+    req.tokens_in = 5000;
+    req.tokens_out_mean = 110;
+    const double expected = engine.expectedLatency(req);
+    // RTT + prefill + decode, using means.
+    EXPECT_NEAR(expected,
+                profile.api_rtt_mean_s + 5000 / profile.prefill_tok_per_s +
+                    110 / profile.decode_tok_per_s,
+                1e-9);
+}
+
+TEST(LlmEngine, SampledLatencyNearExpected)
+{
+    LlmEngine engine(ModelProfile::gpt4Api(), sim::Rng(2));
+    LlmRequest req;
+    req.tokens_in = 2000;
+    req.tokens_out_mean = 100;
+    double sum = 0.0;
+    const int n = 2000;
+    for (int i = 0; i < n; ++i)
+        sum += engine.complete(req).latency_s;
+    EXPECT_NEAR(sum / n, engine.expectedLatency(req),
+                engine.expectedLatency(req) * 0.1);
+}
+
+TEST(LlmEngine, TruncatesAtContextLimit)
+{
+    auto profile = ModelProfile::llama3_8bLocal();
+    profile.context_limit = 1000;
+    LlmEngine engine(profile, sim::Rng(3));
+    LlmRequest req;
+    req.tokens_in = 5000;
+    const auto resp = engine.complete(req);
+    EXPECT_TRUE(resp.truncated);
+    EXPECT_EQ(resp.tokens_in, 1000);
+}
+
+TEST(LlmEngine, QualityDropsWithDilution)
+{
+    auto profile = ModelProfile::gpt4Api();
+    LlmEngine short_engine(profile, sim::Rng(4));
+    LlmEngine long_engine(profile, sim::Rng(4));
+    int short_good = 0, long_good = 0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+        LlmRequest small;
+        small.tokens_in = 500;
+        short_good += short_engine.complete(small).good;
+        LlmRequest large;
+        large.tokens_in = 30000;
+        long_good += long_engine.complete(large).good;
+    }
+    EXPECT_GT(short_good, long_good + n / 20);
+}
+
+TEST(LlmEngine, ComplexityReducesQuality)
+{
+    LlmEngine a(ModelProfile::gpt4Api(), sim::Rng(5));
+    LlmEngine b(ModelProfile::gpt4Api(), sim::Rng(5));
+    int easy = 0, complex_good = 0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+        LlmRequest req;
+        req.tokens_in = 500;
+        easy += a.complete(req).good;
+        req.complexity = 0.5;
+        complex_good += b.complete(req).good;
+    }
+    EXPECT_GT(easy, complex_good + n / 10);
+}
+
+TEST(LlmEngine, UsageAccounting)
+{
+    LlmEngine engine(ModelProfile::gpt4Api(), sim::Rng(6));
+    LlmRequest req;
+    req.tokens_in = 100;
+    req.tokens_out_mean = 10;
+    engine.complete(req);
+    engine.complete(req);
+    EXPECT_EQ(engine.usage().calls, 2u);
+    EXPECT_EQ(engine.usage().tokens_in, 200);
+    EXPECT_GT(engine.usage().tokens_out, 0);
+    EXPECT_GT(engine.usage().total_latency_s, 0.0);
+    engine.resetUsage();
+    EXPECT_EQ(engine.usage().calls, 0u);
+}
+
+TEST(LlmEngine, BatchIsFasterThanSequential)
+{
+    LlmEngine seq(ModelProfile::gpt4Api(), sim::Rng(7));
+    LlmEngine bat(ModelProfile::gpt4Api(), sim::Rng(7));
+    std::vector<LlmRequest> requests(6);
+    for (auto &r : requests) {
+        r.tokens_in = 800;
+        r.tokens_out_mean = 80;
+    }
+    double sequential = 0.0;
+    for (const auto &r : requests)
+        sequential += seq.complete(r).latency_s;
+    const auto batched = bat.completeBatch(requests);
+    ASSERT_EQ(batched.size(), requests.size());
+    EXPECT_LT(batched.front().latency_s, sequential * 0.6);
+}
+
+TEST(LlmEngine, BatchEmptyIsEmpty)
+{
+    LlmEngine engine(ModelProfile::gpt4Api(), sim::Rng(8));
+    EXPECT_TRUE(engine.completeBatch({}).empty());
+}
+
+/** Property sweep: latency is monotone in both token dimensions for every
+ * model preset. */
+class EngineMonotoneSweep : public ::testing::TestWithParam<int>
+{
+  protected:
+    ModelProfile
+    profileFor(int index)
+    {
+        switch (index) {
+          case 0:
+            return ModelProfile::gpt4Api();
+          case 1:
+            return ModelProfile::llama3_8bLocal();
+          case 2:
+            return ModelProfile::llama13bLocal();
+          case 3:
+            return ModelProfile::llama70bLocal();
+          default:
+            return ModelProfile::llava7bLocal();
+        }
+    }
+};
+
+TEST_P(EngineMonotoneSweep, ExpectedLatencyMonotone)
+{
+    LlmEngine engine(profileFor(GetParam()), sim::Rng(9));
+    LlmRequest small;
+    small.tokens_in = 100;
+    small.tokens_out_mean = 20;
+    LlmRequest more_in = small;
+    more_in.tokens_in = 2000;
+    LlmRequest more_out = small;
+    more_out.tokens_out_mean = 200;
+    EXPECT_LT(engine.expectedLatency(small),
+              engine.expectedLatency(more_in));
+    EXPECT_LT(engine.expectedLatency(small),
+              engine.expectedLatency(more_out));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, EngineMonotoneSweep,
+                         ::testing::Range(0, 5));
+
+} // namespace
+} // namespace ebs::llm

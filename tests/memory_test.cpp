@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include "memory/memory.h"
+
+namespace ebs::memory {
+namespace {
+
+env::Observation
+makeObs(int step, int room, std::vector<std::pair<env::ObjectId, env::Vec2i>>
+                                sightings)
+{
+    env::Observation obs;
+    obs.agent_id = 0;
+    obs.step = step;
+    obs.room = room;
+    for (const auto &[id, pos] : sightings) {
+        env::ObservedObject seen;
+        seen.id = id;
+        seen.pos = pos;
+        seen.room = room;
+        obs.objects.push_back(seen);
+    }
+    return obs;
+}
+
+MemoryModule
+makeMemory(int capacity, bool enabled = true)
+{
+    MemoryModule::Config cfg;
+    cfg.enabled = enabled;
+    cfg.capacity_steps = capacity;
+    return MemoryModule(cfg, sim::Rng(5));
+}
+
+TEST(Memory, RemembersObservedObjects)
+{
+    auto mem = makeMemory(10);
+    mem.recordObservation(makeObs(0, 2, {{7, {3, 4}}}));
+    EXPECT_TRUE(mem.knowsObject(7));
+    const auto belief = mem.belief(7);
+    ASSERT_TRUE(belief.has_value());
+    EXPECT_EQ(belief->pos, (env::Vec2i{3, 4}));
+    EXPECT_EQ(belief->room, 2);
+}
+
+TEST(Memory, LatestBeliefWins)
+{
+    auto mem = makeMemory(10);
+    mem.recordObservation(makeObs(0, 1, {{7, {1, 1}}}));
+    mem.recordObservation(makeObs(1, 1, {{7, {5, 5}}}));
+    EXPECT_EQ(mem.belief(7)->pos, (env::Vec2i{5, 5}));
+}
+
+TEST(Memory, CapacityWindowPrunes)
+{
+    auto mem = makeMemory(5);
+    mem.recordObservation(makeObs(0, 1, {{7, {1, 1}}}));
+    mem.advanceStep(4);
+    EXPECT_TRUE(mem.knowsObject(7));
+    mem.advanceStep(6); // record at step 0 falls outside a 5-step window
+    EXPECT_FALSE(mem.knowsObject(7));
+}
+
+TEST(Memory, UnlimitedCapacityNeverPrunes)
+{
+    auto mem = makeMemory(0);
+    mem.recordObservation(makeObs(0, 1, {{7, {1, 1}}}));
+    mem.advanceStep(10000);
+    EXPECT_TRUE(mem.knowsObject(7));
+}
+
+TEST(Memory, DisabledStoresNothing)
+{
+    auto mem = makeMemory(10, /*enabled=*/false);
+    mem.recordObservation(makeObs(0, 1, {{7, {1, 1}}}));
+    mem.recordAction(0, "PickUp", true);
+    EXPECT_FALSE(mem.knowsObject(7));
+    EXPECT_EQ(mem.liveRecords(), 0u);
+    EXPECT_DOUBLE_EQ(mem.retrievalLatency(), 0.0);
+    EXPECT_EQ(mem.retrieve(0).totalTokens(), 0);
+}
+
+TEST(Memory, KnownObjectsDeduplicated)
+{
+    auto mem = makeMemory(10);
+    mem.recordObservation(makeObs(0, 1, {{7, {1, 1}}, {8, {2, 2}}}));
+    mem.recordObservation(makeObs(1, 1, {{7, {3, 3}}}));
+    const auto known = mem.knownObjects();
+    EXPECT_EQ(known.size(), 2u);
+    // Newest sighting of 7 is the belief.
+    for (const auto &rec : known)
+        if (rec.id == 7) {
+            EXPECT_EQ(rec.pos, (env::Vec2i{3, 3}));
+        }
+}
+
+TEST(Memory, VisitedRoomsTracked)
+{
+    auto mem = makeMemory(10);
+    mem.recordObservation(makeObs(0, 2, {}));
+    mem.recordObservation(makeObs(1, 3, {}));
+    const auto rooms = mem.visitedRooms();
+    EXPECT_EQ(rooms.size(), 2u);
+    EXPECT_TRUE(rooms.count(2) > 0);
+    EXPECT_EQ(mem.lastVisit(3), 1);
+    EXPECT_EQ(mem.lastVisit(9), -1);
+}
+
+TEST(Memory, RoomVisitsForgottenOutsideWindow)
+{
+    auto mem = makeMemory(5);
+    mem.recordObservation(makeObs(0, 2, {}));
+    mem.advanceStep(10);
+    EXPECT_EQ(mem.lastVisit(2), -1);
+}
+
+TEST(Memory, SharedBeliefsIntegrate)
+{
+    auto mem = makeMemory(10);
+    ObservationRecord rec;
+    rec.id = 9;
+    rec.pos = {4, 4};
+    rec.room = 1;
+    mem.recordSharedBelief(3, rec);
+    EXPECT_TRUE(mem.knowsObject(9));
+    EXPECT_EQ(mem.belief(9)->step, 3);
+}
+
+TEST(Memory, RetrievalTokensGrowWithContent)
+{
+    auto mem = makeMemory(50);
+    const auto empty = mem.retrieve(0);
+    EXPECT_EQ(empty.totalTokens(), 0);
+
+    mem.recordObservation(makeObs(0, 1, {{1, {1, 1}}, {2, {2, 2}}}));
+    mem.recordAction(0, "PickUp(obj 1)", true);
+    mem.recordDialogue({0, 1, 0, 40, true});
+    const auto ctx = mem.retrieve(1);
+    EXPECT_GT(ctx.observation_tokens, 0);
+    EXPECT_GT(ctx.action_tokens, 0);
+    EXPECT_EQ(ctx.dialogue_tokens, 40);
+    EXPECT_EQ(ctx.known_objects, 2);
+}
+
+TEST(Memory, RetrievalLatencyGrowsWithRecords)
+{
+    auto mem = makeMemory(0);
+    const double before = mem.retrievalLatency();
+    for (int step = 0; step < 50; ++step)
+        mem.recordObservation(makeObs(step, 1, {{1, {1, 1}}, {2, {2, 2}}}));
+    EXPECT_GT(mem.retrievalLatency(), before);
+}
+
+TEST(Memory, InconsistencyAppearsAtScale)
+{
+    MemoryModule::Config cfg;
+    cfg.capacity_steps = 0; // unlimited
+    cfg.inconsistency_onset = 100;
+    cfg.inconsistency_rate = 5e-4;
+    MemoryModule mem(cfg, sim::Rng(11));
+    for (int step = 0; step < 400; ++step)
+        mem.recordObservation(
+            makeObs(step, 1, {{step % 20, {step % 7, step % 5}}}));
+    int stale = 0;
+    for (int i = 0; i < 50; ++i)
+        stale += mem.retrieve(400).stale_beliefs;
+    EXPECT_GT(stale, 0);
+}
+
+TEST(Memory, SmallStoreHasNoInconsistency)
+{
+    auto mem = makeMemory(10);
+    mem.recordObservation(makeObs(0, 1, {{1, {1, 1}}}));
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(mem.retrieve(1).stale_beliefs, 0);
+}
+
+TEST(Memory, DualMemoryKeepsFixturesForever)
+{
+    MemoryModule::Config cfg;
+    cfg.capacity_steps = 5;
+    cfg.dual_memory = true;
+    MemoryModule mem(cfg, sim::Rng(13));
+
+    env::Observation obs = makeObs(0, 1, {});
+    env::ObservedObject station;
+    station.id = 3;
+    station.cls = env::ObjectClass::Station;
+    station.pos = {2, 2};
+    station.room = 1;
+    obs.objects.push_back(station);
+    env::ObservedObject item;
+    item.id = 4;
+    item.cls = env::ObjectClass::Item;
+    item.pos = {3, 3};
+    item.room = 1;
+    obs.objects.push_back(item);
+    mem.recordObservation(obs);
+
+    mem.advanceStep(50); // both fall outside the short-term window
+    EXPECT_TRUE(mem.knowsObject(3));  // fixture survives in long-term
+    EXPECT_FALSE(mem.knowsObject(4)); // item is forgotten
+}
+
+TEST(Memory, DualMemoryCompressesRetrieval)
+{
+    MemoryModule::Config base_cfg;
+    base_cfg.capacity_steps = 0;
+    MemoryModule plain(base_cfg, sim::Rng(17));
+    base_cfg.dual_memory = true;
+    MemoryModule dual(base_cfg, sim::Rng(17));
+
+    for (int step = 0; step < 30; ++step) {
+        const auto obs = makeObs(step, 1, {{step % 6, {1, 1}}});
+        plain.recordObservation(obs);
+        dual.recordObservation(obs);
+    }
+    EXPECT_LE(dual.retrieve(30).observation_tokens,
+              plain.retrieve(30).observation_tokens);
+}
+
+TEST(Memory, ConsecutiveFailuresCounted)
+{
+    auto mem = makeMemory(20);
+    mem.recordAction(0, "a", true);
+    mem.recordAction(1, "b", false);
+    mem.recordAction(2, "c", false);
+    EXPECT_EQ(mem.recentConsecutiveFailures(), 2);
+    mem.recordAction(3, "d", true);
+    EXPECT_EQ(mem.recentConsecutiveFailures(), 0);
+}
+
+TEST(Memory, ClearEmptiesEverything)
+{
+    auto mem = makeMemory(20);
+    mem.recordObservation(makeObs(0, 1, {{1, {1, 1}}}));
+    mem.recordAction(0, "a", true);
+    mem.clear();
+    EXPECT_EQ(mem.liveRecords(), 0u);
+    EXPECT_FALSE(mem.knowsObject(1));
+    EXPECT_TRUE(mem.visitedRooms().empty());
+}
+
+/** Property sweep: live records never exceed what the window admits. */
+class MemoryCapacitySweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(MemoryCapacitySweep, WindowBoundsRecords)
+{
+    const int capacity = GetParam();
+    auto mem = makeMemory(capacity);
+    for (int step = 0; step < 200; ++step) {
+        mem.recordObservation(makeObs(step, 1, {{1, {1, 1}}}));
+        mem.recordAction(step, "x", true);
+        mem.advanceStep(step);
+    }
+    // One observation + one action per step inside the window.
+    EXPECT_LE(mem.liveRecords(), static_cast<std::size_t>(2 * capacity));
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, MemoryCapacitySweep,
+                         ::testing::Values(1, 5, 10, 30, 60));
+
+} // namespace
+} // namespace ebs::memory

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "workloads/workload.h"
+
+namespace ebs::workloads {
+namespace {
+
+/** Average results of a workload variant over a few seeds. */
+struct Averages
+{
+    double success_rate = 0.0;
+    double steps = 0.0;
+    double runtime_s = 0.0;
+    double msgs_per_step = 0.0;
+};
+
+Averages
+average(const WorkloadSpec &spec, const core::AgentConfig &config,
+        env::Difficulty difficulty, int seeds, int n_agents = -1)
+{
+    Averages avg;
+    for (int seed = 1; seed <= seeds; ++seed) {
+        core::EpisodeOptions options;
+        options.seed = static_cast<std::uint64_t>(seed) * 101;
+        const auto r =
+            spec.runWithConfig(config, difficulty, options, n_agents);
+        avg.success_rate += r.success;
+        avg.steps += r.steps;
+        avg.runtime_s += r.sim_seconds;
+        avg.msgs_per_step +=
+            r.steps > 0
+                ? static_cast<double>(r.messages_generated) / r.steps
+                : 0.0;
+    }
+    avg.success_rate /= seeds;
+    avg.steps /= seeds;
+    avg.runtime_s /= seeds;
+    avg.msgs_per_step /= seeds;
+    return avg;
+}
+
+constexpr int kSeeds = 8;
+
+// ------------------------------------------------- Fig. 3 module ablations
+
+TEST(PaperFig3, MemoryAblationIncreasesStepsAndHurtsSuccess)
+{
+    const auto &spec = workload("JARVIS-1");
+    const auto base =
+        average(spec, spec.config, env::Difficulty::Easy, kSeeds);
+    core::AgentConfig ablated = spec.config;
+    ablated.has_memory = false;
+    const auto no_mem =
+        average(spec, ablated, env::Difficulty::Easy, kSeeds);
+
+    EXPECT_GT(no_mem.steps, base.steps * 1.15);
+    EXPECT_LE(no_mem.success_rate, base.success_rate);
+}
+
+TEST(PaperFig3, ReflectionAblationIncreasesStepsAndHurtsSuccess)
+{
+    const auto &spec = workload("RoCo");
+    const auto base =
+        average(spec, spec.config, env::Difficulty::Medium, kSeeds);
+    core::AgentConfig ablated = spec.config;
+    ablated.has_reflection = false;
+    // The ablation also removes the env-feedback fallback partially: keep
+    // the default fallback, the module's higher quality is the delta.
+    const auto no_refl =
+        average(spec, ablated, env::Difficulty::Medium, kSeeds);
+
+    EXPECT_GE(no_refl.steps, base.steps);
+    EXPECT_LE(no_refl.success_rate, base.success_rate);
+}
+
+TEST(PaperFig3, ExecutionAblationIsCatastrophic)
+{
+    const auto &spec = workload("JARVIS-1");
+    const auto base =
+        average(spec, spec.config, env::Difficulty::Easy, kSeeds);
+    core::AgentConfig ablated = spec.config;
+    ablated.has_execution = false;
+    const auto no_exec =
+        average(spec, ablated, env::Difficulty::Easy, kSeeds);
+
+    // Disabling low-level execution drives tasks to the step limit
+    // (paper: "disabling it led to task failures and reaching L_max").
+    EXPECT_LT(no_exec.success_rate, 0.5 * base.success_rate + 0.2);
+    EXPECT_GT(no_exec.steps, base.steps * 1.5);
+}
+
+TEST(PaperFig3, CommunicationAblationHasMinorEffect)
+{
+    const auto &spec = workload("CoELA");
+    const auto base =
+        average(spec, spec.config, env::Difficulty::Easy, kSeeds);
+    core::AgentConfig ablated = spec.config;
+    ablated.has_communication = false;
+    const auto no_comm =
+        average(spec, ablated, env::Difficulty::Easy, kSeeds);
+
+    // Success barely moves (paper Takeaway 2), well within one task of
+    // each other on average.
+    EXPECT_NEAR(no_comm.success_rate, base.success_rate, 0.3);
+}
+
+// ----------------------------------------------------- Fig. 4 local models
+
+TEST(PaperFig4, LocalModelHurtsSuccessDespiteFasterInference)
+{
+    const auto &spec = workload("MP5"); // GPT-4-based planner
+    const auto gpt4 =
+        average(spec, spec.config, env::Difficulty::Medium, kSeeds);
+
+    core::AgentConfig local = spec.config;
+    local.planner_model = llm::ModelProfile::llama3_8bLocal();
+    local.comm_model = llm::ModelProfile::llama3_8bLocal();
+    const auto llama =
+        average(spec, local, env::Difficulty::Medium, kSeeds);
+
+    EXPECT_LT(llama.success_rate, gpt4.success_rate);
+    EXPECT_GT(llama.steps, gpt4.steps);
+}
+
+// ------------------------------------------------ Fig. 5 memory capacities
+
+TEST(PaperFig5, LargerMemoryImprovesSuccessAndReducesSteps)
+{
+    const auto &spec = workload("JARVIS-1");
+    core::AgentConfig tiny = spec.config;
+    tiny.memory.capacity_steps = 4;
+    core::AgentConfig roomy = spec.config;
+    roomy.memory.capacity_steps = 50;
+
+    const auto small =
+        average(spec, tiny, env::Difficulty::Medium, kSeeds);
+    const auto large =
+        average(spec, roomy, env::Difficulty::Medium, kSeeds);
+
+    EXPECT_GE(large.success_rate + 0.05, small.success_rate);
+    EXPECT_LT(large.steps, small.steps * 1.05);
+}
+
+// --------------------------------------------------- Fig. 6 token growth
+
+TEST(PaperFig6, PromptTokensGrowOverTime)
+{
+    const auto &spec = workload("CoELA");
+    core::EpisodeOptions options;
+    options.seed = 5;
+    options.record_tokens = true;
+    const auto result = spec.run(env::Difficulty::Medium, options);
+    ASSERT_GT(result.steps, 10);
+
+    // Compare mean plan-prompt size over the first vs. last third.
+    double early = 0.0, late = 0.0;
+    int early_n = 0, late_n = 0;
+    for (const auto &s : result.token_series) {
+        if (s.plan_tokens == 0)
+            continue;
+        if (s.step < result.steps / 3) {
+            early += s.plan_tokens;
+            ++early_n;
+        } else if (s.step >= 2 * result.steps / 3) {
+            late += s.plan_tokens;
+            ++late_n;
+        }
+    }
+    ASSERT_GT(early_n, 0);
+    ASSERT_GT(late_n, 0);
+    EXPECT_GT(late / late_n, early / early_n);
+}
+
+// ------------------------------------------------- Fig. 7 scalability
+
+TEST(PaperFig7, DecentralizedLatencyGrowsFasterThanCentralized)
+{
+    const auto &central = workload("MindAgent");
+    const auto &decentral = workload("CoELA");
+
+    const auto c2 =
+        average(central, central.config, env::Difficulty::Easy, 4, 2);
+    const auto c8 =
+        average(central, central.config, env::Difficulty::Easy, 4, 8);
+    const auto d2 = average(decentral, decentral.config,
+                            env::Difficulty::Easy, 4, 2);
+    const auto d8 = average(decentral, decentral.config,
+                            env::Difficulty::Easy, 4, 8);
+
+    const double central_growth =
+        (c8.runtime_s / c8.steps) / (c2.runtime_s / c2.steps);
+    const double decentral_growth =
+        (d8.runtime_s / d8.steps) / (d2.runtime_s / d2.steps);
+    EXPECT_GT(decentral_growth, central_growth);
+}
+
+TEST(PaperFig7, CentralizedSuccessDropsWithManyAgents)
+{
+    const auto &spec = workload("MindAgent");
+    const auto small =
+        average(spec, spec.config, env::Difficulty::Easy, 12, 2);
+    const auto big =
+        average(spec, spec.config, env::Difficulty::Easy, 12, 12);
+    EXPECT_LT(big.success_rate, small.success_rate);
+}
+
+// -------------------------------------------- Sec. V-D pipeline efficiency
+
+TEST(PaperSecVD, PreGeneratedMessagesAreMostlyUseless)
+{
+    const auto &spec = workload("CoELA");
+    core::EpisodeOptions options;
+    options.seed = 3;
+    const auto result = spec.run(env::Difficulty::Medium, options);
+    ASSERT_GT(result.messages_generated, 0);
+    const double utility = static_cast<double>(result.messages_useful) /
+                           result.messages_generated;
+    EXPECT_LT(utility, 0.45); // only a minority of messages matter
+}
+
+} // namespace
+} // namespace ebs::workloads

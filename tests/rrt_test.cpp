@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "plan/rrt.h"
+
+namespace ebs::plan {
+namespace {
+
+using env::Vec2d;
+
+Workspace
+unitBox()
+{
+    Workspace ws;
+    ws.max_x = 1.0;
+    ws.max_y = 1.0;
+    return ws;
+}
+
+TEST(Workspace, FreeChecksBoundsAndObstacles)
+{
+    Workspace ws = unitBox();
+    ws.obstacles.push_back({{0.5, 0.5}, 0.1});
+    EXPECT_TRUE(ws.free({0.1, 0.1}));
+    EXPECT_FALSE(ws.free({0.5, 0.5}));
+    EXPECT_FALSE(ws.free({-0.1, 0.5}));
+    EXPECT_FALSE(ws.free({0.5, 1.1}));
+}
+
+TEST(Workspace, SegmentFreeDetectsCollision)
+{
+    Workspace ws = unitBox();
+    ws.obstacles.push_back({{0.5, 0.5}, 0.1});
+    EXPECT_TRUE(ws.segmentFree({0.1, 0.1}, {0.9, 0.1}));
+    EXPECT_FALSE(ws.segmentFree({0.1, 0.5}, {0.9, 0.5}));
+}
+
+TEST(Rrt, StraightShotWhenUnobstructed)
+{
+    Workspace ws = unitBox();
+    sim::Rng rng(1);
+    const auto path = rrtPlan(ws, {0.1, 0.1}, {0.9, 0.9}, rng);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_EQ(path->points.size(), 2u);
+    EXPECT_NEAR(path->length, std::sqrt(2.0) * 0.8, 1e-9);
+    EXPECT_EQ(path->iterations, 1);
+}
+
+TEST(Rrt, RoutesAroundObstacle)
+{
+    Workspace ws = unitBox();
+    ws.obstacles.push_back({{0.5, 0.5}, 0.2});
+    sim::Rng rng(2);
+    const auto path = rrtPlan(ws, {0.1, 0.5}, {0.9, 0.5}, rng);
+    ASSERT_TRUE(path.has_value());
+    EXPECT_GT(path->length, 0.8); // longer than the blocked straight line
+    EXPECT_GT(path->iterations, 1);
+    // Path endpoints are correct.
+    EXPECT_EQ(path->points.front(), (Vec2d{0.1, 0.5}));
+    EXPECT_EQ(path->points.back(), (Vec2d{0.9, 0.5}));
+    // Every segment collision-free.
+    for (std::size_t i = 1; i < path->points.size(); ++i)
+        EXPECT_TRUE(ws.segmentFree(path->points[i - 1], path->points[i]));
+}
+
+TEST(Rrt, FailsWhenStartInsideObstacle)
+{
+    Workspace ws = unitBox();
+    ws.obstacles.push_back({{0.2, 0.2}, 0.15});
+    sim::Rng rng(3);
+    EXPECT_FALSE(rrtPlan(ws, {0.2, 0.2}, {0.9, 0.9}, rng).has_value());
+}
+
+TEST(Rrt, FailsWhenGoalUnreachable)
+{
+    Workspace ws = unitBox();
+    // Wall of obstacles across the middle.
+    for (int i = 0; i <= 10; ++i)
+        ws.obstacles.push_back({{0.5, i * 0.1}, 0.08});
+    sim::Rng rng(4);
+    RrtParams params;
+    params.max_iterations = 600;
+    EXPECT_FALSE(
+        rrtPlan(ws, {0.1, 0.5}, {0.9, 0.5}, rng, params).has_value());
+}
+
+TEST(Rrt, DeterministicForSameSeed)
+{
+    Workspace ws = unitBox();
+    ws.obstacles.push_back({{0.5, 0.5}, 0.2});
+    sim::Rng a(5), b(5);
+    const auto pa = rrtPlan(ws, {0.1, 0.5}, {0.9, 0.5}, a);
+    const auto pb = rrtPlan(ws, {0.1, 0.5}, {0.9, 0.5}, b);
+    ASSERT_TRUE(pa.has_value());
+    ASSERT_TRUE(pb.has_value());
+    EXPECT_DOUBLE_EQ(pa->length, pb->length);
+    EXPECT_EQ(pa->iterations, pb->iterations);
+}
+
+TEST(Rrt, SmoothingNeverLengthens)
+{
+    Workspace ws = unitBox();
+    ws.obstacles.push_back({{0.5, 0.4}, 0.15});
+    ws.obstacles.push_back({{0.5, 0.8}, 0.15});
+    sim::Rng rng(6);
+    RrtParams params;
+    params.step_size = 0.03; // many waypoints -> smoothing has work to do
+    const auto path = rrtPlan(ws, {0.1, 0.6}, {0.9, 0.6}, rng, params);
+    ASSERT_TRUE(path.has_value());
+    const RrtPath smoothed = smoothPath(ws, *path);
+    EXPECT_LE(smoothed.length, path->length + 1e-9);
+    EXPECT_LE(smoothed.points.size(), path->points.size());
+}
+
+TEST(Rrt, SmoothingPreservesTrivialPath)
+{
+    Workspace ws = unitBox();
+    RrtPath path;
+    path.points = {{0.1, 0.1}, {0.9, 0.9}};
+    path.length = std::sqrt(2.0) * 0.8;
+    const RrtPath s = smoothPath(ws, path);
+    EXPECT_EQ(s.points.size(), 2u);
+}
+
+/** Property: across seeds, RRT solves a moderately cluttered scene and
+ * returns collision-free paths. */
+class RrtSeedSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RrtSeedSweep, SolvesClutteredScene)
+{
+    Workspace ws = unitBox();
+    ws.obstacles.push_back({{0.35, 0.3}, 0.12});
+    ws.obstacles.push_back({{0.65, 0.7}, 0.12});
+    ws.obstacles.push_back({{0.5, 0.5}, 0.10});
+    sim::Rng rng(static_cast<std::uint64_t>(GetParam()));
+    const auto path = rrtPlan(ws, {0.05, 0.05}, {0.95, 0.95}, rng);
+    ASSERT_TRUE(path.has_value());
+    for (std::size_t i = 1; i < path->points.size(); ++i)
+        EXPECT_TRUE(ws.segmentFree(path->points[i - 1], path->points[i]));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RrtSeedSweep, ::testing::Range(1, 11));
+
+} // namespace
+} // namespace ebs::plan

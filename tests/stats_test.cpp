@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/aggregate.h"
+#include "stats/csv.h"
+#include "stats/histogram.h"
+#include "stats/latency_recorder.h"
+#include "stats/table.h"
+
+namespace ebs::stats {
+namespace {
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStat, SingleSample)
+{
+    RunningStat s;
+    s.add(4.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 4.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStat, KnownMoments)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0); // classic population-stddev example
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Percentile, MedianAndExtremes)
+{
+    std::vector<double> v = {5, 1, 3, 2, 4};
+    EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+}
+
+TEST(Percentile, Interpolates)
+{
+    std::vector<double> v = {0.0, 10.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 25), 2.5);
+    EXPECT_DOUBLE_EQ(percentile(v, 75), 7.5);
+}
+
+TEST(Percentile, SingleSample)
+{
+    EXPECT_DOUBLE_EQ(percentile({42.0}, 99), 42.0);
+}
+
+TEST(Histogram, CountsAndClamping)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.5);   // bucket 0
+    h.add(9.9);   // bucket 4
+    h.add(-3.0);  // clamped to bucket 0
+    h.add(100.0); // clamped to bucket 4
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(4), 2u);
+    EXPECT_EQ(h.totalCount(), 4u);
+}
+
+TEST(Histogram, BucketEdges)
+{
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_DOUBLE_EQ(h.bucketLo(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.bucketHi(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.bucketLo(4), 8.0);
+    EXPECT_DOUBLE_EQ(h.bucketHi(4), 10.0);
+}
+
+TEST(Histogram, RenderContainsBars)
+{
+    Histogram h(0.0, 2.0, 2);
+    h.add(0.5);
+    h.add(0.6);
+    h.add(1.5);
+    const std::string out = h.render(10);
+    EXPECT_NE(out.find('#'), std::string::npos);
+    EXPECT_NE(out.find("2"), std::string::npos);
+}
+
+TEST(Table, AlignedRender)
+{
+    Table t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer", "22"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+    EXPECT_EQ(Table::pct(0.425, 1), "42.5%");
+}
+
+TEST(Csv, EscapesSpecialCharacters)
+{
+    EXPECT_EQ(csvEscape("plain"), "plain");
+    EXPECT_EQ(csvEscape("a,b"), "\"a,b\"");
+    EXPECT_EQ(csvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(csvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesHeaderAndRows)
+{
+    std::ostringstream os;
+    CsvWriter csv(os, {"x", "y"});
+    csv.row({"1", "2"});
+    csv.row({"a,b", "3"});
+    EXPECT_EQ(os.str(), "x,y\n1,2\n\"a,b\",3\n");
+}
+
+TEST(LatencyRecorder, AccumulatesPerModule)
+{
+    LatencyRecorder rec;
+    rec.record(ModuleKind::Planning, 2.0);
+    rec.record(ModuleKind::Planning, 3.0);
+    rec.record(ModuleKind::Execution, 5.0);
+    EXPECT_DOUBLE_EQ(rec.total(ModuleKind::Planning), 5.0);
+    EXPECT_EQ(rec.count(ModuleKind::Planning), 2u);
+    EXPECT_DOUBLE_EQ(rec.grandTotal(), 10.0);
+    EXPECT_DOUBLE_EQ(rec.fraction(ModuleKind::Planning), 0.5);
+    EXPECT_DOUBLE_EQ(rec.fraction(ModuleKind::Sensing), 0.0);
+}
+
+TEST(LatencyRecorder, EmptyFractionIsZero)
+{
+    LatencyRecorder rec;
+    EXPECT_DOUBLE_EQ(rec.fraction(ModuleKind::Planning), 0.0);
+}
+
+TEST(LatencyRecorder, MergeAndReset)
+{
+    LatencyRecorder a, b;
+    a.record(ModuleKind::Memory, 1.0);
+    b.record(ModuleKind::Memory, 2.0);
+    b.record(ModuleKind::Sensing, 4.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.total(ModuleKind::Memory), 3.0);
+    EXPECT_DOUBLE_EQ(a.total(ModuleKind::Sensing), 4.0);
+    a.reset();
+    EXPECT_DOUBLE_EQ(a.grandTotal(), 0.0);
+}
+
+TEST(ModuleKind, NamesAndIteration)
+{
+    EXPECT_EQ(moduleKindName(ModuleKind::Planning), "Planning");
+    EXPECT_EQ(moduleKindName(ModuleKind::Communication), "Communication");
+    const auto all = allModuleKinds();
+    EXPECT_EQ(all.size(), kNumModuleKinds);
+    EXPECT_EQ(all.front(), ModuleKind::Sensing);
+    EXPECT_EQ(all.back(), ModuleKind::Other);
+}
+
+} // namespace
+} // namespace ebs::stats

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "plan/task_graph.h"
+
+namespace ebs::plan {
+namespace {
+
+TEST(TaskGraph, EmptyIsAllDone)
+{
+    TaskGraph g;
+    EXPECT_TRUE(g.allDone());
+    EXPECT_TRUE(g.ready().empty());
+}
+
+TEST(TaskGraph, RootsAreReady)
+{
+    TaskGraph g;
+    const int a = g.add("a");
+    const int b = g.add("b");
+    const auto ready = g.ready();
+    ASSERT_EQ(ready.size(), 2u);
+    EXPECT_EQ(ready[0], a);
+    EXPECT_EQ(ready[1], b);
+}
+
+TEST(TaskGraph, DependenciesGateReadiness)
+{
+    TaskGraph g;
+    const int wood = g.add("wood");
+    const int plank = g.add("plank", {wood});
+    const int stick = g.add("stick", {plank});
+    const int pick = g.add("pickaxe", {plank, stick});
+
+    EXPECT_EQ(g.ready(), std::vector<int>({wood}));
+    g.markDone(wood);
+    EXPECT_EQ(g.ready(), std::vector<int>({plank}));
+    g.markDone(plank);
+    EXPECT_EQ(g.ready(), std::vector<int>({stick}));
+    g.markDone(stick);
+    EXPECT_EQ(g.ready(), std::vector<int>({pick}));
+    g.markDone(pick);
+    EXPECT_TRUE(g.allDone());
+}
+
+TEST(TaskGraph, DepthIsLongestChain)
+{
+    TaskGraph g;
+    const int a = g.add("a");
+    const int b = g.add("b", {a});
+    const int c = g.add("c", {a});
+    const int d = g.add("d", {b, c});
+    const int e = g.add("e", {d});
+    EXPECT_EQ(g.depth(a), 1);
+    EXPECT_EQ(g.depth(b), 2);
+    EXPECT_EQ(g.depth(d), 3);
+    EXPECT_EQ(g.depth(e), 4);
+}
+
+TEST(TaskGraph, NodeAccess)
+{
+    TaskGraph g;
+    const int a = g.add("alpha");
+    EXPECT_EQ(g.node(a).name, "alpha");
+    EXPECT_FALSE(g.done(a));
+    g.markDone(a);
+    EXPECT_TRUE(g.done(a));
+    EXPECT_EQ(g.size(), 1u);
+}
+
+TEST(TaskGraph, DiamondCompletesInAnyValidOrder)
+{
+    TaskGraph g;
+    const int a = g.add("a");
+    const int b = g.add("b", {a});
+    const int c = g.add("c", {a});
+    g.add("d", {b, c});
+    g.markDone(a);
+    // Both b and c become ready simultaneously.
+    EXPECT_EQ(g.ready().size(), 2u);
+    g.markDone(c);
+    g.markDone(b);
+    EXPECT_EQ(g.ready().size(), 1u);
+}
+
+} // namespace
+} // namespace ebs::plan

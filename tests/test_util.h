@@ -1,0 +1,48 @@
+#ifndef EBS_TESTS_TEST_UTIL_H
+#define EBS_TESTS_TEST_UTIL_H
+
+#include <string>
+
+#include "env/env.h"
+#include "plan/controller.h"
+
+namespace ebs::test {
+
+/**
+ * Scripted oracle rollout: every agent executes the first useful subgoal
+ * from the environment's oracle each step, with perfect knowledge and no
+ * LLM in the loop. Used to prove tasks are solvable and oracles are
+ * coherent: if this fails, the environment (not the agent model) is broken.
+ *
+ * @return number of steps used, or -1 if the step cap was hit.
+ */
+inline int
+oracleRollout(env::Environment &environment, int max_steps = 0)
+{
+    const int cap = max_steps > 0 ? max_steps : environment.task().maxSteps();
+    for (int step = 0; step < cap; ++step) {
+        environment.beginStep();
+        for (int a = 0; a < environment.world().agentCount(); ++a) {
+            auto useful = environment.usefulSubgoals(a);
+            if (useful.empty())
+                continue;
+            // Deterministic: spread agents across the useful list so they
+            // do not all chase the same object.
+            const auto &sg = useful[static_cast<std::size_t>(a) %
+                                    useful.size()];
+            const auto compiled = plan::compileSubgoal(environment, a, sg);
+            if (!compiled.feasible)
+                continue;
+            for (const auto &prim : compiled.prims)
+                if (!environment.applyPrimitive(a, prim).ok)
+                    break;
+        }
+        if (environment.task().satisfied(environment.world()))
+            return step + 1;
+    }
+    return -1;
+}
+
+} // namespace ebs::test
+
+#endif // EBS_TESTS_TEST_UTIL_H

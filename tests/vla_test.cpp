@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "core/vla.h"
+#include "envs/craft_env.h"
+#include "envs/manipulation_env.h"
+
+namespace ebs::core {
+namespace {
+
+TEST(VlaProfile, PresetsAreDistinctAndSane)
+{
+    const auto rt2 = VlaProfile::rt2();
+    const auto octo = VlaProfile::octo();
+    const auto diffusion = VlaProfile::diffusionPolicy();
+    // The 55B model runs slower than the small policies.
+    EXPECT_GT(rt2.tick_latency_mean_s, octo.tick_latency_mean_s);
+    EXPECT_GT(rt2.tick_latency_mean_s, diffusion.tick_latency_mean_s);
+    // ...but generalizes better per primitive.
+    EXPECT_GE(rt2.primitive_quality, octo.primitive_quality);
+    for (const auto &p : {rt2, octo, diffusion}) {
+        EXPECT_GT(p.primitive_quality, 0.0);
+        EXPECT_LE(p.primitive_quality, 1.0);
+        EXPECT_GT(p.horizon_decay, 0.0);
+        EXPECT_LT(p.horizon_decay, 1.0);
+        EXPECT_FALSE(p.name.empty());
+    }
+}
+
+TEST(EndToEnd, SolvesShortHorizonManipulation)
+{
+    int ok = 0;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        envs::ManipulationEnv environment(env::Difficulty::Easy, 1,
+                                          sim::Rng(seed).fork(7));
+        EpisodeOptions options;
+        options.seed = seed;
+        const auto r =
+            runEndToEnd(environment, VlaProfile::rt2(), options);
+        ok += r.success;
+        EXPECT_GT(r.steps, 0);
+        EXPECT_GT(r.sim_seconds, 0.0);
+    }
+    EXPECT_GE(ok, 4);
+}
+
+TEST(EndToEnd, FailsLongHorizonCrafting)
+{
+    int ok = 0;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        envs::CraftEnv environment(env::Difficulty::Medium, 1,
+                                   sim::Rng(seed).fork(7));
+        EpisodeOptions options;
+        options.seed = seed;
+        ok += runEndToEnd(environment, VlaProfile::rt2(), options).success;
+    }
+    // The reactive paradigm cannot sustain the tech-tree dependency chain.
+    EXPECT_LE(ok, 1);
+}
+
+TEST(EndToEnd, PerDecisionLatencyIsTiny)
+{
+    envs::ManipulationEnv environment(env::Difficulty::Easy, 1,
+                                      sim::Rng(3).fork(7));
+    EpisodeOptions options;
+    options.seed = 3;
+    const auto r = runEndToEnd(environment, VlaProfile::octo(), options);
+    ASSERT_GT(r.steps, 0);
+    EXPECT_LT(r.secondsPerStep(), 1.0); // vs ~10 s for the modular agent
+}
+
+TEST(EndToEnd, DeterministicForSameSeed)
+{
+    EpisodeOptions options;
+    options.seed = 9;
+    envs::ManipulationEnv env_a(env::Difficulty::Easy, 1,
+                                sim::Rng(9).fork(7));
+    envs::ManipulationEnv env_b(env::Difficulty::Easy, 1,
+                                sim::Rng(9).fork(7));
+    const auto a = runEndToEnd(env_a, VlaProfile::rt2(), options);
+    const auto b = runEndToEnd(env_b, VlaProfile::rt2(), options);
+    EXPECT_EQ(a.steps, b.steps);
+    EXPECT_DOUBLE_EQ(a.sim_seconds, b.sim_seconds);
+}
+
+TEST(EndToEnd, RespectsTickBudgetOverride)
+{
+    envs::CraftEnv environment(env::Difficulty::Hard, 1,
+                               sim::Rng(5).fork(7));
+    EpisodeOptions options;
+    options.seed = 5;
+    options.max_steps_override = 20;
+    const auto r =
+        runEndToEnd(environment, VlaProfile::octo(), options);
+    EXPECT_FALSE(r.success);
+    EXPECT_EQ(r.steps, 20);
+}
+
+TEST(EndToEnd, LatencyChargedToPlanningAndExecution)
+{
+    envs::ManipulationEnv environment(env::Difficulty::Easy, 1,
+                                      sim::Rng(7).fork(7));
+    EpisodeOptions options;
+    options.seed = 7;
+    const auto r = runEndToEnd(environment, VlaProfile::rt2(), options);
+    EXPECT_GT(r.latency.total(stats::ModuleKind::Planning), 0.0);
+    // No modular machinery ran.
+    EXPECT_DOUBLE_EQ(r.latency.total(stats::ModuleKind::Memory), 0.0);
+    EXPECT_DOUBLE_EQ(r.latency.total(stats::ModuleKind::Communication),
+                     0.0);
+    EXPECT_DOUBLE_EQ(r.latency.total(stats::ModuleKind::Reflection), 0.0);
+}
+
+} // namespace
+} // namespace ebs::core

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workloads/workload.h"
+
+namespace ebs::workloads {
+namespace {
+
+TEST(Suite, HasFourteenWorkloads)
+{
+    EXPECT_EQ(suite().size(), 14u);
+}
+
+TEST(Suite, NamesAreUniqueAndLookupWorks)
+{
+    std::set<std::string> names;
+    for (const auto &spec : suite()) {
+        EXPECT_TRUE(names.insert(spec.name).second)
+            << "duplicate workload " << spec.name;
+        EXPECT_EQ(&workload(spec.name), &spec);
+    }
+}
+
+TEST(Suite, ParadigmCountsMatchPaper)
+{
+    int single = 0, central = 0, decentral = 0;
+    for (const auto &spec : suite()) {
+        switch (spec.paradigm) {
+          case Paradigm::SingleModular:
+            ++single;
+            break;
+          case Paradigm::MultiCentralized:
+            ++central;
+            break;
+          case Paradigm::MultiDecentralized:
+            ++decentral;
+            break;
+        }
+    }
+    EXPECT_EQ(single, 5);    // EmbodiedGPT, JARVIS-1, DaDu-E, MP5, DEPS
+    EXPECT_EQ(central, 4);   // MindAgent, OLA, COHERENT, CMAS
+    EXPECT_EQ(decentral, 5); // CoELA, COMBO, RoCo, DMAS, HMAS
+}
+
+TEST(Suite, TableIiModuleCompositions)
+{
+    // Spot-check the module composition columns of Table II.
+    const auto &coela = workload("CoELA");
+    EXPECT_TRUE(coela.config.has_communication);
+    EXPECT_FALSE(coela.config.has_reflection);
+    EXPECT_TRUE(coela.config.llm_action_selection);
+
+    const auto &jarvis = workload("JARVIS-1");
+    EXPECT_FALSE(jarvis.config.has_communication);
+    EXPECT_TRUE(jarvis.config.has_memory);
+    EXPECT_TRUE(jarvis.config.has_reflection);
+
+    const auto &mp5 = workload("MP5");
+    EXPECT_FALSE(mp5.config.has_memory);
+    EXPECT_TRUE(mp5.config.has_reflection);
+
+    const auto &mindagent = workload("MindAgent");
+    EXPECT_FALSE(mindagent.config.has_sensing);
+    EXPECT_FALSE(mindagent.config.has_reflection);
+
+    const auto &embodied_gpt = workload("EmbodiedGPT");
+    EXPECT_FALSE(embodied_gpt.config.has_memory);
+    EXPECT_FALSE(embodied_gpt.config.has_reflection);
+    EXPECT_FALSE(embodied_gpt.config.has_communication);
+}
+
+TEST(Suite, BackendsMatchTableIi)
+{
+    EXPECT_TRUE(workload("JARVIS-1").config.planner_model.remote); // GPT-4
+    EXPECT_FALSE(workload("DaDu-E").config.planner_model.remote); // Llama-8B
+    EXPECT_FALSE(workload("COMBO").config.planner_model.remote); // LLaVA-7B
+    EXPECT_FALSE(
+        workload("EmbodiedGPT").config.planner_model.remote); // Llama-7B
+    EXPECT_TRUE(workload("RoCo").config.planner_model.remote);
+}
+
+TEST(Suite, SingleAgentWorkloadsForceOneAgent)
+{
+    const auto &spec = workload("JARVIS-1");
+    core::EpisodeOptions options;
+    options.seed = 1;
+    options.max_steps_override = 2;
+    // Even if callers request more agents, single-agent systems run one.
+    const auto result = spec.run(env::Difficulty::Easy, options, 4);
+    EXPECT_GT(result.steps, 0);
+}
+
+/** Every workload runs an easy episode without tripping assertions and
+ * produces sane accounting. */
+class SuiteRunSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SuiteRunSweep, EasyEpisodeIsSane)
+{
+    const auto &spec = suite()[static_cast<std::size_t>(GetParam())];
+    core::EpisodeOptions options;
+    options.seed = 42;
+    const auto result = spec.run(env::Difficulty::Easy, options);
+
+    EXPECT_GT(result.steps, 0);
+    EXPECT_GT(result.sim_seconds, 0.0);
+    EXPECT_GT(result.llm.calls, 0u);
+    EXPECT_GE(result.final_progress, 0.0);
+    EXPECT_LE(result.final_progress, 1.0);
+    // LLM-based modules are the dominant latency contributors (paper
+    // Takeaway 1: ~70% on average; allow a broad band per system).
+    const double llm_share =
+        result.latency.fraction(stats::ModuleKind::Planning) +
+        result.latency.fraction(stats::ModuleKind::Communication) +
+        result.latency.fraction(stats::ModuleKind::Reflection);
+    EXPECT_GT(llm_share, 0.2);
+    EXPECT_LT(llm_share, 1.0);
+}
+
+TEST_P(SuiteRunSweep, EasyMostlySucceedsAcrossSeeds)
+{
+    const auto &spec = suite()[static_cast<std::size_t>(GetParam())];
+    int ok = 0;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        core::EpisodeOptions options;
+        options.seed = seed;
+        ok += spec.run(env::Difficulty::Easy, options).success;
+    }
+    // State-of-the-art systems complete their easy benchmark tasks most of
+    // the time.
+    EXPECT_GE(ok, 3) << spec.name;
+}
+
+TEST_P(SuiteRunSweep, DeterministicForSameSeed)
+{
+    const auto &spec = suite()[static_cast<std::size_t>(GetParam())];
+    core::EpisodeOptions options;
+    options.seed = 77;
+    options.max_steps_override = 6;
+    const auto a = spec.run(env::Difficulty::Easy, options);
+    const auto b = spec.run(env::Difficulty::Easy, options);
+    EXPECT_EQ(a.steps, b.steps);
+    EXPECT_EQ(a.success, b.success);
+    EXPECT_DOUBLE_EQ(a.sim_seconds, b.sim_seconds);
+    EXPECT_EQ(a.llm.tokens_in, b.llm.tokens_in);
+}
+
+INSTANTIATE_TEST_SUITE_P(All14, SuiteRunSweep, ::testing::Range(0, 14),
+                         [](const auto &info) {
+                             std::string name =
+                                 suite()[static_cast<std::size_t>(info.param)]
+                                     .name;
+                             for (auto &ch : name)
+                                 if (!std::isalnum(
+                                         static_cast<unsigned char>(ch)))
+                                     ch = '_';
+                             return name;
+                         });
+
+} // namespace
+} // namespace ebs::workloads

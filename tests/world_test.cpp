@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include "env/world.h"
+
+namespace ebs::env {
+namespace {
+
+/** 7x7 open world with one agent at (1,1). */
+class WorldTest : public ::testing::Test
+{
+  protected:
+    WorldTest() : world_(GridMap(7, 7)) { agent_ = world_.addAgent({1, 1}); }
+
+    ObjectId
+    addItem(const Vec2i &pos, double weight = 1.0)
+    {
+        Object obj;
+        obj.name = "item";
+        obj.cls = ObjectClass::Item;
+        obj.pos = pos;
+        obj.weight = weight;
+        return world_.addObject(obj);
+    }
+
+    ObjectId
+    addContainer(const Vec2i &pos, bool openable, bool open)
+    {
+        Object obj;
+        obj.name = "box";
+        obj.cls = ObjectClass::Container;
+        obj.pos = pos;
+        obj.openable = openable;
+        obj.open = open;
+        return world_.addObject(obj);
+    }
+
+    Primitive
+    prim(PrimOp op, ObjectId target = kNoObject, Vec2i dest = {})
+    {
+        Primitive p;
+        p.op = op;
+        p.target = target;
+        p.dest = dest;
+        return p;
+    }
+
+    World world_;
+    int agent_;
+};
+
+TEST_F(WorldTest, MoveStepValid)
+{
+    EXPECT_TRUE(world_.applySpatial(agent_, prim(PrimOp::MoveStep,
+                                                 kNoObject, {1, 2})).ok);
+    EXPECT_EQ(world_.agent(agent_).pos, (Vec2i{1, 2}));
+}
+
+TEST_F(WorldTest, MoveStepRejectsJumps)
+{
+    EXPECT_FALSE(world_.applySpatial(agent_, prim(PrimOp::MoveStep,
+                                                  kNoObject, {3, 3})).ok);
+}
+
+TEST_F(WorldTest, MoveStepRejectsWalls)
+{
+    world_.grid().setWalkable({1, 2}, false);
+    EXPECT_FALSE(world_.applySpatial(agent_, prim(PrimOp::MoveStep,
+                                                  kNoObject, {1, 2})).ok);
+}
+
+TEST_F(WorldTest, MoveStepRejectsOccupiedCell)
+{
+    world_.addAgent({1, 2});
+    EXPECT_FALSE(world_.applySpatial(agent_, prim(PrimOp::MoveStep,
+                                                  kNoObject, {1, 2})).ok);
+}
+
+TEST_F(WorldTest, PickAdjacentItem)
+{
+    const ObjectId item = addItem({2, 2});
+    EXPECT_TRUE(world_.applySpatial(agent_, prim(PrimOp::Pick, item)).ok);
+    EXPECT_EQ(world_.agent(agent_).carrying, item);
+    EXPECT_EQ(world_.object(item).held_by, agent_);
+    EXPECT_FALSE(world_.object(item).loose());
+}
+
+TEST_F(WorldTest, PickRejectsFarItem)
+{
+    const ObjectId item = addItem({5, 5});
+    EXPECT_FALSE(world_.applySpatial(agent_, prim(PrimOp::Pick, item)).ok);
+}
+
+TEST_F(WorldTest, PickRejectsWhenCarrying)
+{
+    const ObjectId a = addItem({2, 1});
+    const ObjectId b = addItem({1, 2});
+    ASSERT_TRUE(world_.applySpatial(agent_, prim(PrimOp::Pick, a)).ok);
+    EXPECT_FALSE(world_.applySpatial(agent_, prim(PrimOp::Pick, b)).ok);
+}
+
+TEST_F(WorldTest, PickRejectsHeavyObject)
+{
+    const ObjectId heavy = addItem({2, 1}, 2.0);
+    EXPECT_FALSE(world_.applySpatial(agent_, prim(PrimOp::Pick, heavy)).ok);
+}
+
+TEST_F(WorldTest, PickRejectsHeldByOther)
+{
+    const int other = world_.addAgent({3, 2});
+    const ObjectId item = addItem({2, 2});
+    ASSERT_TRUE(world_.applySpatial(other, prim(PrimOp::Pick, item)).ok);
+    EXPECT_FALSE(world_.applySpatial(agent_, prim(PrimOp::Pick, item)).ok);
+}
+
+TEST_F(WorldTest, CarriedObjectFollowsAgent)
+{
+    const ObjectId item = addItem({2, 2});
+    ASSERT_TRUE(world_.applySpatial(agent_, prim(PrimOp::Pick, item)).ok);
+    ASSERT_TRUE(world_.applySpatial(agent_, prim(PrimOp::MoveStep,
+                                                 kNoObject, {1, 2})).ok);
+    EXPECT_EQ(world_.effectivePos(item), (Vec2i{1, 2}));
+}
+
+TEST_F(WorldTest, PlacePutsObjectDown)
+{
+    const ObjectId item = addItem({2, 2});
+    ASSERT_TRUE(world_.applySpatial(agent_, prim(PrimOp::Pick, item)).ok);
+    EXPECT_TRUE(world_.applySpatial(agent_, prim(PrimOp::Place, kNoObject,
+                                                 {0, 1})).ok);
+    EXPECT_EQ(world_.agent(agent_).carrying, kNoObject);
+    EXPECT_TRUE(world_.object(item).loose());
+    EXPECT_EQ(world_.object(item).pos, (Vec2i{0, 1}));
+}
+
+TEST_F(WorldTest, PlaceRejectsWithoutCarrying)
+{
+    EXPECT_FALSE(world_.applySpatial(agent_, prim(PrimOp::Place, kNoObject,
+                                                  {1, 2})).ok);
+}
+
+TEST_F(WorldTest, PutInOpenContainer)
+{
+    const ObjectId item = addItem({2, 2});
+    const ObjectId box = addContainer({1, 2}, false, true);
+    ASSERT_TRUE(world_.applySpatial(agent_, prim(PrimOp::Pick, item)).ok);
+    EXPECT_TRUE(world_.applySpatial(agent_, prim(PrimOp::PutIn, box)).ok);
+    EXPECT_EQ(world_.object(item).inside, box);
+    EXPECT_EQ(world_.contents(box).size(), 1u);
+}
+
+TEST_F(WorldTest, PutInClosedContainerFails)
+{
+    const ObjectId item = addItem({2, 2});
+    const ObjectId box = addContainer({1, 2}, true, false);
+    ASSERT_TRUE(world_.applySpatial(agent_, prim(PrimOp::Pick, item)).ok);
+    EXPECT_FALSE(world_.applySpatial(agent_, prim(PrimOp::PutIn, box)).ok);
+}
+
+TEST_F(WorldTest, OpenThenPutInSucceeds)
+{
+    const ObjectId item = addItem({2, 2});
+    const ObjectId box = addContainer({1, 2}, true, false);
+    ASSERT_TRUE(world_.applySpatial(agent_, prim(PrimOp::Pick, item)).ok);
+    EXPECT_TRUE(world_.applySpatial(agent_, prim(PrimOp::Open, box)).ok);
+    EXPECT_TRUE(world_.applySpatial(agent_, prim(PrimOp::PutIn, box)).ok);
+    EXPECT_TRUE(world_.applySpatial(agent_, prim(PrimOp::Close, box)).ok);
+    EXPECT_FALSE(world_.object(box).open);
+}
+
+TEST_F(WorldTest, TakeOutReversesPutIn)
+{
+    const ObjectId item = addItem({2, 2});
+    const ObjectId box = addContainer({1, 2}, false, true);
+    ASSERT_TRUE(world_.applySpatial(agent_, prim(PrimOp::Pick, item)).ok);
+    ASSERT_TRUE(world_.applySpatial(agent_, prim(PrimOp::PutIn, box)).ok);
+    EXPECT_TRUE(world_.applySpatial(agent_, prim(PrimOp::TakeOut, item)).ok);
+    EXPECT_EQ(world_.agent(agent_).carrying, item);
+    EXPECT_EQ(world_.object(item).inside, kNoObject);
+}
+
+TEST_F(WorldTest, TakeOutRejectsLooseObject)
+{
+    const ObjectId item = addItem({2, 2});
+    EXPECT_FALSE(world_.applySpatial(agent_,
+                                     prim(PrimOp::TakeOut, item)).ok);
+}
+
+TEST_F(WorldTest, OpenRejectsNonOpenable)
+{
+    const ObjectId item = addItem({2, 2});
+    EXPECT_FALSE(world_.applySpatial(agent_, prim(PrimOp::Open, item)).ok);
+}
+
+TEST_F(WorldTest, CannotPutObjectIntoItself)
+{
+    const ObjectId box = addContainer({2, 2}, false, true);
+    ASSERT_TRUE(world_.applySpatial(agent_, prim(PrimOp::Pick, box)).ok);
+    EXPECT_FALSE(world_.applySpatial(agent_, prim(PrimOp::PutIn, box)).ok);
+}
+
+TEST_F(WorldTest, DomainOpsRejectedBySpatialLayer)
+{
+    const ObjectId item = addItem({2, 2});
+    EXPECT_FALSE(world_.applySpatial(agent_, prim(PrimOp::Mine, item)).ok);
+    EXPECT_FALSE(world_.applySpatial(agent_, prim(PrimOp::Craft, item)).ok);
+}
+
+TEST_F(WorldTest, WaitAlwaysSucceeds)
+{
+    EXPECT_TRUE(world_.applySpatial(agent_, prim(PrimOp::Wait)).ok);
+}
+
+TEST_F(WorldTest, ObjectsInRoomListsLooseOnly)
+{
+    const ObjectId a = addItem({2, 2});
+    addItem({3, 3});
+    ASSERT_TRUE(world_.applySpatial(agent_, prim(PrimOp::Pick, a)).ok);
+    EXPECT_EQ(world_.objectsInRoom(0).size(), 1u);
+}
+
+TEST_F(WorldTest, OccupiedByOther)
+{
+    world_.addAgent({4, 4});
+    EXPECT_TRUE(world_.occupiedByOther(agent_, {4, 4}));
+    EXPECT_FALSE(world_.occupiedByOther(agent_, {1, 1}));
+}
+
+TEST_F(WorldTest, EffectivePosFollowsContainerChain)
+{
+    const ObjectId item = addItem({2, 2});
+    const ObjectId box = addContainer({1, 2}, false, true);
+    ASSERT_TRUE(world_.applySpatial(agent_, prim(PrimOp::Pick, item)).ok);
+    ASSERT_TRUE(world_.applySpatial(agent_, prim(PrimOp::PutIn, box)).ok);
+    EXPECT_EQ(world_.effectivePos(item), world_.object(box).pos);
+}
+
+} // namespace
+} // namespace ebs::env
