@@ -16,7 +16,7 @@ int
 main()
 {
     using namespace ebs;
-    constexpr int kSeeds = 6;
+    const int kSeeds = bench::seedCount(6);
     const auto difficulty = env::Difficulty::Medium;
 
     std::printf("=== Fig. 2a: per-step latency breakdown by module ===\n\n");

@@ -16,7 +16,7 @@ int
 main()
 {
     using namespace ebs;
-    constexpr int kSeeds = 10;
+    const int kSeeds = bench::seedCount(10);
     const auto difficulty = env::Difficulty::Medium;
     const char *systems[] = {"JARVIS-1", "DaDu-E", "MP5",   "DEPS",
                              "MindAgent", "OLA",   "CoELA", "COMBO",

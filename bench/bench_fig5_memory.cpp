@@ -28,7 +28,7 @@ main(int argc, char **argv)
                           "system", "difficulty", "capacity", "success",
                           "avg_steps", "retrieval_s_per_step"});
     }
-    constexpr int kSeeds = 10;
+    const int kSeeds = bench::seedCount(10);
     const char *systems[] = {"JARVIS-1", "MindAgent", "CoELA"};
     const int capacities[] = {5, 10, 20, 30, 40, 60};
     const env::Difficulty difficulties[] = {env::Difficulty::Easy,

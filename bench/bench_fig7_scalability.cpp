@@ -30,7 +30,7 @@ main(int argc, char **argv)
                           "success", "latency_min", "llm_calls",
                           "tokens_k"});
     }
-    constexpr int kSeeds = 6;
+    const int kSeeds = bench::seedCount(6);
     const char *systems[] = {"MindAgent", "CoELA", "COMBO"};
     const int agent_counts[] = {2, 4, 6, 8, 10, 12};
     const env::Difficulty difficulties[] = {env::Difficulty::Easy,

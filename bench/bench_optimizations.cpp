@@ -29,7 +29,7 @@ int
 main()
 {
     using namespace ebs;
-    constexpr int kSeeds = 10;
+    const int kSeeds = bench::seedCount(10);
     const auto difficulty = env::Difficulty::Medium;
 
     // ----- Local-model optimizations on DaDu-E (Llama-8B planner) -----

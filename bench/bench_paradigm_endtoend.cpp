@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "bench_util.h"
 #include "core/vla.h"
 #include "envs/craft_env.h"
 #include "envs/manipulation_env.h"
@@ -48,7 +49,7 @@ makeLongHorizon(sim::Rng rng)
 int
 main()
 {
-    constexpr int kSeeds = 10;
+    const int kSeeds = ebs::bench::seedCount(10);
     const TaskCase cases[] = {
         {"short-horizon (manipulation, easy)", &makeShortHorizon},
         {"long-horizon (craft, medium)", &makeLongHorizon},

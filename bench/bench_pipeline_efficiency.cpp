@@ -16,7 +16,7 @@ int
 main()
 {
     using namespace ebs;
-    constexpr int kSeeds = 10;
+    const int kSeeds = bench::seedCount(10);
     const auto &spec = workloads::workload("CoELA");
     const auto difficulty = env::Difficulty::Medium;
 

@@ -1,12 +1,48 @@
 #ifndef EBS_BENCH_BENCH_UTIL_H
 #define EBS_BENCH_BENCH_UTIL_H
 
+#include <cctype>
 #include <cstdint>
+#include <cstdlib>
 #include <string>
 
 #include "workloads/workload.h"
 
 namespace ebs::bench {
+
+/**
+ * Smoke mode (EBS_BENCH_SMOKE=1 in the environment, set by
+ * `run_all --smoke`): run every suite with a single seed so the whole
+ * fleet finishes in CI-friendly time. A falsy value ("", "0", "false",
+ * "off", "no") leaves smoke mode disabled.
+ */
+inline bool
+smokeMode()
+{
+    static const bool on = [] {
+        const char *v = std::getenv("EBS_BENCH_SMOKE");
+        if (!v)
+            return false;
+        std::string s(v);
+        for (char &c : s)
+            c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        return !(s.empty() || s == "0" || s == "false" || s == "off" ||
+                 s == "no");
+    }();
+    return on;
+}
+
+/**
+ * Seed count a suite should use: the requested count, clamped to 1 in
+ * smoke mode. Suites must derive their seed constant through this (and
+ * normalize by the returned value) so the clamp stays visible to any
+ * per-seed arithmetic and printed headers.
+ */
+inline int
+seedCount(int requested)
+{
+    return smokeMode() ? 1 : requested;
+}
 
 /** Averaged episode metrics over several seeds. */
 struct RunStats

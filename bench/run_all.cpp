@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Benchmark fleet driver: discovers every `bench_*` binary sitting next to
+ * this executable, runs each one with stdout/stderr captured to a per-suite
+ * log, and consolidates the per-suite performance counters into one
+ * `BENCH_results.json` (suite -> metric -> value) so successive PRs have a
+ * perf trajectory to compare against.
+ *
+ * Flags:
+ *   --smoke        run each suite with tiny iteration counts (sets
+ *                  EBS_BENCH_SMOKE=1, honored by bench_util.h)
+ *   --out PATH     output JSON path (default: BENCH_results.json in cwd)
+ *   --logs DIR     per-suite stdout logs (default: BENCH_logs in cwd)
+ *   --filter STR   only run suites whose name contains STR
+ *   --list         print discovered suite names and exit
+ */
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct SuiteResult
+{
+    std::string name;
+    int exit_code = -1;
+    double wall_seconds = 0.0;
+    double user_seconds = 0.0;
+    double sys_seconds = 0.0;
+    long max_rss_kb = 0;
+};
+
+/** Directory containing this executable (where the bench binaries live). */
+fs::path
+selfDirectory(const char *argv0)
+{
+    std::error_code ec;
+    const fs::path self = fs::read_symlink("/proc/self/exe", ec);
+    if (!ec)
+        return self.parent_path();
+    const fs::path fallback = fs::absolute(argv0, ec);
+    return ec ? fs::current_path() : fallback.parent_path();
+}
+
+bool
+isExecutableFile(const fs::path &p)
+{
+    std::error_code ec;
+    return fs::is_regular_file(p, ec) &&
+           ::access(p.c_str(), X_OK) == 0;
+}
+
+/** Run one benchmark binary, capturing output and resource usage. */
+SuiteResult
+runSuite(const fs::path &binary, const fs::path &log_path, bool smoke)
+{
+    SuiteResult result;
+    result.name = binary.filename().string();
+
+    const auto start = std::chrono::steady_clock::now();
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        std::fprintf(stderr, "run_all: fork failed: %s\n",
+                     std::strerror(errno));
+        return result;
+    }
+    if (pid == 0) {
+        const int fd = ::open(log_path.c_str(),
+                              O_CREAT | O_WRONLY | O_TRUNC, 0644);
+        if (fd >= 0) {
+            ::dup2(fd, STDOUT_FILENO);
+            ::dup2(fd, STDERR_FILENO);
+            ::close(fd);
+        }
+        if (smoke)
+            ::setenv("EBS_BENCH_SMOKE", "1", 1);
+        else
+            ::unsetenv("EBS_BENCH_SMOKE"); // a stale value would silently
+                                           // clamp a full baseline run
+        ::execl(binary.c_str(), binary.c_str(),
+                static_cast<char *>(nullptr));
+        std::fprintf(stderr, "run_all: exec %s failed: %s\n",
+                     binary.c_str(), std::strerror(errno));
+        ::_exit(127);
+    }
+
+    int status = 0;
+    struct rusage usage{};
+    if (::wait4(pid, &status, 0, &usage) < 0) {
+        std::fprintf(stderr, "run_all: wait4 failed: %s\n",
+                     std::strerror(errno));
+        return result;
+    }
+    const auto end = std::chrono::steady_clock::now();
+
+    result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status)
+                       : WIFSIGNALED(status)
+                           ? 128 + WTERMSIG(status)
+                           : -1;
+    result.wall_seconds =
+        std::chrono::duration<double>(end - start).count();
+    result.user_seconds = static_cast<double>(usage.ru_utime.tv_sec) +
+                          usage.ru_utime.tv_usec / 1e6;
+    result.sys_seconds = static_cast<double>(usage.ru_stime.tv_sec) +
+                         usage.ru_stime.tv_usec / 1e6;
+    result.max_rss_kb = usage.ru_maxrss;
+    return result;
+}
+
+void
+writeJson(const fs::path &out_path, const std::vector<SuiteResult> &results,
+          bool smoke)
+{
+    std::FILE *f = std::fopen(out_path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "run_all: cannot write %s: %s\n",
+                     out_path.c_str(), std::strerror(errno));
+        std::exit(1);
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"schema_version\": 1,\n");
+    std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+    std::fprintf(f, "  \"suites\": {\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const SuiteResult &r = results[i];
+        std::fprintf(f,
+                     "    \"%s\": {\n"
+                     "      \"exit_code\": %d,\n"
+                     "      \"wall_seconds\": %.6f,\n"
+                     "      \"user_seconds\": %.6f,\n"
+                     "      \"sys_seconds\": %.6f,\n"
+                     "      \"max_rss_kb\": %ld\n"
+                     "    }%s\n",
+                     r.name.c_str(), r.exit_code, r.wall_seconds,
+                     r.user_seconds, r.sys_seconds, r.max_rss_kb,
+                     i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    bool list_only = false;
+    std::string filter;
+    fs::path out_path = "BENCH_results.json";
+    fs::path log_dir = "BENCH_logs";
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--smoke") {
+            smoke = true;
+        } else if (arg == "--list") {
+            list_only = true;
+        } else if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg == "--logs" && i + 1 < argc) {
+            log_dir = argv[++i];
+        } else if (arg == "--filter" && i + 1 < argc) {
+            filter = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: run_all [--smoke] [--list] [--out PATH] "
+                         "[--logs DIR] [--filter STR]\n");
+            return arg == "--help" || arg == "-h" ? 0 : 2;
+        }
+    }
+
+    const fs::path bench_dir = selfDirectory(argv[0]);
+    std::vector<fs::path> binaries;
+    std::size_t discovered = 0;
+    for (const auto &entry : fs::directory_iterator(bench_dir)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("bench_", 0) != 0 || !isExecutableFile(entry.path()))
+            continue;
+        ++discovered;
+        if (!filter.empty() && name.find(filter) == std::string::npos)
+            continue;
+        binaries.push_back(entry.path());
+    }
+    std::sort(binaries.begin(), binaries.end());
+
+    if (binaries.empty()) {
+        if (discovered > 0)
+            std::fprintf(stderr,
+                         "run_all: --filter '%s' matched none of the %zu "
+                         "bench_* binaries in %s\n",
+                         filter.c_str(), discovered, bench_dir.c_str());
+        else
+            std::fprintf(stderr,
+                         "run_all: no bench_* binaries found in %s\n",
+                         bench_dir.c_str());
+        return 1;
+    }
+    if (list_only) {
+        for (const auto &b : binaries)
+            std::printf("%s\n", b.filename().c_str());
+        return 0;
+    }
+
+    std::error_code ec;
+    fs::create_directories(log_dir, ec);
+    if (ec || !fs::is_directory(log_dir)) {
+        std::fprintf(stderr, "run_all: cannot create log dir %s: %s\n",
+                     log_dir.c_str(),
+                     ec ? ec.message().c_str() : "not a directory");
+        return 1;
+    }
+
+    std::vector<SuiteResult> results;
+    int failures = 0;
+    for (const auto &binary : binaries) {
+        const fs::path log_path =
+            log_dir / (binary.filename().string() + ".log");
+        std::printf("[run_all] %-32s ... ", binary.filename().c_str());
+        std::fflush(stdout);
+        const SuiteResult r = runSuite(binary, log_path, smoke);
+        std::printf("exit=%d wall=%.2fs rss=%ldKB\n", r.exit_code,
+                    r.wall_seconds, r.max_rss_kb);
+        failures += r.exit_code != 0;
+        results.push_back(r);
+    }
+
+    writeJson(out_path, results, smoke);
+    std::printf("[run_all] wrote %s (%zu suites, %d failed)\n",
+                out_path.c_str(), results.size(), failures);
+    return failures == 0 ? 0 : 1;
+}

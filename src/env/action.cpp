@@ -46,8 +46,11 @@ Primitive::describe() const
     if (op == PrimOp::MoveStep || op == PrimOp::Place) {
         if (target != kNoObject)
             out += ", ";
-        out += "(" + std::to_string(dest.x) + "," + std::to_string(dest.y) +
-               ")";
+        out += '(';
+        out += std::to_string(dest.x);
+        out += ',';
+        out += std::to_string(dest.y);
+        out += ')';
     }
     out += ')';
     return out;

@@ -12,6 +12,8 @@ struct Vec2i
     int x = 0;
     int y = 0;
 
+    // Defaulted comparison requires C++20; the build enforces cxx_std_20
+    // (see the configure-time guard in the top-level CMakeLists.txt).
     bool operator==(const Vec2i &) const = default;
 
     Vec2i operator+(const Vec2i &o) const { return {x + o.x, y + o.y}; }

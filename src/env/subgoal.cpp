@@ -57,12 +57,16 @@ Subgoal::describe() const
     }
     if (dest.x >= 0) {
         sep();
-        out += "-> (" + std::to_string(dest.x) + "," +
-               std::to_string(dest.y) + ")";
+        out += "-> (";
+        out += std::to_string(dest.x);
+        out += ',';
+        out += std::to_string(dest.y);
+        out += ')';
     }
     if (param != 0) {
         sep();
-        out += "#" + std::to_string(param);
+        out += '#';
+        out += std::to_string(param);
     }
     out += ')';
     return out;

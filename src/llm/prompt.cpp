@@ -43,13 +43,17 @@ Prompt::render() const
 {
     std::string out;
     for (const auto &s : sections_) {
-        out += "## " + s.name + "\n";
+        out += "## ";
+        out += s.name;
+        out += '\n';
         if (!s.text.empty()) {
             out += s.text;
             out += '\n';
         }
         if (s.extra_tokens > 0) {
-            out += "[" + std::to_string(s.extra_tokens) + " tokens]\n";
+            out += '[';
+            out += std::to_string(s.extra_tokens);
+            out += " tokens]\n";
         }
     }
     return out;

@@ -309,18 +309,29 @@ TEST_F(AgentTest, SensingMissRateHidesObjects)
 
 TEST_F(AgentTest, CarriedObjectSurvivesDetectorMisses)
 {
-    // Grab something first with a perfect detector...
+    // Grab something first with a perfect detector. Stand the agent on a
+    // loose item and execute the pickup directly so the carried state is
+    // guaranteed, instead of hoping the planner's first subgoal is a
+    // pickup.
+    env::ObjectId item = env::kNoObject;
+    for (const auto &obj : env_.world().objects())
+        if (obj.cls == env::ObjectClass::Item && obj.loose())
+            item = obj.id;
+    ASSERT_NE(item, env::kNoObject) << "layout generated no loose item";
+    env_.world().agent(0).pos = env_.world().object(item).pos;
+
     AgentConfig config;
     config.lat.sensing_miss_rate = 0.0;
-    config.planner_model.plan_quality = 1.0;
-    config.planner_model.format_compliance = 1.0;
     auto agent = makeAgent(config, 23);
     agent->sense(0);
-    const auto decision = agent->plan(0, PlanContext{});
-    const auto exec = agent->execute(0, decision.subgoal);
-    if (!exec.success ||
-        env_.world().agent(0).carrying == env::kNoObject)
-        GTEST_SKIP() << "first subgoal was not a pickup";
+    ASSERT_TRUE(agent->memory().knowsObject(item));
+
+    env::Subgoal pick;
+    pick.kind = env::SubgoalKind::PickUp;
+    pick.target = item;
+    const auto exec = agent->execute(0, pick);
+    ASSERT_TRUE(exec.success) << exec.fail_reason;
+    ASSERT_EQ(env_.world().agent(0).carrying, item);
 
     // ...then degrade perception completely: proprioception still reports
     // the carried object.

@@ -86,24 +86,63 @@ TEST(TransportEnv, ObservationIsRoomLocal)
         EXPECT_EQ(env.world().grid().room(seen.pos), obs.room);
 }
 
+TEST(TransportEnv, HardLayoutGeneratesHiddenItems)
+{
+    // Generator coverage: Hard guarantees hidden goal items that start
+    // inside containers, and containers start closed.
+    sim::Rng rng(6);
+    TransportEnv env(Difficulty::Hard, 1, rng);
+    int hidden = 0;
+    for (const auto &obj : env.world().objects()) {
+        if (obj.kind != TransportEnv::kGoalItem ||
+            obj.inside == env::kNoObject)
+            continue;
+        const auto &host = env.world().object(obj.inside);
+        EXPECT_TRUE(host.openable);
+        EXPECT_FALSE(host.open) << "containers must start closed";
+        ++hidden;
+    }
+    EXPECT_GE(hidden, 1) << "Hard layout generated no hidden goal item";
+}
+
 TEST(TransportEnv, ClosedContainerContentsHidden)
 {
     sim::Rng rng(6);
     TransportEnv env(Difficulty::Hard, 1, rng);
-    // Find a hidden item and stand next to its container.
-    for (const auto &obj : env.world().objects()) {
-        if (obj.inside == env::kNoObject || obj.kind != TransportEnv::kGoalItem)
-            continue;
-        const auto &container = env.world().object(obj.inside);
-        if (!container.openable || container.open)
-            continue;
-        env.world().agent(0).pos = container.pos;
-        const auto obs = env.observe(0, 0);
-        for (const auto &seen : obs.objects)
-            EXPECT_NE(seen.id, obj.id);
-        return;
-    }
-    GTEST_SKIP() << "layout generated no hidden item";
+    // Deterministic fixture: hide a goal item inside a closed container
+    // ourselves instead of relying on the random layout to produce one.
+    env::ObjectId container = env::kNoObject;
+    for (const auto &obj : env.world().objects())
+        if (obj.cls == env::ObjectClass::Container && obj.openable)
+            container = obj.id;
+    ASSERT_NE(container, env::kNoObject) << "layout has no container";
+    env::ObjectId item = env::kNoObject;
+    for (const auto &obj : env.world().objects())
+        if (obj.kind == TransportEnv::kGoalItem && obj.loose())
+            item = obj.id;
+    ASSERT_NE(item, env::kNoObject) << "layout has no loose goal item";
+
+    auto &box = env.world().object(container);
+    box.open = false;
+    auto &hidden = env.world().object(item);
+    hidden.inside = container;
+    hidden.pos = box.pos;
+    hidden.room = box.room;
+
+    // Stand next to the container: the hidden item must not be observed.
+    env.world().agent(0).pos = box.pos;
+    const auto obs = env.observe(0, 0);
+    for (const auto &seen : obs.objects)
+        EXPECT_NE(seen.id, item);
+
+    // Positive control: opening the container is the one thing that must
+    // reveal the item, pinning the hiding reason to the closed state.
+    box.open = true;
+    const auto obs_open = env.observe(0, 0);
+    bool visible = false;
+    for (const auto &seen : obs_open.objects)
+        visible |= seen.id == item;
+    EXPECT_TRUE(visible) << "item stayed hidden after opening its container";
 }
 
 // ------------------------------------------------------------------ kitchen

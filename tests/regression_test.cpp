@@ -74,16 +74,18 @@ TEST(Regression, StaleBeliefIsInvalidatedAfterFailedVisit)
     core::AgentConfig config;
     core::Agent agent(0, config, &env, sim::Rng(10), &clock, &recorder,
                       nullptr);
-    agent.sense(0);
 
-    // Find an item the agent can currently see, then teleport it far away.
+    // Deterministic fixture: stand the agent in a room guaranteed to
+    // contain a loose item (the spawn room may be empty), sense it, then
+    // teleport the item far away so only the stale memory remains.
     env::ObjectId item = env::kNoObject;
     for (const auto &obj : env.world().objects())
-        if (obj.cls == env::ObjectClass::Item && obj.loose() &&
-            obj.room == env.world().grid().room(env.world().agent(0).pos))
+        if (obj.cls == env::ObjectClass::Item && obj.loose())
             item = obj.id;
-    if (item == env::kNoObject)
-        GTEST_SKIP() << "agent spawned in an empty room";
+    ASSERT_NE(item, env::kNoObject) << "layout generated no loose item";
+    env.world().agent(0).pos = env.roomAnchor(
+        env.world().grid().room(env.world().object(item).pos));
+    agent.sense(0);
     ASSERT_TRUE(agent.memory().knowsObject(item));
 
     const env::Vec2i far = env.roomAnchor(
