@@ -16,7 +16,7 @@ int
 main()
 {
     using namespace ebs;
-    const int kSeeds = bench::seedCount(6);
+    const int kSeeds = bench::seedCount(12);
     const auto difficulty = env::Difficulty::Medium;
 
     std::printf("=== Fig. 2a: per-step latency breakdown by module ===\n\n");
@@ -24,12 +24,25 @@ main()
                         "Mem%", "Refl%", "Exec%"});
     stats::Table fig2b({"workload", "success", "steps", "total (min)"});
 
+    // One batch: every workload's seed fan-out shares the thread pool.
+    std::vector<runner::RunVariant> variants;
+    for (const auto &spec : workloads::suite()) {
+        runner::RunVariant v;
+        v.workload = &spec;
+        v.config = spec.config;
+        v.difficulty = difficulty;
+        v.seeds = kSeeds;
+        variants.push_back(std::move(v));
+    }
+    const auto results =
+        runner::runAveragedMany(runner::EpisodeRunner::shared(), variants);
+
     double llm_share_sum = 0.0;
     double refl_share_sum = 0.0;
 
-    for (const auto &spec : workloads::suite()) {
-        const auto r = bench::runAveraged(spec, spec.config, difficulty,
-                                          kSeeds);
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+        const auto &spec = *variants[i].workload;
+        const auto &r = results[i];
         const auto &lat = r.latency;
         fig2a.addRow({spec.name,
                       stats::Table::num(r.avg_step_latency_s, 1),
@@ -42,6 +55,7 @@ main()
         fig2b.addRow({spec.name, stats::Table::pct(r.success_rate, 0),
                       stats::Table::num(r.avg_steps, 0),
                       stats::Table::num(r.avg_runtime_min, 1)});
+        bench::emitMetric(spec.name, r);
 
         llm_share_sum += lat.fraction(stats::ModuleKind::Planning) +
                          lat.fraction(stats::ModuleKind::Communication) +
@@ -58,5 +72,9 @@ main()
                 "latency on average (paper: 70.2%%); reflection accounts\n"
                 "for %.2f%% (paper: 8.61%%).\n",
                 llm_share_sum / n * 100.0, refl_share_sum / n * 100.0);
+    bench::emitScalarMetric("aggregate", "llm_latency_share",
+                            llm_share_sum / n);
+    bench::emitScalarMetric("aggregate", "reflection_latency_share",
+                            refl_share_sum / n);
     return 0;
 }

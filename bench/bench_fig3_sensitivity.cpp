@@ -8,6 +8,8 @@
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "stats/table.h"
@@ -16,7 +18,7 @@ int
 main()
 {
     using namespace ebs;
-    const int kSeeds = bench::seedCount(10);
+    const int kSeeds = bench::seedCount(20);
     const auto difficulty = env::Difficulty::Medium;
     const char *systems[] = {"JARVIS-1", "CoELA",    "COMBO",
                              "COHERENT", "RoCo",     "HMAS"};
@@ -26,75 +28,108 @@ main()
                 kSeeds);
     stats::Table table({"workload", "variant", "success", "avg steps"});
 
+    struct Ablation
+    {
+        const char *label;
+        bool core::AgentConfig::*flag;
+    };
+    const Ablation ablations[] = {
+        {"w/o Communication", &core::AgentConfig::has_communication},
+        {"w/o Memory", &core::AgentConfig::has_memory},
+        // Ablating reflection also removes its curated feedback loop;
+        // raw environment feedback remains.
+        {"w/o Reflection", &core::AgentConfig::has_reflection},
+        {"w/o Execution", &core::AgentConfig::has_execution},
+    };
+
+    // The whole grid — per system, the full agent plus every applicable
+    // ablation — fans out as one runner batch.
+    struct Row
+    {
+        const workloads::WorkloadSpec *spec;
+        std::string label;
+        std::size_t variant = SIZE_MAX; ///< SIZE_MAX = N/A row
+        std::size_t base_variant = 0;
+    };
+    std::vector<runner::RunVariant> variants;
+    std::vector<Row> rows;
+
+    for (const char *name : systems) {
+        const auto &spec = workloads::workload(name);
+        const std::size_t base_idx = variants.size();
+        runner::RunVariant base;
+        base.workload = &spec;
+        base.config = spec.config;
+        base.difficulty = difficulty;
+        base.seeds = kSeeds;
+        variants.push_back(std::move(base));
+        rows.push_back({&spec, "full agent", base_idx, base_idx});
+
+        for (const auto &ablation : ablations) {
+            if (!(spec.config.*ablation.flag)) {
+                rows.push_back({&spec, ablation.label, SIZE_MAX, base_idx});
+                continue;
+            }
+            runner::RunVariant v;
+            v.workload = &spec;
+            v.config = spec.config;
+            v.config.*ablation.flag = false;
+            v.difficulty = difficulty;
+            v.seeds = kSeeds;
+            rows.push_back({&spec, ablation.label, variants.size(),
+                            base_idx});
+            variants.push_back(std::move(v));
+        }
+    }
+
+    const auto results =
+        runner::runAveragedMany(runner::EpisodeRunner::shared(), variants);
+
     double mem_steps_ratio = 0.0, mem_sr_drop = 0.0;
     int mem_n = 0;
     double refl_steps_ratio = 0.0, refl_sr_drop = 0.0;
     int refl_n = 0;
 
-    for (const char *name : systems) {
-        const auto &spec = workloads::workload(name);
-        const auto base = bench::runAveraged(spec, spec.config, difficulty,
-                                             kSeeds);
-        table.addRow({spec.name, "full agent",
-                      stats::Table::pct(base.success_rate, 0),
-                      stats::Table::num(base.avg_steps, 1)});
+    for (const auto &row : rows) {
+        if (row.variant == SIZE_MAX) {
+            table.addRow({row.spec->name, row.label, "N/A", "N/A"});
+            continue;
+        }
+        const auto &r = results[row.variant];
+        table.addRow({row.spec->name, row.label,
+                      stats::Table::pct(r.success_rate, 0),
+                      stats::Table::num(r.avg_steps, 1)});
+        bench::emitMetric(row.spec->name + " " + row.label, r);
 
-        struct Ablation
-        {
-            const char *label;
-            bool present;
-            void (*apply)(core::AgentConfig &);
-        };
-        const Ablation ablations[] = {
-            {"w/o Communication", spec.config.has_communication,
-             [](core::AgentConfig &c) { c.has_communication = false; }},
-            {"w/o Memory", spec.config.has_memory,
-             [](core::AgentConfig &c) { c.has_memory = false; }},
-            {"w/o Reflection", spec.config.has_reflection,
-             [](core::AgentConfig &c) {
-                 c.has_reflection = false;
-                 // Ablating the module also removes its curated feedback
-                 // loop; raw environment feedback remains.
-             }},
-            {"w/o Execution", spec.config.has_execution,
-             [](core::AgentConfig &c) { c.has_execution = false; }},
-        };
-
-        for (const auto &ablation : ablations) {
-            if (!ablation.present) {
-                table.addRow({spec.name, ablation.label, "N/A", "N/A"});
-                continue;
-            }
-            core::AgentConfig config = spec.config;
-            ablation.apply(config);
-            const auto r = bench::runAveraged(spec, config, difficulty,
-                                              kSeeds);
-            table.addRow({spec.name, ablation.label,
-                          stats::Table::pct(r.success_rate, 0),
-                          stats::Table::num(r.avg_steps, 1)});
-
-            if (std::string(ablation.label) == "w/o Memory") {
-                mem_steps_ratio += r.avg_steps / base.avg_steps;
-                mem_sr_drop += base.success_rate - r.success_rate;
-                ++mem_n;
-            }
-            if (std::string(ablation.label) == "w/o Reflection") {
-                refl_steps_ratio += r.avg_steps / base.avg_steps;
-                refl_sr_drop += base.success_rate - r.success_rate;
-                ++refl_n;
-            }
+        const auto &base = results[row.base_variant];
+        if (row.label == "w/o Memory") {
+            mem_steps_ratio += r.avg_steps / base.avg_steps;
+            mem_sr_drop += base.success_rate - r.success_rate;
+            ++mem_n;
+        }
+        if (row.label == "w/o Reflection") {
+            refl_steps_ratio += r.avg_steps / base.avg_steps;
+            refl_sr_drop += base.success_rate - r.success_rate;
+            ++refl_n;
         }
     }
 
     std::printf("%s\n", table.render().c_str());
-    if (mem_n > 0)
+    if (mem_n > 0) {
         std::printf("Memory ablation aggregate:     %.2fx steps, "
                     "-%.1f%% success (paper: 1.61x, -27.7%%)\n",
                     mem_steps_ratio / mem_n, mem_sr_drop / mem_n * 100.0);
-    if (refl_n > 0)
+        bench::emitScalarMetric("aggregate", "memory_ablation_steps_ratio",
+                                mem_steps_ratio / mem_n);
+    }
+    if (refl_n > 0) {
         std::printf("Reflection ablation aggregate: %.2fx steps, "
                     "-%.1f%% success (paper: 1.88x, -33.3%%)\n",
                     refl_steps_ratio / refl_n,
                     refl_sr_drop / refl_n * 100.0);
+        bench::emitScalarMetric("aggregate",
+                                "reflection_ablation_steps_ratio",
+                                refl_steps_ratio / refl_n);
+    }
     return 0;
 }

@@ -8,6 +8,7 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 #include "stats/table.h"
@@ -16,7 +17,7 @@ int
 main()
 {
     using namespace ebs;
-    const int kSeeds = bench::seedCount(10);
+    const int kSeeds = bench::seedCount(20);
     const auto difficulty = env::Difficulty::Medium;
     const char *systems[] = {"JARVIS-1", "DaDu-E", "MP5",   "DEPS",
                              "MindAgent", "OLA",   "CoELA", "COMBO",
@@ -28,23 +29,40 @@ main()
     stats::Table table({"workload", "backend", "success", "steps",
                         "runtime (min)"});
 
+    // Two variants per system (API / local), one shared fan-out.
+    std::vector<runner::RunVariant> variants;
     for (const char *name : systems) {
         const auto &spec = workloads::workload(name);
 
         // GPT-4 configuration: force the planner/comm to the API model
         // even for systems that ship with local planners, matching the
         // paper's controlled comparison.
-        core::AgentConfig gpt4 = spec.config;
-        gpt4.planner_model = llm::ModelProfile::gpt4Api();
-        gpt4.comm_model = llm::ModelProfile::gpt4Api();
-        const auto api = bench::runAveraged(spec, gpt4, difficulty, kSeeds);
+        runner::RunVariant api;
+        api.workload = &spec;
+        api.config = spec.config;
+        api.config.planner_model = llm::ModelProfile::gpt4Api();
+        api.config.comm_model = llm::ModelProfile::gpt4Api();
+        api.difficulty = difficulty;
+        api.seeds = kSeeds;
+        variants.push_back(std::move(api));
 
-        core::AgentConfig local = spec.config;
-        local.planner_model = llm::ModelProfile::llama3_8bLocal();
-        local.comm_model = llm::ModelProfile::llama3_8bLocal();
-        const auto llama =
-            bench::runAveraged(spec, local, difficulty, kSeeds);
+        runner::RunVariant local;
+        local.workload = &spec;
+        local.config = spec.config;
+        local.config.planner_model = llm::ModelProfile::llama3_8bLocal();
+        local.config.comm_model = llm::ModelProfile::llama3_8bLocal();
+        local.difficulty = difficulty;
+        local.seeds = kSeeds;
+        variants.push_back(std::move(local));
+    }
 
+    const auto results =
+        runner::runAveragedMany(runner::EpisodeRunner::shared(), variants);
+
+    for (std::size_t i = 0; i < std::size(systems); ++i) {
+        const auto &spec = *variants[2 * i].workload;
+        const auto &api = results[2 * i];
+        const auto &llama = results[2 * i + 1];
         table.addRow({spec.name, "GPT-4 API",
                       stats::Table::pct(api.success_rate, 0),
                       stats::Table::num(api.avg_steps, 0),
@@ -55,6 +73,8 @@ main()
                           : stats::Table::pct(llama.success_rate, 0),
                       stats::Table::num(llama.avg_steps, 0),
                       stats::Table::num(llama.avg_runtime_min, 1)});
+        bench::emitMetric(spec.name + std::string(" gpt4-api"), api);
+        bench::emitMetric(spec.name + std::string(" llama3-8b"), llama);
     }
 
     std::printf("%s\n", table.render().c_str());

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <vector>
 
 #include "bench_util.h"
 #include "stats/csv.h"
@@ -28,7 +29,7 @@ main(int argc, char **argv)
                           "system", "difficulty", "capacity", "success",
                           "avg_steps", "retrieval_s_per_step"});
     }
-    const int kSeeds = bench::seedCount(10);
+    const int kSeeds = bench::seedCount(20);
     const char *systems[] = {"JARVIS-1", "MindAgent", "CoELA"};
     const int capacities[] = {5, 10, 20, 30, 40, 60};
     const env::Difficulty difficulties[] = {env::Difficulty::Easy,
@@ -39,17 +40,33 @@ main(int argc, char **argv)
                 "(%d seeds) ===\n\n",
                 kSeeds);
 
+    // The full system × difficulty × capacity grid fans out as one batch.
+    std::vector<runner::RunVariant> variants;
     for (const char *name : systems) {
         const auto &spec = workloads::workload(name);
+        for (const auto difficulty : difficulties) {
+            for (const int capacity : capacities) {
+                runner::RunVariant v;
+                v.workload = &spec;
+                v.config = spec.config;
+                v.config.memory.capacity_steps = capacity;
+                v.difficulty = difficulty;
+                v.seeds = kSeeds;
+                variants.push_back(std::move(v));
+            }
+        }
+    }
+    const auto results =
+        runner::runAveragedMany(runner::EpisodeRunner::shared(), variants);
+
+    std::size_t idx = 0;
+    for (const char *name : systems) {
         std::printf("--- %s ---\n", name);
         stats::Table table({"difficulty", "capacity (steps)", "success",
                             "avg steps", "retrieval s/step"});
         for (const auto difficulty : difficulties) {
             for (const int capacity : capacities) {
-                core::AgentConfig config = spec.config;
-                config.memory.capacity_steps = capacity;
-                const auto r = bench::runAveraged(spec, config, difficulty,
-                                                  kSeeds);
+                const auto &r = results[idx++];
                 const double retrieval_per_step =
                     r.avg_steps > 0
                         ? r.latency.total(stats::ModuleKind::Memory) /
@@ -60,6 +77,10 @@ main(int argc, char **argv)
                               stats::Table::pct(r.success_rate, 0),
                               stats::Table::num(r.avg_steps, 1),
                               stats::Table::num(retrieval_per_step, 3)});
+                if (difficulty == env::Difficulty::Medium)
+                    bench::emitMetric(std::string(name) + " cap=" +
+                                          std::to_string(capacity),
+                                      r);
                 if (csv)
                     csv->row({name, env::difficultyName(difficulty),
                               std::to_string(capacity),
@@ -69,6 +90,13 @@ main(int argc, char **argv)
             }
         }
         std::printf("%s\n", table.render().c_str());
+    }
+    if (idx != results.size()) {
+        std::fprintf(stderr,
+                     "fig5: consumed %zu of %zu results — the print loops "
+                     "fell out of sync with the variant grid\n",
+                     idx, results.size());
+        return 1;
     }
 
     std::printf(

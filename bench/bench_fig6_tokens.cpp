@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
+#include <vector>
 
 #include "bench_util.h"
 #include "stats/table.h"
@@ -21,16 +22,25 @@ main()
 
     std::printf("=== Fig. 6: prompt token length over time steps ===\n\n");
 
+    // One token-recorded episode per system, run as a single batch.
+    std::vector<runner::EpisodeJob> jobs;
     for (const char *name : systems) {
         const auto &spec = workloads::workload(name);
-        core::EpisodeOptions options;
-        options.seed = 17;
-        options.record_tokens = true;
+        runner::EpisodeJob job;
+        job.workload = &spec;
         // Generous memory so history accumulates like the paper's runs.
-        core::AgentConfig config = spec.config;
-        config.memory.capacity_steps = 0; // unlimited
-        const auto r = spec.runWithConfig(config, env::Difficulty::Medium,
-                                          options);
+        job.config = spec.config;
+        job.config.memory.capacity_steps = 0; // unlimited
+        job.difficulty = env::Difficulty::Medium;
+        job.seed = 17;
+        job.record_tokens = true;
+        jobs.push_back(std::move(job));
+    }
+    const auto episodes = runner::EpisodeRunner::shared().run(jobs);
+
+    for (std::size_t i = 0; i < std::size(systems); ++i) {
+        const char *name = systems[i];
+        const auto &r = episodes[i];
 
         // Bucket the series: per step, per agent, plan and message tokens.
         std::map<int, std::map<int, std::pair<int, int>>> series;
@@ -43,7 +53,6 @@ main()
         std::printf("--- %s (%d steps, success=%s) ---\n", name, r.steps,
                     r.success ? "yes" : "no");
         stats::Table table({"step", "agent", "plan tokens", "msg tokens"});
-        int printed = 0;
         const int stride = std::max(1, r.steps / 12);
         for (const auto &[step, agents] : series) {
             if (step % stride != 0)
@@ -54,10 +63,11 @@ main()
                                         : std::to_string(agent),
                               std::to_string(tokens.first),
                               std::to_string(tokens.second)});
-                ++printed;
             }
         }
         std::printf("%s\n", table.render().c_str());
+
+        bench::emitMetric(name, runner::foldEpisodes({&r, 1}));
 
         // Growth summary: first vs last quartile of plan tokens.
         double early = 0.0, late = 0.0;
@@ -73,11 +83,14 @@ main()
                 ++late_n;
             }
         }
-        if (early_n > 0 && late_n > 0)
+        if (early_n > 0 && late_n > 0) {
             std::printf("plan-prompt growth: %.0f -> %.0f tokens "
                         "(%.1fx) over the task\n\n",
                         early / early_n, late / late_n,
                         (late / late_n) / (early / early_n));
+            bench::emitScalarMetric(name, "plan_prompt_growth_ratio",
+                                    (late / late_n) / (early / early_n));
+        }
     }
 
     std::printf("Expected shape: token consumption increases with the time\n"

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <vector>
 
 #include "bench_util.h"
 #include "stats/csv.h"
@@ -30,7 +31,7 @@ main(int argc, char **argv)
                           "success", "latency_min", "llm_calls",
                           "tokens_k"});
     }
-    const int kSeeds = bench::seedCount(6);
+    const int kSeeds = bench::seedCount(12);
     const char *systems[] = {"MindAgent", "CoELA", "COMBO"};
     const int agent_counts[] = {2, 4, 6, 8, 10, 12};
     const env::Difficulty difficulties[] = {env::Difficulty::Easy,
@@ -41,6 +42,26 @@ main(int argc, char **argv)
                 "(%d seeds) ===\n\n",
                 kSeeds);
 
+    // The system × difficulty × team-size grid fans out as one batch.
+    std::vector<runner::RunVariant> variants;
+    for (const char *name : systems) {
+        const auto &spec = workloads::workload(name);
+        for (const auto difficulty : difficulties) {
+            for (const int n : agent_counts) {
+                runner::RunVariant v;
+                v.workload = &spec;
+                v.config = spec.config;
+                v.difficulty = difficulty;
+                v.seeds = kSeeds;
+                v.n_agents = n;
+                variants.push_back(std::move(v));
+            }
+        }
+    }
+    const auto results =
+        runner::runAveragedMany(runner::EpisodeRunner::shared(), variants);
+
+    std::size_t idx = 0;
     for (const char *name : systems) {
         const auto &spec = workloads::workload(name);
         std::printf("--- %s (%s) ---\n", name,
@@ -49,33 +70,36 @@ main(int argc, char **argv)
                             "latency (min)", "LLM calls", "tokens (k)"});
         for (const auto difficulty : difficulties) {
             for (const int n : agent_counts) {
-                const auto r = bench::runAveraged(spec, spec.config,
-                                                  difficulty, kSeeds, n);
+                const auto &r = results[idx++];
                 table.addRow(
                     {env::difficultyName(difficulty), std::to_string(n),
                      stats::Table::pct(r.success_rate, 0),
                      stats::Table::num(r.avg_runtime_min, 1),
-                     stats::Table::num(
-                         static_cast<double>(r.llm_calls) / kSeeds, 0),
-                     stats::Table::num(
-                         static_cast<double>(r.tokens) / kSeeds / 1000.0,
-                         0)});
+                     stats::Table::num(r.llmCallsPerEpisode(), 0),
+                     stats::Table::num(r.tokensPerEpisode() / 1000.0, 0)});
+                if (difficulty == env::Difficulty::Medium)
+                    bench::emitMetric(std::string(name) + " agents=" +
+                                          std::to_string(n),
+                                      r);
                 if (csv)
                     csv->row({name, workloads::paradigmName(spec.paradigm),
                               env::difficultyName(difficulty),
                               std::to_string(n),
                               stats::Table::num(r.success_rate, 3),
                               stats::Table::num(r.avg_runtime_min, 2),
+                              stats::Table::num(r.llmCallsPerEpisode(), 1),
                               stats::Table::num(
-                                  static_cast<double>(r.llm_calls) / kSeeds,
-                                  1),
-                              stats::Table::num(
-                                  static_cast<double>(r.tokens) / kSeeds /
-                                      1000.0,
-                                  1)});
+                                  r.tokensPerEpisode() / 1000.0, 1)});
             }
         }
         std::printf("%s\n", table.render().c_str());
+    }
+    if (idx != results.size()) {
+        std::fprintf(stderr,
+                     "fig7: consumed %zu of %zu results — the print loops "
+                     "fell out of sync with the variant grid\n",
+                     idx, results.size());
+        return 1;
     }
 
     std::printf(

@@ -4,9 +4,22 @@
  * compute cost backs the execution-module latency story: A* grid search,
  * RRT motion planning, memory retrieval, the token counter, and the LLM
  * engine's sampling path.
+ *
+ * Honors EBS_BENCH_SMOKE (set by `run_all --smoke`) by clamping
+ * --benchmark_min_time to a few milliseconds so the suite stops
+ * dominating smoke runs. Full runs use a 0.05 s window instead of
+ * Google Benchmark's 0.5 s default — every op here is ns-to-µs scale,
+ * so that still means 1e4-1e7 iterations per measurement while keeping
+ * `run_all` wall-clock dominated by the episode suites the runner can
+ * actually parallelize.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
 
 #include "core/coordinator.h"
 #include "envs/transport_env.h"
@@ -127,4 +140,23 @@ BENCHMARK(BM_EpisodeTransportEasy);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Clamp per-benchmark measurement time (hard in smoke mode, mild in
+    // full mode). Ours is inserted before any caller flags, and Google
+    // Benchmark lets the last occurrence win, so an explicit
+    // --benchmark_min_time on the command line still takes precedence.
+    std::vector<char *> args(argv, argv + argc);
+    std::string min_time = ebs::bench::smokeMode()
+                               ? "--benchmark_min_time=0.005"
+                               : "--benchmark_min_time=0.05";
+    args.insert(args.begin() + 1, min_time.data());
+    int args_count = static_cast<int>(args.size());
+    benchmark::Initialize(&args_count, args.data());
+    if (benchmark::ReportUnrecognizedArguments(args_count, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -17,8 +17,7 @@
  */
 
 #include <cstdio>
-
-#include <tuple>
+#include <vector>
 
 #include "bench_util.h"
 #include "envs/transport_env.h"
@@ -29,37 +28,33 @@ int
 main()
 {
     using namespace ebs;
-    const int kSeeds = bench::seedCount(10);
+    const int kSeeds = bench::seedCount(20);
     const auto difficulty = env::Difficulty::Medium;
+    const auto &shared_runner = runner::EpisodeRunner::shared();
 
     // ----- Local-model optimizations on DaDu-E (Llama-8B planner) -----
     {
         const auto &spec = workloads::workload("DaDu-E");
         std::printf("=== Local-model optimizations (DaDu-E, Llama-8B) "
                     "===\n\n");
-        stats::Table table({"variant", "success", "steps",
-                            "runtime (min)"});
-        auto add = [&](const char *label, const bench::RunStats &r) {
-            table.addRow({label, stats::Table::pct(r.success_rate, 0),
-                          stats::Table::num(r.avg_steps, 1),
-                          stats::Table::num(r.avg_runtime_min, 1)});
-        };
 
-        add("baseline (multiple-choice planning, Rec. 4)",
-            bench::runAveraged(spec, spec.config, difficulty, kSeeds));
+        auto variant = [&](core::AgentConfig config) {
+            runner::RunVariant v;
+            v.workload = &spec;
+            v.config = std::move(config);
+            v.difficulty = difficulty;
+            v.seeds = kSeeds;
+            return v;
+        };
 
         // Without Rec. 4: raw free-form Llama-8B planning.
         core::AgentConfig raw = spec.config;
         raw.planner_model = llm::ModelProfile::llama3_8bLocal();
-        add("raw Llama-8B (no multiple-choice prompting)",
-            bench::runAveraged(spec, raw, difficulty, kSeeds));
 
         // Rec. 4: LoRA fine-tuning the raw local model on the task.
         core::AgentConfig lora = spec.config;
         lora.planner_model = llm::ModelProfile::loraTuned(
             llm::ModelProfile::llama3_8bLocal(), 0.5);
-        add("LoRA-tuned Llama-8B (Rec. 4)",
-            bench::runAveraged(spec, lora, difficulty, kSeeds));
 
         // Rec. 1: AWQ 4-bit quantization of the planner.
         core::AgentConfig quant = spec.config;
@@ -67,9 +62,26 @@ main()
             llm::ModelProfile::quantized(spec.config.planner_model);
         quant.reflect_model =
             llm::ModelProfile::quantized(spec.config.reflect_model);
-        add("AWQ-4bit quantized models (Rec. 1)",
-            bench::runAveraged(spec, quant, difficulty, kSeeds));
 
+        const char *labels[] = {
+            "baseline (multiple-choice planning, Rec. 4)",
+            "raw Llama-8B (no multiple-choice prompting)",
+            "LoRA-tuned Llama-8B (Rec. 4)",
+            "AWQ-4bit quantized models (Rec. 1)",
+        };
+        const auto results = runner::runAveragedMany(
+            shared_runner, {variant(spec.config), variant(raw),
+                            variant(lora), variant(quant)});
+
+        stats::Table table({"variant", "success", "steps",
+                            "runtime (min)"});
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const auto &r = results[i];
+            table.addRow({labels[i], stats::Table::pct(r.success_rate, 0),
+                          stats::Table::num(r.avg_steps, 1),
+                          stats::Table::num(r.avg_runtime_min, 1)});
+            bench::emitMetric(std::string("dadu-e ") + labels[i], r);
+        }
         std::printf("%s\n", table.render().c_str());
     }
 
@@ -96,6 +108,9 @@ main()
                           stats::Table::num(sequential, 1),
                           stats::Table::num(batched, 1),
                           stats::Table::num(sequential / batched, 2) + "x"});
+            bench::emitScalarMetric("batched inference k=" +
+                                        std::to_string(k),
+                                    "speedup", sequential / batched);
         }
         std::printf("%s\n", table.render().c_str());
     }
@@ -104,31 +119,39 @@ main()
     {
         const auto &spec = workloads::workload("CoELA");
         std::printf("=== Memory & prompt optimizations (CoELA) ===\n\n");
+
+        runner::RunVariant base;
+        base.workload = &spec;
+        base.config = spec.config;
+        base.difficulty = difficulty;
+        base.seeds = kSeeds;
+
+        // Rec. 5: dual memory.
+        runner::RunVariant dual = base;
+        dual.config.memory.dual_memory = true;
+
+        // Rec. 6: context compression to 40%.
+        runner::RunVariant compressed = base;
+        compressed.pipeline.context_compression = 0.4;
+
+        const char *labels[] = {
+            "baseline",
+            "dual long/short-term memory (Rec. 5)",
+            "context compression 0.4 (Rec. 6)",
+        };
+        const auto results = runner::runAveragedMany(
+            shared_runner, {base, dual, compressed});
+
         stats::Table table({"variant", "success", "steps", "s/step",
                             "runtime (min)"});
-        auto add = [&](const char *label, const bench::RunStats &r) {
-            table.addRow({label, stats::Table::pct(r.success_rate, 0),
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const auto &r = results[i];
+            table.addRow({labels[i], stats::Table::pct(r.success_rate, 0),
                           stats::Table::num(r.avg_steps, 1),
                           stats::Table::num(r.avg_step_latency_s, 1),
                           stats::Table::num(r.avg_runtime_min, 1)});
-        };
-
-        add("baseline",
-            bench::runAveraged(spec, spec.config, difficulty, kSeeds));
-
-        // Rec. 5: dual memory.
-        core::AgentConfig dual = spec.config;
-        dual.memory.dual_memory = true;
-        add("dual long/short-term memory (Rec. 5)",
-            bench::runAveraged(spec, dual, difficulty, kSeeds));
-
-        // Rec. 6: context compression to 40%.
-        core::PipelineOptions compressed;
-        compressed.context_compression = 0.4;
-        add("context compression 0.4 (Rec. 6)",
-            bench::runAveraged(spec, spec.config, difficulty, kSeeds, -1,
-                               compressed));
-
+            bench::emitMetric(std::string("coela ") + labels[i], r);
+        }
         std::printf("%s\n", table.render().c_str());
     }
 
@@ -137,62 +160,63 @@ main()
         const auto &spec = workloads::workload("CoELA");
         std::printf("=== Scalability optimizations (CoELA config, "
                     "8 agents, transport medium) ===\n\n");
+
+        // These drive paradigm entry points directly (no WorkloadSpec
+        // paradigm exists for hierarchical), so they run as custom jobs.
+        auto custom = [&](core::EpisodeResult (*episode)(
+                              const core::AgentConfig &,
+                              const core::EpisodeOptions &)) {
+            runner::RunVariant v;
+            v.seeds = kSeeds;
+            v.custom = [&spec,
+                        episode](const core::EpisodeOptions &options) {
+                return episode(spec.config, options);
+            };
+            return v;
+        };
+
+        const auto results = runner::runAveragedMany(
+            shared_runner,
+            {custom([](const core::AgentConfig &config,
+                       const core::EpisodeOptions &options) {
+                 sim::Rng env_rng = sim::Rng(options.seed).fork(7);
+                 envs::TransportEnv environment(env::Difficulty::Medium, 8,
+                                                env_rng);
+                 return core::runDecentralized(environment, config,
+                                               options);
+             }),
+             custom([](const core::AgentConfig &config,
+                       const core::EpisodeOptions &options) {
+                 sim::Rng env_rng = sim::Rng(options.seed).fork(7);
+                 envs::TransportEnv environment(env::Difficulty::Medium, 8,
+                                                env_rng);
+                 core::EpisodeOptions opt = options;
+                 opt.pipeline.comm_on_demand = true;
+                 opt.pipeline.context_compression = 0.5;
+                 return core::runDecentralized(environment, config, opt);
+             }),
+             custom([](const core::AgentConfig &config,
+                       const core::EpisodeOptions &options) {
+                 sim::Rng env_rng = sim::Rng(options.seed).fork(7);
+                 envs::TransportEnv environment(env::Difficulty::Medium, 8,
+                                                env_rng);
+                 return core::runHierarchical(environment, config, options,
+                                              /*cluster_size=*/3);
+             })});
+
+        const char *labels[] = {
+            "decentralized baseline",
+            "on-demand comm + compression (Recs. 8/6)",
+            "hierarchical clusters of 3 (Rec. 9)",
+        };
         stats::Table table({"variant", "success", "latency (min)",
                             "LLM calls"});
-        auto add = [&](const char *label, double ok, double minutes,
-                       double calls) {
-            table.addRow({label, stats::Table::pct(ok, 0),
-                          stats::Table::num(minutes, 1),
-                          stats::Table::num(calls, 0)});
-        };
-
-        auto run_paradigm = [&](auto &&runner) {
-            double ok = 0, minutes = 0, calls = 0;
-            for (int seed = 1; seed <= kSeeds; ++seed) {
-                core::EpisodeOptions options;
-                options.seed = 1000ULL + seed * 7919ULL;
-                sim::Rng env_rng = sim::Rng(options.seed).fork(7);
-                envs::TransportEnv environment(difficulty, 8, env_rng);
-                const auto r = runner(environment, options);
-                ok += r.success;
-                minutes += r.sim_seconds / 60.0;
-                calls += static_cast<double>(r.llm.calls);
-            }
-            return std::tuple{ok / kSeeds, minutes / kSeeds,
-                              calls / kSeeds};
-        };
-
-        {
-            const auto [ok, minutes, calls] = run_paradigm(
-                [&](env::Environment &environment,
-                    const core::EpisodeOptions &options) {
-                    return core::runDecentralized(environment, spec.config,
-                                                  options);
-                });
-            add("decentralized baseline", ok, minutes, calls);
-        }
-        {
-            const auto [ok, minutes, calls] = run_paradigm(
-                [&](env::Environment &environment,
-                    const core::EpisodeOptions &options) {
-                    core::EpisodeOptions opt = options;
-                    opt.pipeline.comm_on_demand = true;
-                    opt.pipeline.context_compression = 0.5;
-                    return core::runDecentralized(environment, spec.config,
-                                                  opt);
-                });
-            add("on-demand comm + compression (Recs. 8/6)", ok, minutes,
-                calls);
-        }
-        {
-            const auto [ok, minutes, calls] = run_paradigm(
-                [&](env::Environment &environment,
-                    const core::EpisodeOptions &options) {
-                    return core::runHierarchical(environment, spec.config,
-                                                 options,
-                                                 /*cluster_size=*/3);
-                });
-            add("hierarchical clusters of 3 (Rec. 9)", ok, minutes, calls);
+        for (std::size_t i = 0; i < results.size(); ++i) {
+            const auto &r = results[i];
+            table.addRow({labels[i], stats::Table::pct(r.success_rate, 0),
+                          stats::Table::num(r.avg_runtime_min, 1),
+                          stats::Table::num(r.llmCallsPerEpisode(), 0)});
+            bench::emitMetric(std::string("transport8 ") + labels[i], r);
         }
         std::printf("%s\n", table.render().c_str());
         std::printf(

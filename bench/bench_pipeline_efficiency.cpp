@@ -8,6 +8,7 @@
  */
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 #include "stats/table.h"
@@ -16,7 +17,7 @@ int
 main()
 {
     using namespace ebs;
-    const int kSeeds = bench::seedCount(10);
+    const int kSeeds = bench::seedCount(20);
     const auto &spec = workloads::workload("CoELA");
     const auto difficulty = env::Difficulty::Medium;
 
@@ -24,50 +25,69 @@ main()
                 "%d seeds) ===\n\n",
                 kSeeds);
 
-    const auto base =
-        bench::runAveraged(spec, spec.config, difficulty, kSeeds);
+    // All five pipeline variants fan out as one batch.
+    struct Case
+    {
+        const char *label;
+        core::PipelineOptions pipeline;
+    };
+    std::vector<Case> cases;
+    cases.push_back({"sequential baseline", {}});
+    {
+        core::PipelineOptions parallel;
+        parallel.parallel_agents = true;
+        cases.push_back({"parallel agent pipelines", parallel});
+    }
+    {
+        core::PipelineOptions guided;
+        guided.plan_every_k = 3;
+        cases.push_back({"plan-guided multi-step (Rec. 7, k=3)", guided});
+    }
+    {
+        core::PipelineOptions on_demand;
+        on_demand.comm_on_demand = true;
+        cases.push_back({"planning-then-communication (Rec. 8)", on_demand});
+    }
+    {
+        core::PipelineOptions combined;
+        combined.plan_every_k = 3;
+        combined.comm_on_demand = true;
+        combined.parallel_agents = true;
+        cases.push_back({"all three combined", combined});
+    }
 
+    std::vector<runner::RunVariant> variants;
+    for (const auto &c : cases) {
+        runner::RunVariant v;
+        v.workload = &spec;
+        v.config = spec.config;
+        v.difficulty = difficulty;
+        v.seeds = kSeeds;
+        v.pipeline = c.pipeline;
+        variants.push_back(std::move(v));
+    }
+    const auto results =
+        runner::runAveragedMany(runner::EpisodeRunner::shared(), variants);
+
+    const auto &base = results.front();
     std::printf("Message utility: %.0f of %.0f generated messages per task "
                 "carried information (%.1f%%; paper: ~20%%)\n\n",
                 base.msgs_useful, base.msgs_generated,
                 base.msgs_useful / base.msgs_generated * 100.0);
+    bench::emitScalarMetric("sequential baseline", "message_utility",
+                            base.msgs_useful / base.msgs_generated);
 
     stats::Table table({"pipeline variant", "success", "steps", "s/step",
                         "runtime (min)", "msgs/task"});
-    auto add = [&](const char *label, const bench::RunStats &r) {
-        table.addRow({label, stats::Table::pct(r.success_rate, 0),
+    for (std::size_t i = 0; i < cases.size(); ++i) {
+        const auto &r = results[i];
+        table.addRow({cases[i].label, stats::Table::pct(r.success_rate, 0),
                       stats::Table::num(r.avg_steps, 1),
                       stats::Table::num(r.avg_step_latency_s, 1),
                       stats::Table::num(r.avg_runtime_min, 1),
                       stats::Table::num(r.msgs_generated, 0)});
-    };
-    add("sequential baseline", base);
-
-    core::PipelineOptions parallel;
-    parallel.parallel_agents = true;
-    add("parallel agent pipelines",
-        bench::runAveraged(spec, spec.config, difficulty, kSeeds, -1,
-                           parallel));
-
-    core::PipelineOptions guided;
-    guided.plan_every_k = 3;
-    add("plan-guided multi-step (Rec. 7, k=3)",
-        bench::runAveraged(spec, spec.config, difficulty, kSeeds, -1,
-                           guided));
-
-    core::PipelineOptions on_demand;
-    on_demand.comm_on_demand = true;
-    add("planning-then-communication (Rec. 8)",
-        bench::runAveraged(spec, spec.config, difficulty, kSeeds, -1,
-                           on_demand));
-
-    core::PipelineOptions combined;
-    combined.plan_every_k = 3;
-    combined.comm_on_demand = true;
-    combined.parallel_agents = true;
-    add("all three combined",
-        bench::runAveraged(spec, spec.config, difficulty, kSeeds, -1,
-                           combined));
+        bench::emitMetric(cases[i].label, r);
+    }
 
     std::printf("%s\n", table.render().c_str());
     std::printf("Expected shape: parallel pipelines cut wall-clock without\n"

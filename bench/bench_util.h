@@ -2,13 +2,21 @@
 #define EBS_BENCH_BENCH_UTIL_H
 
 #include <cctype>
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "runner/averaged.h"
+#include "runner/episode_runner.h"
+#include "runner/run_stats.h"
 #include "workloads/workload.h"
 
 namespace ebs::bench {
+
+/** Averaged episode metrics (promoted into the library in PR 2). */
+using runner::RunStats;
 
 /**
  * Smoke mode (EBS_BENCH_SMOKE=1 in the environment, set by
@@ -44,51 +52,91 @@ seedCount(int requested)
     return smokeMode() ? 1 : requested;
 }
 
-/** Averaged episode metrics over several seeds. */
-struct RunStats
-{
-    double success_rate = 0.0;
-    double avg_steps = 0.0;
-    double avg_runtime_min = 0.0;
-    double avg_step_latency_s = 0.0;
-    stats::LatencyRecorder latency; ///< merged across episodes
-    double msgs_generated = 0.0;
-    double msgs_useful = 0.0;
-    long long llm_calls = 0;
-    long long tokens = 0;
-};
-
-/** Run a workload variant over `seeds` seeds and average the results. */
+/**
+ * Run a workload variant over `seeds` seeds and average the results,
+ * fanning the episodes across the shared EpisodeRunner (EBS_JOBS
+ * threads). Benches with a parameter grid should build RunVariant lists
+ * and call runner::runAveragedMany directly so the whole grid shares one
+ * fan-out.
+ */
 inline RunStats
 runAveraged(const workloads::WorkloadSpec &spec,
             const core::AgentConfig &config, env::Difficulty difficulty,
             int seeds, int n_agents = -1,
             const core::PipelineOptions &pipeline = {})
 {
-    RunStats out;
-    for (int seed = 1; seed <= seeds; ++seed) {
-        core::EpisodeOptions options;
-        options.seed = 1000ULL + static_cast<std::uint64_t>(seed) * 7919ULL;
-        options.pipeline = pipeline;
-        const auto r =
-            spec.runWithConfig(config, difficulty, options, n_agents);
-        out.success_rate += r.success;
-        out.avg_steps += r.steps;
-        out.avg_runtime_min += r.sim_seconds / 60.0;
-        out.avg_step_latency_s += r.secondsPerStep();
-        out.latency.merge(r.latency);
-        out.msgs_generated += r.messages_generated;
-        out.msgs_useful += r.messages_useful;
-        out.llm_calls += static_cast<long long>(r.llm.calls);
-        out.tokens += r.llm.tokens_in + r.llm.tokens_out;
+    runner::RunVariant variant;
+    variant.workload = &spec;
+    variant.config = config;
+    variant.difficulty = difficulty;
+    variant.seeds = seeds;
+    variant.n_agents = n_agents;
+    variant.pipeline = pipeline;
+    return runner::runAveraged(runner::EpisodeRunner::shared(), variant);
+}
+
+/** Format a double as a JSON number; non-finite values become null so a
+ * stray NaN/Inf metric cannot corrupt BENCH_results.json. */
+inline std::string
+jsonNum(double v, int precision)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+/** Escape a string for embedding in a JSON string literal. */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20)
+            out += ' ';
+        else
+            out += c;
     }
-    out.success_rate /= seeds;
-    out.avg_steps /= seeds;
-    out.avg_runtime_min /= seeds;
-    out.avg_step_latency_s /= seeds;
-    out.msgs_generated /= seeds;
-    out.msgs_useful /= seeds;
     return out;
+}
+
+/**
+ * Emit one machine-readable headline-metrics line for a measured case.
+ *
+ * `run_all` greps the captured stdout of every suite for "EBS_METRIC "
+ * prefixed JSON objects and folds them into BENCH_results.json, giving
+ * successive PRs a paper-metric trajectory (success rate, s/step, token
+ * volume) alongside the runtime counters.
+ */
+inline void
+emitMetric(const std::string &bench_case, const RunStats &r)
+{
+    std::printf("EBS_METRIC {\"case\":\"%s\",\"episodes\":%d,"
+                "\"success_rate\":%s,\"avg_steps\":%s,"
+                "\"s_per_step\":%s,\"runtime_min\":%s,"
+                "\"llm_calls_per_episode\":%s,"
+                "\"tokens_per_episode\":%s}\n",
+                jsonEscape(bench_case).c_str(), r.episodes,
+                jsonNum(r.success_rate, 4).c_str(),
+                jsonNum(r.avg_steps, 2).c_str(),
+                jsonNum(r.avg_step_latency_s, 3).c_str(),
+                jsonNum(r.avg_runtime_min, 3).c_str(),
+                jsonNum(r.llmCallsPerEpisode(), 1).c_str(),
+                jsonNum(r.tokensPerEpisode(), 0).c_str());
+}
+
+/** Emit a single named scalar as an EBS_METRIC line. */
+inline void
+emitScalarMetric(const std::string &bench_case, const std::string &name,
+                 double value)
+{
+    std::printf("EBS_METRIC {\"case\":\"%s\",\"%s\":%s}\n",
+                jsonEscape(bench_case).c_str(), jsonEscape(name).c_str(),
+                jsonNum(value, 6).c_str());
 }
 
 } // namespace ebs::bench

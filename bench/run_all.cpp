@@ -6,9 +6,17 @@
  * `BENCH_results.json` (suite -> metric -> value) so successive PRs have a
  * perf trajectory to compare against.
  *
+ * Besides runtime counters, every suite's captured stdout is scanned for
+ * `EBS_METRIC {...}` lines (emitted by the benches via bench_util.h) and
+ * the JSON objects are folded into the suite's `paper_metrics` array, so
+ * the trajectory tracks the paper's headline metrics (success rate,
+ * s/step, token volume) and not just wall-clock.
+ *
  * Flags:
  *   --smoke        run each suite with tiny iteration counts (sets
  *                  EBS_BENCH_SMOKE=1, honored by bench_util.h)
+ *   --jobs N       episode-runner threads per suite (sets EBS_JOBS for
+ *                  the children; default: inherit the environment)
  *   --out PATH     output JSON path (default: BENCH_results.json in cwd)
  *   --logs DIR     per-suite stdout logs (default: BENCH_logs in cwd)
  *   --filter STR   only run suites whose name contains STR
@@ -22,6 +30,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -42,7 +51,34 @@ struct SuiteResult
     double user_seconds = 0.0;
     double sys_seconds = 0.0;
     long max_rss_kb = 0;
+    std::vector<std::string> paper_metrics; ///< raw EBS_METRIC objects
 };
+
+/**
+ * Collect the JSON objects of `EBS_METRIC {...}` lines from a suite's
+ * captured stdout. The objects are emitted by bench_util.h and embedded
+ * verbatim, so run_all needs no JSON parser — only a sanity check that
+ * the payload looks like a single-line object.
+ */
+std::vector<std::string>
+collectMetricLines(const fs::path &log_path)
+{
+    static const std::string kPrefix = "EBS_METRIC ";
+    std::vector<std::string> metrics;
+    std::ifstream log(log_path);
+    std::string line;
+    while (std::getline(log, line)) {
+        if (line.rfind(kPrefix, 0) != 0)
+            continue;
+        std::string payload = line.substr(kPrefix.size());
+        if (!payload.empty() && payload.back() == '\r')
+            payload.pop_back();
+        if (payload.size() >= 2 && payload.front() == '{' &&
+            payload.back() == '}')
+            metrics.push_back(std::move(payload));
+    }
+    return metrics;
+}
 
 /** Directory containing this executable (where the bench binaries live). */
 fs::path
@@ -66,7 +102,8 @@ isExecutableFile(const fs::path &p)
 
 /** Run one benchmark binary, capturing output and resource usage. */
 SuiteResult
-runSuite(const fs::path &binary, const fs::path &log_path, bool smoke)
+runSuite(const fs::path &binary, const fs::path &log_path, bool smoke,
+         const std::string &jobs)
 {
     SuiteResult result;
     result.name = binary.filename().string();
@@ -91,6 +128,8 @@ runSuite(const fs::path &binary, const fs::path &log_path, bool smoke)
         else
             ::unsetenv("EBS_BENCH_SMOKE"); // a stale value would silently
                                            // clamp a full baseline run
+        if (!jobs.empty())
+            ::setenv("EBS_JOBS", jobs.c_str(), 1);
         ::execl(binary.c_str(), binary.c_str(),
                 static_cast<char *>(nullptr));
         std::fprintf(stderr, "run_all: exec %s failed: %s\n",
@@ -118,6 +157,7 @@ runSuite(const fs::path &binary, const fs::path &log_path, bool smoke)
     result.sys_seconds = static_cast<double>(usage.ru_stime.tv_sec) +
                          usage.ru_stime.tv_usec / 1e6;
     result.max_rss_kb = usage.ru_maxrss;
+    result.paper_metrics = collectMetricLines(log_path);
     return result;
 }
 
@@ -132,7 +172,7 @@ writeJson(const fs::path &out_path, const std::vector<SuiteResult> &results,
         std::exit(1);
     }
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema_version\": 1,\n");
+    std::fprintf(f, "  \"schema_version\": 2,\n");
     std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
     std::fprintf(f, "  \"suites\": {\n");
     for (std::size_t i = 0; i < results.size(); ++i) {
@@ -143,10 +183,14 @@ writeJson(const fs::path &out_path, const std::vector<SuiteResult> &results,
                      "      \"wall_seconds\": %.6f,\n"
                      "      \"user_seconds\": %.6f,\n"
                      "      \"sys_seconds\": %.6f,\n"
-                     "      \"max_rss_kb\": %ld\n"
-                     "    }%s\n",
+                     "      \"max_rss_kb\": %ld,\n"
+                     "      \"paper_metrics\": [",
                      r.name.c_str(), r.exit_code, r.wall_seconds,
-                     r.user_seconds, r.sys_seconds, r.max_rss_kb,
+                     r.user_seconds, r.sys_seconds, r.max_rss_kb);
+        for (std::size_t m = 0; m < r.paper_metrics.size(); ++m)
+            std::fprintf(f, "\n        %s%s", r.paper_metrics[m].c_str(),
+                         m + 1 < r.paper_metrics.size() ? "," : "\n      ");
+        std::fprintf(f, "]\n    }%s\n",
                      i + 1 < results.size() ? "," : "");
     }
     std::fprintf(f, "  }\n}\n");
@@ -161,6 +205,7 @@ main(int argc, char **argv)
     bool smoke = false;
     bool list_only = false;
     std::string filter;
+    std::string jobs;
     fs::path out_path = "BENCH_results.json";
     fs::path log_dir = "BENCH_logs";
 
@@ -176,10 +221,22 @@ main(int argc, char **argv)
             log_dir = argv[++i];
         } else if (arg == "--filter" && i + 1 < argc) {
             filter = argv[++i];
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            jobs = argv[++i];
+            char *end = nullptr;
+            const long parsed = std::strtol(jobs.c_str(), &end, 10);
+            if (end == jobs.c_str() || *end != '\0' || parsed <= 0 ||
+                parsed > 1024) {
+                std::fprintf(stderr,
+                             "run_all: --jobs wants an integer in "
+                             "1..1024, got '%s'\n",
+                             jobs.c_str());
+                return 2;
+            }
         } else {
             std::fprintf(stderr,
                          "usage: run_all [--smoke] [--list] [--out PATH] "
-                         "[--logs DIR] [--filter STR]\n");
+                         "[--logs DIR] [--filter STR] [--jobs N]\n");
             return arg == "--help" || arg == "-h" ? 0 : 2;
         }
     }
@@ -232,7 +289,7 @@ main(int argc, char **argv)
             log_dir / (binary.filename().string() + ".log");
         std::printf("[run_all] %-32s ... ", binary.filename().c_str());
         std::fflush(stdout);
-        const SuiteResult r = runSuite(binary, log_path, smoke);
+        const SuiteResult r = runSuite(binary, log_path, smoke, jobs);
         std::printf("exit=%d wall=%.2fs rss=%ldKB\n", r.exit_code,
                     r.wall_seconds, r.max_rss_kb);
         failures += r.exit_code != 0;

@@ -1,0 +1,87 @@
+#ifndef EBS_RUNNER_EPISODE_RUNNER_H
+#define EBS_RUNNER_EPISODE_RUNNER_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/config.h"
+#include "core/coordinator.h"
+#include "env/env.h"
+#include "workloads/workload.h"
+
+namespace ebs::runner {
+
+/**
+ * One episode to execute: a workload variant plus the options of a single
+ * run. Jobs are self-contained — everything an episode needs travels in
+ * the descriptor, so any worker thread can execute any job.
+ *
+ * Two flavors:
+ *  - workload jobs: `workload` points into the (immortal) suite registry
+ *    and the episode runs `workload->runWithConfig(config, ...)`;
+ *  - custom jobs: `custom` is set and receives the assembled
+ *    EpisodeOptions — used by benches that drive paradigm entry points
+ *    (runHierarchical, runEndToEnd) directly.
+ */
+struct EpisodeJob
+{
+    const workloads::WorkloadSpec *workload = nullptr;
+    core::AgentConfig config;
+    env::Difficulty difficulty = env::Difficulty::Medium;
+    std::uint64_t seed = 1;
+    int n_agents = -1; ///< -1 = workload default
+    core::PipelineOptions pipeline;
+    bool record_tokens = false;
+
+    /** When set, runs instead of the workload path. Must be thread-safe
+     * with respect to every other job in the same batch. */
+    std::function<core::EpisodeResult(const core::EpisodeOptions &)> custom;
+};
+
+/**
+ * Thread-pooled fan-out over a batch of episode jobs.
+ *
+ * Workers claim jobs from a shared atomic cursor and write each result
+ * into the slot matching the job's submission index, so `run()` returns
+ * results in submission order and downstream folds are deterministic.
+ * Episodes share no mutable state (all simulator state is per-episode and
+ * every stochastic draw flows through the job's seed), which makes the
+ * results bit-identical regardless of the worker count.
+ *
+ * The worker count comes from the constructor, or — for the default
+ * instance — from `EBS_JOBS` (falling back to hardware_concurrency).
+ * `EBS_JOBS=1` runs every job inline on the calling thread, preserving
+ * the pre-runner serial behavior exactly.
+ */
+class EpisodeRunner
+{
+  public:
+    /** @param jobs worker threads; <= 0 selects defaultJobs() */
+    explicit EpisodeRunner(int jobs = 0);
+
+    /** Worker threads this runner fans out across (>= 1). */
+    int jobs() const { return jobs_; }
+
+    /** Execute a batch; results are in submission order. */
+    std::vector<core::EpisodeResult>
+    run(const std::vector<EpisodeJob> &batch) const;
+
+    /** `EBS_JOBS` if set to a positive integer, else the hardware
+     * concurrency (>= 1). */
+    static int defaultJobs();
+
+    /** Process-wide runner built with defaultJobs(), shared by the bench
+     * fleet so every bench honors one EBS_JOBS setting. */
+    static const EpisodeRunner &shared();
+
+  private:
+    int jobs_ = 1;
+};
+
+/** Execute one job on the calling thread (the serial building block). */
+core::EpisodeResult runEpisode(const EpisodeJob &job);
+
+} // namespace ebs::runner
+
+#endif // EBS_RUNNER_EPISODE_RUNNER_H

@@ -1,0 +1,44 @@
+#include "runner/run_stats.h"
+
+namespace ebs::runner {
+
+double
+RunStats::llmCallsPerEpisode() const
+{
+    return episodes > 0 ? static_cast<double>(llm_calls) / episodes : 0.0;
+}
+
+double
+RunStats::tokensPerEpisode() const
+{
+    return episodes > 0 ? static_cast<double>(tokens) / episodes : 0.0;
+}
+
+RunStats
+foldEpisodes(std::span<const core::EpisodeResult> episodes)
+{
+    RunStats out;
+    for (const auto &r : episodes) {
+        out.success_rate += r.success;
+        out.avg_steps += r.steps;
+        out.avg_runtime_min += r.sim_seconds / 60.0;
+        out.avg_step_latency_s += r.secondsPerStep();
+        out.latency.merge(r.latency);
+        out.msgs_generated += r.messages_generated;
+        out.msgs_useful += r.messages_useful;
+        out.llm_calls += static_cast<long long>(r.llm.calls);
+        out.tokens += r.llm.tokens_in + r.llm.tokens_out;
+    }
+    out.episodes = static_cast<int>(episodes.size());
+    if (out.episodes > 0) {
+        out.success_rate /= out.episodes;
+        out.avg_steps /= out.episodes;
+        out.avg_runtime_min /= out.episodes;
+        out.avg_step_latency_s /= out.episodes;
+        out.msgs_generated /= out.episodes;
+        out.msgs_useful /= out.episodes;
+    }
+    return out;
+}
+
+} // namespace ebs::runner
