@@ -76,5 +76,7 @@ main()
                             llm_share_sum / n);
     bench::emitScalarMetric("aggregate", "reflection_latency_share",
                             refl_share_sum / n);
+
+    bench::emitSharedServiceSummary("fig2 suite fleet");
     return 0;
 }

@@ -108,5 +108,7 @@ main(int argc, char **argv)
         "mildly (fewer LLM calls, linear); the decentralized systems'\n"
         "latency and token volume explode (quadratic dialogue) and their\n"
         "success rises then falls as collaboration efficiency degrades.\n");
+
+    bench::emitSharedServiceSummary("fig7 scalability fleet");
     return 0;
 }

@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "llm/engine_service.h"
 #include "runner/averaged.h"
 #include "runner/episode_runner.h"
 #include "runner/run_stats.h"
@@ -137,6 +138,32 @@ emitScalarMetric(const std::string &bench_case, const std::string &name,
     std::printf("EBS_METRIC {\"case\":\"%s\",\"%s\":%s}\n",
                 jsonEscape(bench_case).c_str(), jsonEscape(name).c_str(),
                 jsonNum(value, 6).c_str());
+}
+
+/**
+ * Report what the process-wide engine service saw over this suite: every
+ * episode's LLM traffic routes through LlmEngineService::shared() by
+ * default, so after the suite's fan-outs this is a fleet-level view of
+ * call volume and cross-agent batch occupancy.
+ *
+ * Only worker-order-independent values are printed (integer tallies and
+ * their ratio): the service's float latency sums accumulate in
+ * completion order under the mutex, so printing them would break the
+ * byte-identical-stdout-across-EBS_JOBS contract. Modeled latency
+ * savings are reported by bench_engine_service from deterministic
+ * per-episode folds instead.
+ */
+inline void
+emitSharedServiceSummary(const std::string &bench_case)
+{
+    auto &service = llm::LlmEngineService::shared();
+    const auto usage = service.totalUsage();
+    const auto stats = service.stats();
+    std::printf("shared engine service: %zu calls, %lld batches "
+                "(%lld cross-agent), occupancy %.2f\n",
+                usage.calls, stats.batches, stats.cross_agent_batches,
+                stats.occupancy());
+    emitScalarMetric(bench_case, "batch_occupancy", stats.occupancy());
 }
 
 } // namespace ebs::bench

@@ -29,12 +29,13 @@ constexpr double kDirectControlReliability = 0.55;
 
 Agent::Agent(int id, AgentConfig config, env::Environment *environment,
              sim::Rng rng, sim::SimClock *clock,
-             stats::LatencyRecorder *recorder, sim::EventTrace *trace)
+             stats::LatencyRecorder *recorder, sim::EventTrace *trace,
+             llm::EngineSession *llm_session)
     : id_(id), config_(std::move(config)), env_(environment), rng_(rng),
       clock_(clock), recorder_(recorder), trace_(trace),
-      planner_engine_(config_.planner_model, rng_.fork(1)),
-      comm_engine_(config_.comm_model, rng_.fork(2)),
-      reflect_engine_(config_.reflect_model, rng_.fork(3)),
+      planner_engine_(llm_session, config_.planner_model, rng_.fork(1)),
+      comm_engine_(llm_session, config_.comm_model, rng_.fork(2)),
+      reflect_engine_(llm_session, config_.reflect_model, rng_.fork(3)),
       memory_(config_.memory, rng_.fork(4))
 {
     assert(env_ != nullptr && clock_ != nullptr && recorder_ != nullptr);
@@ -50,12 +51,8 @@ llm::LlmUsage
 Agent::llmUsage() const
 {
     llm::LlmUsage usage = planner_engine_.usage();
-    const auto &c = comm_engine_.usage();
-    const auto &r = reflect_engine_.usage();
-    usage.calls += c.calls + r.calls;
-    usage.tokens_in += c.tokens_in + r.tokens_in;
-    usage.tokens_out += c.tokens_out + r.tokens_out;
-    usage.total_latency_s += c.total_latency_s + r.total_latency_s;
+    usage += comm_engine_.usage();
+    usage += reflect_engine_.usage();
     return usage;
 }
 

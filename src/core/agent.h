@@ -9,6 +9,7 @@
 #include "core/message.h"
 #include "env/env.h"
 #include "llm/engine.h"
+#include "llm/engine_service.h"
 #include "memory/memory.h"
 #include "sim/clock.h"
 #include "sim/rng.h"
@@ -67,10 +68,17 @@ class Agent
      * @param clock    shared episode clock (not owned)
      * @param recorder shared latency recorder (not owned)
      * @param trace    optional event trace (may be null)
+     * @param llm_session episode's engine-service session (not owned, may
+     *                 be null); the agent's LLM modules become handles on
+     *                 it instead of private engines, keeping their RNG
+     *                 streams and usage while the service batches across
+     *                 agents. Null (or a detached session) reproduces the
+     *                 legacy per-agent-engine behavior bit for bit.
      */
     Agent(int id, AgentConfig config, env::Environment *environment,
           sim::Rng rng, sim::SimClock *clock,
-          stats::LatencyRecorder *recorder, sim::EventTrace *trace);
+          stats::LatencyRecorder *recorder, sim::EventTrace *trace,
+          llm::EngineSession *llm_session = nullptr);
 
     int id() const { return id_; }
     const AgentConfig &config() const { return config_; }
@@ -171,9 +179,9 @@ class Agent
     stats::LatencyRecorder *recorder_;
     sim::EventTrace *trace_;
 
-    llm::LlmEngine planner_engine_;
-    llm::LlmEngine comm_engine_;
-    llm::LlmEngine reflect_engine_;
+    llm::EngineHandle planner_engine_;
+    llm::EngineHandle comm_engine_;
+    llm::EngineHandle reflect_engine_;
     memory::MemoryModule memory_;
 
     env::Observation percept_;          ///< most recent observation

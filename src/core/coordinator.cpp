@@ -21,11 +21,13 @@ class Harness
         : env_(environment), options_(options),
           master_rng_(options.seed)
     {
+        if (options_.engine_service != nullptr)
+            llm_session_ = options_.engine_service->openSession();
         const int n = env_.world().agentCount();
         for (int i = 0; i < n; ++i) {
             agents_.push_back(std::make_unique<Agent>(
                 i, config, &env_, master_rng_.fork(100 + i), &clock_,
-                &recorder_, nullptr));
+                &recorder_, nullptr, &llm_session_));
         }
     }
 
@@ -44,9 +46,30 @@ class Harness
     }
 
     /**
+     * Mint an engine handle on the episode's service session (a private
+     * engine when the episode runs serviceless) — for the central planner
+     * and cluster leads, whose calls then join the session's batches.
+     */
+    llm::EngineHandle
+    makeHandle(const llm::ModelProfile &profile, sim::Rng stream)
+    {
+        return llm_session_.handle(profile, stream);
+    }
+
+    /**
+     * Close the open LLM batch groups. Called automatically at every
+     * phase() boundary; coordinators with solo actors (central planner,
+     * cluster leads) call it wherever a causal dependency separates their
+     * calls from the next batchable group.
+     */
+    void flushLlm() { llm_session_.flush(); }
+
+    /**
      * Run `turn` once per agent, measuring each agent's latency
      * contribution; advance the clock by the sum (sequential pipeline) or
-     * the max (parallel execution across agents).
+     * the max (parallel execution across agents). The phase boundary is
+     * also the batch boundary: every same-backend LLM call the agents
+     * issued inside `turn` forms one cross-agent batch.
      */
     template <typename Fn>
     void
@@ -61,6 +84,7 @@ class Harness
             total += delta;
             longest = std::max(longest, delta);
         }
+        flushLlm();
         advanceBy(total, longest);
     }
 
@@ -88,18 +112,14 @@ class Harness
     finish(bool success, const llm::LlmUsage &extra = {})
     {
         EpisodeResult result = partial_;
+        result.llm_batches = llm_session_.takeLog();
         result.success = success;
         result.sim_seconds = clock_.now();
         result.final_progress = env_.task().progress(env_.world());
         result.latency = recorder_;
         result.llm = extra;
-        for (const auto &agent : agents_) {
-            const auto usage = agent->llmUsage();
-            result.llm.calls += usage.calls;
-            result.llm.tokens_in += usage.tokens_in;
-            result.llm.tokens_out += usage.tokens_out;
-            result.llm.total_latency_s += usage.total_latency_s;
-        }
+        for (const auto &agent : agents_)
+            result.llm += agent->llmUsage();
         result.steps = steps_;
         result.messages_generated = messages_generated_;
         result.messages_useful = messages_useful_;
@@ -107,7 +127,12 @@ class Harness
         return result;
     }
 
-    void setSteps(int steps) { steps_ = steps; }
+    void
+    setSteps(int steps)
+    {
+        steps_ = steps;
+        llm_session_.beginStep(steps - 1);
+    }
     void countMessage(bool useful)
     {
         ++messages_generated_;
@@ -145,6 +170,7 @@ class Harness
     sim::Rng master_rng_;
     sim::SimClock clock_;
     stats::LatencyRecorder recorder_;
+    llm::EngineSession llm_session_; ///< must outlive agents_ (handles)
     std::vector<std::unique_ptr<Agent>> agents_;
     EpisodeResult partial_;
     std::vector<StepTokens> token_series_;
@@ -232,9 +258,12 @@ runCentralized(env::Environment &environment, const AgentConfig &config,
     Harness harness(environment, config, options);
     const int n = harness.agentCount();
 
-    // The central planner has its own LLM engine and latency stream.
-    llm::LlmEngine central(config.planner_model, harness.rng().fork(999));
-    llm::LlmEngine central_comm(config.comm_model, harness.rng().fork(998));
+    // The central planner has its own LLM streams, routed through the
+    // episode's engine-service session like every agent module.
+    llm::EngineHandle central =
+        harness.makeHandle(config.planner_model, harness.rng().fork(999));
+    llm::EngineHandle central_comm =
+        harness.makeHandle(config.comm_model, harness.rng().fork(998));
     int dialogue_tokens = 0; // accumulated feedback in the central context
     bool success = false;
 
@@ -268,6 +297,8 @@ runCentralized(env::Environment &environment, const AgentConfig &config,
             good = response.good;
             central_tokens = request.tokens_in + response.tokens_out;
         });
+        // The joint plan gates everything after it: close its batch.
+        harness.flushLlm();
         harness.recordTokens(step, -1, central_tokens, 0);
 
         // Instruction broadcast (one message generation for the team).
@@ -286,6 +317,7 @@ runCentralized(env::Environment &environment, const AgentConfig &config,
                                      request.tokens_in +
                                          response.tokens_out);
             });
+            harness.flushLlm();
         }
 
         // Each agent follows its instruction; a bad joint plan still gets
@@ -327,11 +359,7 @@ runCentralized(env::Environment &environment, const AgentConfig &config,
     }
 
     llm::LlmUsage extra = central.usage();
-    const auto &cc = central_comm.usage();
-    extra.calls += cc.calls;
-    extra.tokens_in += cc.tokens_in;
-    extra.tokens_out += cc.tokens_out;
-    extra.total_latency_s += cc.total_latency_s;
+    extra += central_comm.usage();
     return harness.finish(success, extra);
 }
 
@@ -345,11 +373,14 @@ runHierarchical(env::Environment &environment, const AgentConfig &config,
     const int clusters = (n + k - 1) / k;
     auto cluster_of = [&](int agent_id) { return agent_id / k; };
 
-    // One planning engine per cluster lead.
-    std::vector<llm::LlmEngine> leads;
+    // One planning stream per cluster lead, all on the shared service —
+    // the per-cluster joint plans are independent, so they assemble into
+    // one cross-cluster batch per step.
+    std::vector<llm::EngineHandle> leads;
+    leads.reserve(static_cast<std::size_t>(clusters));
     for (int c = 0; c < clusters; ++c)
-        leads.emplace_back(config.planner_model,
-                           harness.rng().fork(700 + c));
+        leads.push_back(harness.makeHandle(config.planner_model,
+                                           harness.rng().fork(700 + c)));
     bool success = false;
 
     for (int step = 0; step < harness.maxSteps(); ++step) {
@@ -397,6 +428,8 @@ runHierarchical(env::Environment &environment, const AgentConfig &config,
                 cluster_good[static_cast<std::size_t>(c)] = response.good;
             });
         }
+        // All cluster plans are independent: one cross-cluster batch.
+        harness.flushLlm();
 
         std::vector<env::Subgoal> subgoals(static_cast<std::size_t>(n));
         std::vector<char> sound(static_cast<std::size_t>(n), 1);
@@ -431,13 +464,8 @@ runHierarchical(env::Environment &environment, const AgentConfig &config,
     }
 
     llm::LlmUsage extra;
-    for (const auto &lead : leads) {
-        const auto &usage = lead.usage();
-        extra.calls += usage.calls;
-        extra.tokens_in += usage.tokens_in;
-        extra.tokens_out += usage.tokens_out;
-        extra.total_latency_s += usage.total_latency_s;
-    }
+    for (const auto &lead : leads)
+        extra += lead.usage();
     return harness.finish(success, extra);
 }
 

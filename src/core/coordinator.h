@@ -5,6 +5,7 @@
 #include "core/config.h"
 #include "core/episode.h"
 #include "env/env.h"
+#include "llm/engine_service.h"
 
 namespace ebs::core {
 
@@ -15,6 +16,14 @@ struct EpisodeOptions
     bool record_tokens = false;  ///< fill EpisodeResult::token_series
     int max_steps_override = -1; ///< override the task's step budget
     PipelineOptions pipeline;    ///< optimization ablation switches
+
+    /**
+     * LLM engine service every agent module routes through; defaults to
+     * the process-wide shared service. nullptr selects the legacy
+     * per-agent-engine path (bit-identical results either way — the
+     * service only adds fleet-wide accounting and batch assembly).
+     */
+    llm::LlmEngineService *engine_service = &llm::LlmEngineService::shared();
 };
 
 /**

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "llm/engine.h"
+#include "llm/engine_service.h"
 #include "stats/latency_recorder.h"
 
 namespace ebs::core {
@@ -32,6 +33,14 @@ struct EpisodeResult
     int messages_useful = 0;    ///< messages that carried information
 
     std::vector<StepTokens> token_series; ///< filled when requested
+
+    /**
+     * LLM batches the engine service assembled for this episode (empty
+     * when the episode ran without a service or with batching off).
+     * Deterministic per seed, so post-join folds over a runner batch —
+     * runner::foldEpisodes-style — reproduce at any EBS_JOBS.
+     */
+    std::vector<llm::BatchRecord> llm_batches;
 
     /** Average simulated seconds per step (0 when no steps ran). */
     double

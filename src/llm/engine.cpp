@@ -29,7 +29,99 @@ baseQuality(const ModelProfile &profile, CallKind kind)
     return 0.5;
 }
 
+double
+qualityFor(const ModelProfile &profile, const LlmRequest &request,
+           int effective_in)
+{
+    double q = baseQuality(profile, request.kind);
+    q *= profile.dilutionFactor(effective_in);
+    q *= std::clamp(1.0 - request.complexity, 0.0, 1.0);
+    if (request.tokens_in > profile.context_limit)
+        q *= kTruncationQualityFactor;
+    return std::clamp(q, 0.0, 1.0);
+}
+
 } // namespace
+
+LlmResponse
+sampleCompletion(const ModelProfile &profile, const LlmRequest &request,
+                 sim::Rng &rng)
+{
+    assert(request.tokens_in >= 0);
+
+    LlmResponse resp;
+    resp.truncated = request.tokens_in > profile.context_limit;
+    resp.tokens_in = std::min(request.tokens_in, profile.context_limit);
+
+    // Generation length varies around the mean (+/- ~25%).
+    const double out_mean = std::max(1.0, double(request.tokens_out_mean));
+    resp.tokens_out =
+        std::max(1, static_cast<int>(rng.lognormal(out_mean, 0.25)));
+
+    double latency = 0.0;
+    if (profile.remote)
+        latency += rng.lognormal(profile.api_rtt_mean_s, profile.api_rtt_cv);
+    latency += resp.tokens_in / profile.prefill_tok_per_s;
+    latency += resp.tokens_out / profile.decode_tok_per_s;
+    resp.latency_s = latency;
+
+    resp.parse_ok = rng.bernoulli(profile.format_compliance);
+    const double q = qualityFor(profile, request, resp.tokens_in);
+    resp.good = resp.parse_ok && rng.bernoulli(q);
+    return resp;
+}
+
+double
+expectedCompletionLatency(const ModelProfile &profile,
+                          const LlmRequest &request)
+{
+    const int in = std::min(request.tokens_in, profile.context_limit);
+    double latency = 0.0;
+    if (profile.remote)
+        latency += profile.api_rtt_mean_s;
+    latency += in / profile.prefill_tok_per_s;
+    latency += request.tokens_out_mean / profile.decode_tok_per_s;
+    return latency;
+}
+
+double
+expectedBatchLatency(const ModelProfile &profile,
+                     const std::vector<LlmRequest> &requests)
+{
+    if (requests.empty())
+        return 0.0;
+    double prefill_s = 0.0;
+    double max_decode_s = 0.0;
+    for (const auto &req : requests) {
+        const int in = std::min(req.tokens_in, profile.context_limit);
+        prefill_s += in / profile.prefill_tok_per_s;
+        max_decode_s = std::max(
+            max_decode_s, req.tokens_out_mean / profile.decode_tok_per_s);
+    }
+    double latency = prefill_s + max_decode_s;
+    if (profile.remote)
+        latency += profile.api_rtt_mean_s;
+    return latency;
+}
+
+void
+LlmUsage::add(const LlmResponse &resp)
+{
+    ++calls;
+    tokens_in += resp.tokens_in;
+    tokens_out += resp.tokens_out;
+    total_latency_s += resp.latency_s;
+}
+
+LlmUsage &
+LlmUsage::operator+=(const LlmUsage &other)
+{
+    calls += other.calls;
+    tokens_in += other.tokens_in;
+    tokens_out += other.tokens_out;
+    total_latency_s += other.total_latency_s;
+    return *this;
+}
 
 LlmEngine::LlmEngine(ModelProfile profile, sim::Rng rng)
     : profile_(std::move(profile)), rng_(rng)
@@ -37,57 +129,16 @@ LlmEngine::LlmEngine(ModelProfile profile, sim::Rng rng)
 }
 
 double
-LlmEngine::qualityFor(const LlmRequest &request, int effective_in) const
-{
-    double q = baseQuality(profile_, request.kind);
-    q *= profile_.dilutionFactor(effective_in);
-    q *= std::clamp(1.0 - request.complexity, 0.0, 1.0);
-    if (request.tokens_in > profile_.context_limit)
-        q *= kTruncationQualityFactor;
-    return std::clamp(q, 0.0, 1.0);
-}
-
-double
 LlmEngine::expectedLatency(const LlmRequest &request) const
 {
-    const int in = std::min(request.tokens_in, profile_.context_limit);
-    double latency = 0.0;
-    if (profile_.remote)
-        latency += profile_.api_rtt_mean_s;
-    latency += in / profile_.prefill_tok_per_s;
-    latency += request.tokens_out_mean / profile_.decode_tok_per_s;
-    return latency;
+    return expectedCompletionLatency(profile_, request);
 }
 
 LlmResponse
 LlmEngine::complete(const LlmRequest &request)
 {
-    assert(request.tokens_in >= 0);
-
-    LlmResponse resp;
-    resp.truncated = request.tokens_in > profile_.context_limit;
-    resp.tokens_in = std::min(request.tokens_in, profile_.context_limit);
-
-    // Generation length varies around the mean (+/- ~25%).
-    const double out_mean = std::max(1.0, double(request.tokens_out_mean));
-    resp.tokens_out =
-        std::max(1, static_cast<int>(rng_.lognormal(out_mean, 0.25)));
-
-    double latency = 0.0;
-    if (profile_.remote)
-        latency += rng_.lognormal(profile_.api_rtt_mean_s, profile_.api_rtt_cv);
-    latency += resp.tokens_in / profile_.prefill_tok_per_s;
-    latency += resp.tokens_out / profile_.decode_tok_per_s;
-    resp.latency_s = latency;
-
-    resp.parse_ok = rng_.bernoulli(profile_.format_compliance);
-    const double q = qualityFor(request, resp.tokens_in);
-    resp.good = resp.parse_ok && rng_.bernoulli(q);
-
-    ++usage_.calls;
-    usage_.tokens_in += resp.tokens_in;
-    usage_.tokens_out += resp.tokens_out;
-    usage_.total_latency_s += resp.latency_s;
+    const LlmResponse resp = sampleCompletion(profile_, request, rng_);
+    usage_.add(resp);
     return resp;
 }
 
@@ -98,31 +149,31 @@ LlmEngine::completeBatch(const std::vector<LlmRequest> &requests)
     out.reserve(requests.size());
     if (requests.empty())
         return out;
+    if (requests.size() == 1) {
+        out.push_back(complete(requests.front()));
+        return out;
+    }
 
-    // Joint prefill + longest decode; one RTT for the whole batch.
+    // Sample each member exactly as sequential complete() calls would, so
+    // batching never perturbs the response stream; then overwrite the
+    // latency with the joint completion time (summed prefill + longest
+    // decode + one mean RTT), which can only improve on the sum.
     double prefill_s = 0.0;
     double max_decode_s = 0.0;
+    double sequential_s = 0.0;
     for (const auto &req : requests) {
-        LlmResponse resp;
-        resp.truncated = req.tokens_in > profile_.context_limit;
-        resp.tokens_in = std::min(req.tokens_in, profile_.context_limit);
-        const double out_mean = std::max(1.0, double(req.tokens_out_mean));
-        resp.tokens_out =
-            std::max(1, static_cast<int>(rng_.lognormal(out_mean, 0.25)));
-        resp.parse_ok = rng_.bernoulli(profile_.format_compliance);
-        resp.good =
-            resp.parse_ok && rng_.bernoulli(qualityFor(req, resp.tokens_in));
-
+        LlmResponse resp = sampleCompletion(profile_, req, rng_);
         prefill_s += resp.tokens_in / profile_.prefill_tok_per_s;
         max_decode_s = std::max(max_decode_s,
                                 resp.tokens_out / profile_.decode_tok_per_s);
+        sequential_s += resp.latency_s;
         out.push_back(resp);
     }
 
     double batch_latency = prefill_s + max_decode_s;
     if (profile_.remote)
-        batch_latency +=
-            rng_.lognormal(profile_.api_rtt_mean_s, profile_.api_rtt_cv);
+        batch_latency += profile_.api_rtt_mean_s;
+    batch_latency = std::min(batch_latency, sequential_s);
 
     for (auto &resp : out) {
         resp.latency_s = batch_latency;

@@ -55,7 +55,41 @@ struct LlmUsage
     long tokens_in = 0;
     long tokens_out = 0;
     double total_latency_s = 0.0;
+
+    /** Fold one completed call in. */
+    void
+    add(const LlmResponse &resp);
+
+    /** Merge another aggregate in (the single usage-fold definition —
+     * every aggregation site uses this, so adding a counter means
+     * touching exactly one place). */
+    LlmUsage &operator+=(const LlmUsage &other);
 };
+
+/**
+ * Sample one completion: the shared response model behind LlmEngine,
+ * EngineHandle (engine_service.h), and batched inference.
+ *
+ * Draw order from `rng` is part of the determinism contract (tokens_out,
+ * RTT if remote, parse_ok, good) — every completion path in the simulator
+ * consumes its stream in exactly this order, which is what makes the
+ * per-agent response streams bit-identical whether calls run through a
+ * private engine, the shared service, or an assembled batch.
+ */
+LlmResponse sampleCompletion(const ModelProfile &profile,
+                             const LlmRequest &request, sim::Rng &rng);
+
+/** Deterministic latency mean of one completion (no sampling). */
+double expectedCompletionLatency(const ModelProfile &profile,
+                                 const LlmRequest &request);
+
+/**
+ * Deterministic mean completion time of a *batch* (Recommendation 1):
+ * summed prefill at batch throughput, decode for the longest stream, one
+ * mean RTT for the whole batch. Empty batches cost nothing.
+ */
+double expectedBatchLatency(const ModelProfile &profile,
+                            const std::vector<LlmRequest> &requests);
 
 /**
  * Simulated LLM inference backend.
@@ -65,6 +99,15 @@ struct LlmUsage
  * context window, and samples output quality from the profile's calibrated
  * capability model. All randomness comes from the injected Rng, so runs are
  * reproducible.
+ *
+ * Thread-safety contract: an LlmEngine is confined to a single thread (in
+ * practice, to one episode). complete()/completeBatch() mutate the RNG and
+ * the usage counters without synchronization, and usage()/resetUsage() are
+ * unsynchronized reads/writes of the same counters — sharing one engine
+ * across threads is a data race by construction. Cross-thread inference
+ * goes through LlmEngineService (engine_service.h), whose per-backend
+ * usage aggregation is mutex-guarded; per-episode sampling state stays in
+ * episode-confined EngineHandles so no RNG is ever shared.
  */
 class LlmEngine
 {
@@ -77,11 +120,15 @@ class LlmEngine
     /**
      * Run several completions as a single batch (Recommendation 1).
      *
-     * Prefill is processed jointly at batch throughput; decode runs at
-     * per-stream speed for the longest response, so the batch finishes in
-     * roughly max-decode time plus the summed prefill — far less than the
-     * sequential sum. Returns one response per request; `latency_s` on each
-     * is the *batch* completion time.
+     * Every request is sampled exactly as a sequential complete() call
+     * would be (same RNG draw order), so the per-request response streams
+     * are bit-identical to unbatched execution; only the completion time
+     * changes. Prefill is processed jointly at batch throughput; decode
+     * runs at per-stream speed for the longest response; one mean RTT
+     * covers the whole batch. `latency_s` on each response is that batch
+     * completion time, clamped to never exceed the sequential sum. A
+     * single-request batch is exactly complete() (including its sampled
+     * latency), and an empty batch returns an empty vector at no cost.
      */
     std::vector<LlmResponse> completeBatch(
         const std::vector<LlmRequest> &requests);
@@ -94,8 +141,6 @@ class LlmEngine
     double expectedLatency(const LlmRequest &request) const;
 
   private:
-    double qualityFor(const LlmRequest &request, int effective_in) const;
-
     ModelProfile profile_;
     sim::Rng rng_;
     LlmUsage usage_;

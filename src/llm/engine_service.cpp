@@ -1,0 +1,310 @@
+#include "llm/engine_service.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <tuple>
+
+namespace ebs::llm {
+
+namespace {
+
+/** Modeled joint completion time of an assembled group, clamped so a
+ * batch can never cost more than running its members sequentially. A
+ * group of one IS the sequential call — substituting the mean RTT for
+ * its sampled RTT under a one-sided clamp would manufacture savings
+ * out of RTT jitter, so singletons keep their baseline exactly. */
+double
+jointCompletionTime(const BatchRecord &record)
+{
+    if (record.requests <= 1)
+        return record.baseline_s;
+    double latency = record.prefill_s + record.max_decode_s;
+    if (record.remote)
+        latency += record.rtt_mean_s;
+    return std::min(latency, record.baseline_s);
+}
+
+/** Two profiles map to the same backend iff their identity and latency
+ * model agree (capability axes ride along with the name). */
+bool
+sameBackend(const ModelProfile &a, const ModelProfile &b)
+{
+    return a.name == b.name && a.remote == b.remote &&
+           a.api_rtt_mean_s == b.api_rtt_mean_s &&
+           a.prefill_tok_per_s == b.prefill_tok_per_s &&
+           a.decode_tok_per_s == b.decode_tok_per_s &&
+           a.context_limit == b.context_limit;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- stats
+
+void
+BatchStats::add(const BatchRecord &record)
+{
+    ++batches;
+    requests += record.requests;
+    cross_agent_batches += record.requests > 1;
+    baseline_s += record.baseline_s;
+    batched_s += record.batched_s;
+}
+
+void
+BatchStats::merge(const BatchStats &other)
+{
+    batches += other.batches;
+    requests += other.requests;
+    cross_agent_batches += other.cross_agent_batches;
+    baseline_s += other.baseline_s;
+    batched_s += other.batched_s;
+}
+
+// ---------------------------------------------------------------- handle
+
+EngineHandle::EngineHandle(EngineSession *session, ModelProfile profile,
+                           sim::Rng rng)
+    : session_(session), profile_(std::move(profile)), rng_(rng)
+{
+    if (session_ != nullptr && session_->attached())
+        backend_ = session_->service()->backendFor(profile_);
+}
+
+LlmResponse
+EngineHandle::complete(const LlmRequest &request)
+{
+    const LlmResponse resp = sampleCompletion(profile_, request, rng_);
+    usage_.add(resp);
+
+    if (session_ != nullptr && session_->attached()) {
+        session_->noteUsage(backend_, resp);
+        if (session_->batching())
+            session_->note(backend_, profile_, resp);
+    }
+    return resp;
+}
+
+// --------------------------------------------------------------- session
+
+EngineHandle
+EngineSession::handle(const ModelProfile &profile, sim::Rng stream)
+{
+    return EngineHandle(this, profile, stream);
+}
+
+bool
+EngineSession::batching() const
+{
+    return service_ != nullptr && service_->config().batching;
+}
+
+void
+EngineSession::beginStep(int step)
+{
+    flush();
+    step_ = step;
+    phase_ = 0;
+}
+
+void
+EngineSession::note(int backend, const ModelProfile &profile,
+                    const LlmResponse &resp)
+{
+    BatchRecord *group = nullptr;
+    for (auto &open : open_)
+        if (open.backend == backend)
+            group = &open;
+    if (group == nullptr) {
+        BatchRecord fresh;
+        fresh.step = step_;
+        fresh.phase = phase_;
+        fresh.backend = backend;
+        fresh.remote = profile.remote;
+        fresh.rtt_mean_s = profile.api_rtt_mean_s;
+        open_.push_back(fresh);
+        group = &open_.back();
+    }
+    ++group->requests;
+    group->prefill_s += resp.tokens_in / profile.prefill_tok_per_s;
+    group->max_decode_s = std::max(
+        group->max_decode_s, resp.tokens_out / profile.decode_tok_per_s);
+    group->baseline_s += resp.latency_s;
+}
+
+void
+EngineSession::noteUsage(int backend, const LlmResponse &resp)
+{
+    LlmUsage *slot = nullptr;
+    for (auto &[pending_backend, usage] : pending_usage_)
+        if (pending_backend == backend)
+            slot = &usage;
+    if (slot == nullptr) {
+        pending_usage_.emplace_back(backend, LlmUsage{});
+        slot = &pending_usage_.back().second;
+    }
+    slot->add(resp);
+}
+
+void
+EngineSession::flush()
+{
+    for (auto &group : open_) {
+        group.batched_s = jointCompletionTime(group);
+        log_.push_back(group);
+    }
+    if (service_ != nullptr && (!pending_usage_.empty() || !open_.empty()))
+        service_->accountFlush(pending_usage_, open_);
+    pending_usage_.clear();
+    open_.clear();
+    ++phase_;
+}
+
+std::vector<BatchRecord>
+EngineSession::takeLog()
+{
+    flush();
+    std::vector<BatchRecord> out = std::move(log_);
+    log_.clear();
+    return out;
+}
+
+// --------------------------------------------------------------- service
+
+LlmEngineService::LlmEngineService(ServiceConfig config) : config_(config)
+{
+}
+
+int
+LlmEngineService::backendFor(const ModelProfile &profile)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < backends_.size(); ++i)
+        if (sameBackend(backends_[i].profile, profile))
+            return static_cast<int>(i);
+    Backend fresh;
+    fresh.name = profile.name;
+    fresh.profile = profile;
+    backends_.push_back(std::move(fresh));
+    return static_cast<int>(backends_.size()) - 1;
+}
+
+int
+LlmEngineService::backendCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int>(backends_.size());
+}
+
+std::string
+LlmEngineService::backendName(int backend) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    assert(backend >= 0 &&
+           backend < static_cast<int>(backends_.size()));
+    return backends_[static_cast<std::size_t>(backend)].name;
+}
+
+LlmUsage
+LlmEngineService::backendUsage(int backend) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    assert(backend >= 0 &&
+           backend < static_cast<int>(backends_.size()));
+    return backends_[static_cast<std::size_t>(backend)].usage;
+}
+
+LlmUsage
+LlmEngineService::totalUsage() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    LlmUsage total;
+    for (const auto &backend : backends_)
+        total += backend.usage;
+    return total;
+}
+
+BatchStats
+LlmEngineService::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+void
+LlmEngineService::reset()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto &backend : backends_)
+        backend.usage = LlmUsage{};
+    stats_ = BatchStats{};
+}
+
+void
+LlmEngineService::accountFlush(
+    std::span<const std::pair<int, LlmUsage>> usage,
+    std::span<const BatchRecord> batches)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &[backend, staged] : usage) {
+        assert(backend >= 0 &&
+               backend < static_cast<int>(backends_.size()));
+        backends_[static_cast<std::size_t>(backend)].usage += staged;
+    }
+    for (const auto &record : batches)
+        stats_.add(record);
+}
+
+LlmEngineService &
+LlmEngineService::shared()
+{
+    static LlmEngineService instance;
+    return instance;
+}
+
+// ----------------------------------------------------------------- folds
+
+BatchStats
+foldBatchLog(std::span<const BatchRecord> log)
+{
+    BatchStats stats;
+    for (const auto &record : log)
+        stats.add(record);
+    return stats;
+}
+
+BatchStats
+foldCrossEpisodeBatches(std::span<const std::vector<BatchRecord>> logs)
+{
+    // Merge per-episode batches keyed by (step, phase, backend): the same
+    // pipeline stage of episodes advancing in lockstep shares one joint
+    // inference. std::map keeps the fold order deterministic.
+    std::map<std::tuple<int, int, int>, BatchRecord> merged;
+    for (const auto &log : logs) {
+        for (const auto &record : log) {
+            const auto key = std::make_tuple(record.step, record.phase,
+                                             record.backend);
+            auto [it, inserted] = merged.try_emplace(key, record);
+            if (inserted)
+                continue;
+            BatchRecord &super = it->second;
+            super.requests += record.requests;
+            super.remote = super.remote || record.remote;
+            super.rtt_mean_s = std::max(super.rtt_mean_s, record.rtt_mean_s);
+            super.prefill_s += record.prefill_s;
+            super.max_decode_s =
+                std::max(super.max_decode_s, record.max_decode_s);
+            super.baseline_s += record.baseline_s;
+        }
+    }
+
+    BatchStats stats;
+    for (auto &[key, record] : merged) {
+        (void)key;
+        record.batched_s = jointCompletionTime(record);
+        stats.add(record);
+    }
+    return stats;
+}
+
+} // namespace ebs::llm

@@ -1,0 +1,311 @@
+#ifndef EBS_LLM_ENGINE_SERVICE_H
+#define EBS_LLM_ENGINE_SERVICE_H
+
+#include <cstddef>
+#include <mutex>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "llm/engine.h"
+#include "llm/model_profile.h"
+#include "sim/rng.h"
+
+namespace ebs::llm {
+
+class EngineSession;
+class LlmEngineService;
+
+/** Build-time switches of an LlmEngineService. */
+struct ServiceConfig
+{
+    /**
+     * Assemble the completions issued between two session flush points
+     * (one coordinator phase: the same pipeline stage across every agent
+     * of a step) into per-backend batches and track the modeled joint
+     * completion time. Batching never changes any sampled response — it
+     * only produces BatchRecords — so toggling it cannot perturb a
+     * simulated result.
+     */
+    bool batching = true;
+};
+
+/**
+ * One assembled inference batch: every completion of one (episode step,
+ * coordinator phase) that hit the same backend. `baseline_s` is what the
+ * members cost as sequential calls (their individually sampled
+ * latencies); `batched_s` is the modeled joint completion time (summed
+ * prefill + longest decode + one mean RTT), clamped to never exceed the
+ * baseline. The (step, phase, backend) key is what the cross-episode fold
+ * merges on.
+ */
+struct BatchRecord
+{
+    int step = 0;            ///< episode step the batch was assembled in
+    int phase = 0;           ///< flush index within the step
+    int backend = 0;         ///< service backend id (per ModelProfile)
+    int requests = 0;        ///< completions in the batch (occupancy)
+    bool remote = false;     ///< backend pays an RTT per (batched) call
+    double rtt_mean_s = 0.0; ///< backend's mean RTT (deterministic)
+    double prefill_s = 0.0;  ///< summed prefill time of the members
+    double max_decode_s = 0.0; ///< longest member decode time
+    double baseline_s = 0.0; ///< sequential cost (sampled latency sum)
+    double batched_s = 0.0;  ///< modeled joint completion time
+};
+
+/** Aggregated batching outcome over any set of BatchRecords. */
+struct BatchStats
+{
+    long long batches = 0;
+    long long requests = 0;
+    long long cross_agent_batches = 0; ///< batches with occupancy > 1
+    double baseline_s = 0.0;
+    double batched_s = 0.0;
+
+    /** Average completions per assembled batch (0 when empty). */
+    double occupancy() const
+    {
+        return batches > 0 ? static_cast<double>(requests) / batches : 0.0;
+    }
+
+    /** Modeled latency saved versus sequential execution (>= 0). */
+    double savedSeconds() const { return baseline_s - batched_s; }
+
+    /** Saved fraction of the sequential cost, in [0, 1]. */
+    double savedFraction() const
+    {
+        return baseline_s > 0.0 ? savedSeconds() / baseline_s : 0.0;
+    }
+
+    void add(const BatchRecord &record);
+    void merge(const BatchStats &other);
+};
+
+/**
+ * A per-agent-module view onto the engine service: the drop-in
+ * replacement for a privately owned LlmEngine.
+ *
+ * The handle keeps the module's RNG stream and usage counters (so
+ * per-agent accounting and determinism are untouched) and routes every
+ * completion through its session: the shared backend accumulates
+ * race-free fleet-wide usage, and — when batching is on — the completion
+ * joins the session's currently open batch group. Sampling uses
+ * sampleCompletion(), the exact function behind LlmEngine::complete(),
+ * so a handle's response stream is bit-identical to the legacy per-agent
+ * engine it replaces.
+ *
+ * A handle constructed with a null session (or a detached session) is
+ * exactly a private LlmEngine: it samples and accounts locally. Handles
+ * are episode-confined and single-threaded, like the agents that own
+ * them.
+ */
+class EngineHandle
+{
+  public:
+    EngineHandle(EngineSession *session, ModelProfile profile, sim::Rng rng);
+
+    /** Run one completion (see class comment for routing). */
+    LlmResponse complete(const LlmRequest &request);
+
+    const ModelProfile &profile() const { return profile_; }
+    const LlmUsage &usage() const { return usage_; }
+    void resetUsage() { usage_ = LlmUsage{}; }
+
+    /** Deterministic latency mean for a request (no sampling). */
+    double expectedLatency(const LlmRequest &request) const
+    {
+        return expectedCompletionLatency(profile_, request);
+    }
+
+  private:
+    EngineSession *session_ = nullptr;
+    int backend_ = -1;
+    ModelProfile profile_;
+    sim::Rng rng_;
+    LlmUsage usage_;
+};
+
+/**
+ * Episode-local port into the service: owned by one coordinator harness,
+ * used from one thread.
+ *
+ * The session mints EngineHandles, brackets the episode's step/phase
+ * structure (beginStep()/flush()), and keeps the episode's BatchRecord
+ * log. All completions issued between two flush points that hit the same
+ * backend form one batch — coordinators flush at phase boundaries, so a
+ * batch is "the planning calls of every agent this step", which is
+ * exactly the paper's Recommendation 1 cross-agent batching. The log is
+ * deterministic for a given episode seed regardless of how many other
+ * episodes run concurrently, which is what makes the post-join
+ * cross-episode fold (foldCrossEpisodeBatches) reproducible at any
+ * EBS_JOBS.
+ *
+ * A default-constructed session is detached: handles behave like private
+ * engines and the log stays empty.
+ */
+class EngineSession
+{
+  public:
+    EngineSession() = default;
+
+    EngineSession(EngineSession &&) = default;
+    EngineSession &operator=(EngineSession &&) = default;
+
+    /** Mint a handle for one agent module (see EngineHandle). */
+    EngineHandle handle(const ModelProfile &profile, sim::Rng stream);
+
+    /** True when completions route through a service. */
+    bool attached() const { return service_ != nullptr; }
+
+    /** True when this session assembles batches. */
+    bool batching() const;
+
+    /** Mark the start of a global episode step (closes open groups). */
+    void beginStep(int step);
+
+    /** Close every open batch group (coordinators call this per phase). */
+    void flush();
+
+    /** Batches assembled so far (flushed groups only). */
+    const std::vector<BatchRecord> &log() const { return log_; }
+
+    /** Flush and surrender the batch log (for EpisodeResult). */
+    std::vector<BatchRecord> takeLog();
+
+    LlmEngineService *service() const { return service_; }
+
+  private:
+    friend class EngineHandle;
+    friend class LlmEngineService;
+
+    explicit EngineSession(LlmEngineService *service) : service_(service) {}
+
+    /** Join `resp` to the open batch group of `backend`. */
+    void note(int backend, const ModelProfile &profile,
+              const LlmResponse &resp);
+
+    /** Stage `resp`'s usage for the backend; drained to the service at
+     * the next flush so the hot path never takes the service mutex. */
+    void noteUsage(int backend, const LlmResponse &resp);
+
+    LlmEngineService *service_ = nullptr;
+    int step_ = 0;
+    int phase_ = 0;
+    std::vector<BatchRecord> open_; ///< one open group per touched backend
+    std::vector<BatchRecord> log_;
+    /** Usage staged since the last flush, one slot per touched backend. */
+    std::vector<std::pair<int, LlmUsage>> pending_usage_;
+};
+
+/**
+ * Process-wide simulated LLM inference service (the tentpole of
+ * Recommendation 1): one backend per distinct ModelProfile — the GPT-4
+ * API endpoint and each local-GPU model are single shared resources, not
+ * per-agent copies — plus the batching machinery above.
+ *
+ * Thread-safety contract (the fix for LlmEngine's unsynchronized usage
+ * counters): every cross-thread touchpoint — backend registration,
+ * usage aggregation, batch tallies, usage()/stats()/reset() — takes the
+ * service mutex, so concurrent episodes on the EpisodeRunner pool
+ * aggregate race-free by construction. Sessions stage usage locally and
+ * drain one lock per coordinator phase (not per completion), keeping
+ * the hot path contention-free. Everything stochastic stays in
+ * episode-confined handles, so the service never serializes RNG state
+ * and never perturbs a sampled stream.
+ *
+ * Determinism contract: routing through the service (with batching on or
+ * off, at any worker count) yields bit-identical EpisodeResults to the
+ * legacy per-agent-engine path. Only the service's aggregate counters
+ * and the BatchRecord logs are new information.
+ */
+class LlmEngineService
+{
+  public:
+    explicit LlmEngineService(ServiceConfig config = {});
+
+    LlmEngineService(const LlmEngineService &) = delete;
+    LlmEngineService &operator=(const LlmEngineService &) = delete;
+
+    /** Open an episode-local session (cheap; one per episode). */
+    EngineSession openSession() { return EngineSession(this); }
+
+    /**
+     * Backend id for a profile, registering it on first sight. Profiles
+     * are keyed by name plus their latency parameters, so e.g. a
+     * quantized variant gets its own backend even if renamed carelessly.
+     */
+    int backendFor(const ModelProfile &profile);
+
+    int backendCount() const;
+    std::string backendName(int backend) const;
+
+    /**
+     * Fleet-wide usage of one backend (race-free snapshot). Sessions
+     * stage usage locally and drain it at flush/takeLog, so totals are
+     * exact once an episode finishes — mid-phase reads may lag by the
+     * calls staged since the last phase boundary.
+     */
+    LlmUsage backendUsage(int backend) const;
+
+    /** Fleet-wide usage summed over all backends (same freshness). */
+    LlmUsage totalUsage() const;
+
+    /** Aggregate batching outcome across every session so far. */
+    BatchStats stats() const;
+
+    /** Clear usage counters and batch tallies (backends persist). */
+    void reset();
+
+    const ServiceConfig &config() const { return config_; }
+
+    /**
+     * Process-wide instance shared by the bench fleet and the default
+     * EpisodeOptions, so every episode of every suite hits the same
+     * simulated endpoints (one EBS_JOBS-wide view of API traffic).
+     */
+    static LlmEngineService &shared();
+
+  private:
+    friend class EngineHandle;
+    friend class EngineSession;
+
+    /** Fold one session flush — staged usage plus the phase's assembled
+     * batches — into the shared tallies under a single lock. */
+    void
+    accountFlush(std::span<const std::pair<int, LlmUsage>> usage,
+                 std::span<const BatchRecord> batches);
+
+    struct Backend
+    {
+        std::string name;
+        ModelProfile profile;
+        LlmUsage usage;
+    };
+
+    mutable std::mutex mu_;
+    ServiceConfig config_;
+    std::vector<Backend> backends_;
+    BatchStats stats_;
+};
+
+/** Fold one episode's batch log into aggregate stats. */
+BatchStats foldBatchLog(std::span<const BatchRecord> log);
+
+/**
+ * Model the cross-episode batching opportunity of a set of episodes that
+ * ran concurrently on the EpisodeRunner pool: batches with the same
+ * (step, phase, backend) key — the same pipeline stage of episodes
+ * advancing in lockstep — merge into one super-batch with summed
+ * prefill, the longest member decode, and a single RTT.
+ *
+ * This is a pure post-join fold over per-episode logs (the same pattern
+ * as runner::foldEpisodes), so the result is bit-identical at any worker
+ * count instead of depending on thread timing.
+ */
+BatchStats
+foldCrossEpisodeBatches(std::span<const std::vector<BatchRecord>> logs);
+
+} // namespace ebs::llm
+
+#endif // EBS_LLM_ENGINE_SERVICE_H

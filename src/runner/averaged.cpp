@@ -24,6 +24,7 @@ runAveragedMany(const EpisodeRunner &runner,
             job.seed = episodeSeed(seed);
             job.n_agents = variant.n_agents;
             job.pipeline = variant.pipeline;
+            job.engine_service = variant.engine_service;
             job.custom = variant.custom;
             jobs.push_back(std::move(job));
         }

@@ -24,6 +24,9 @@ struct RunVariant
     int n_agents = -1;
     core::PipelineOptions pipeline;
 
+    /** Engine service for every episode of the variant (see EpisodeJob). */
+    llm::LlmEngineService *engine_service = &llm::LlmEngineService::shared();
+
     /** Custom episode entry point (see EpisodeJob::custom); when set,
      * `workload`/`config`/`difficulty`/`n_agents` are ignored. */
     std::function<core::EpisodeResult(const core::EpisodeOptions &)> custom;

@@ -50,6 +50,7 @@ runEpisode(const EpisodeJob &job)
     options.seed = job.seed;
     options.record_tokens = job.record_tokens;
     options.pipeline = job.pipeline;
+    options.engine_service = job.engine_service;
     if (job.custom)
         return job.custom(options);
     if (job.workload == nullptr)

@@ -34,6 +34,16 @@ struct EpisodeJob
     core::PipelineOptions pipeline;
     bool record_tokens = false;
 
+    /**
+     * Engine service the episode's LLM calls route through (not owned).
+     * Defaults to the process-wide shared service so the whole fleet
+     * shares backends; nullptr selects the legacy per-agent-engine path.
+     * Either way results are bit-identical — the service only adds
+     * fleet-wide accounting and batch assembly, both race-free under the
+     * runner's worker pool.
+     */
+    llm::LlmEngineService *engine_service = &llm::LlmEngineService::shared();
+
     /** When set, runs instead of the workload path. Must be thread-safe
      * with respect to every other job in the same batch. */
     std::function<core::EpisodeResult(const core::EpisodeOptions &)> custom;

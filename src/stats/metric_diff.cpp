@@ -1,0 +1,410 @@
+#include "stats/metric_diff.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+
+namespace ebs::stats {
+
+namespace {
+
+/**
+ * Minimal strict JSON reader covering the grammar run_all emits:
+ * objects, arrays, strings (with \" and \\ escapes), numbers, true,
+ * false, null. Values are materialized only where the caller asks;
+ * everything else is validated and skipped.
+ */
+class JsonReader
+{
+  public:
+    JsonReader(const std::string &text, std::string *error)
+        : text_(text), error_(error)
+    {
+    }
+
+    bool failed() const { return failed_; }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        return pos_ < text_.size() ? text_[pos_] : '\0';
+    }
+
+    bool
+    atEnd()
+    {
+        skipWs();
+        return pos_ >= text_.size();
+    }
+
+    void
+    fail(const std::string &what)
+    {
+        if (!failed_ && error_ != nullptr)
+            *error_ = what + " at offset " + std::to_string(pos_);
+        failed_ = true;
+    }
+
+    /** Parse a JSON string literal (after the opening quote position). */
+    std::string
+    parseString()
+    {
+        std::string out;
+        if (!consume('"')) {
+            fail("expected string");
+            return out;
+        }
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    break;
+                const char esc = text_[pos_++];
+                switch (esc) {
+                  case '"':
+                  case '\\':
+                  case '/':
+                    out += esc;
+                    break;
+                  case 'n':
+                    out += '\n';
+                    break;
+                  case 't':
+                    out += '\t';
+                    break;
+                  default:
+                    // Unhandled escapes (\uXXXX...) keep a placeholder;
+                    // metric names never use them.
+                    out += '?';
+                    if (esc == 'u')
+                        pos_ = std::min(pos_ + 4, text_.size());
+                    break;
+                }
+            } else {
+                out += c;
+            }
+        }
+        fail("unterminated string");
+        return out;
+    }
+
+    /**
+     * Parse any JSON value. When `number_out`/`is_number` are given and
+     * the value is numeric, report it; `null` reports as non-number.
+     */
+    void
+    parseValue(double *number_out, bool *is_number)
+    {
+        if (is_number != nullptr)
+            *is_number = false;
+        skipWs();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return;
+        }
+        const char c = text_[pos_];
+        if (c == '"') {
+            parseString();
+        } else if (c == '{') {
+            skipObject();
+        } else if (c == '[') {
+            skipArray();
+        } else if (c == 't') {
+            expectWord("true");
+        } else if (c == 'f') {
+            expectWord("false");
+        } else if (c == 'n') {
+            expectWord("null");
+        } else {
+            const char *start = text_.c_str() + pos_;
+            char *end = nullptr;
+            const double v = std::strtod(start, &end);
+            if (end == start) {
+                fail("expected a JSON value");
+                return;
+            }
+            pos_ += static_cast<std::size_t>(end - start);
+            if (number_out != nullptr)
+                *number_out = v;
+            if (is_number != nullptr)
+                *is_number = true;
+        }
+    }
+
+    /**
+     * Parse an object; for each member calls `member(key)` — which must
+     * consume the member's value — when non-null, else skips the value.
+     */
+    template <typename Fn>
+    void
+    parseObjectWith(Fn &&member)
+    {
+        if (!consume('{')) {
+            fail("expected object");
+            return;
+        }
+        if (consume('}'))
+            return;
+        for (;;) {
+            const std::string key = parseString();
+            if (failed_)
+                return;
+            if (!consume(':')) {
+                fail("expected ':'");
+                return;
+            }
+            member(key);
+            if (failed_)
+                return;
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return;
+            fail("expected ',' or '}'");
+            return;
+        }
+    }
+
+    void
+    skipObject()
+    {
+        parseObjectWith([&](const std::string &) {
+            parseValue(nullptr, nullptr);
+        });
+    }
+
+    /** Parse an array; `element()` (when non-null semantics needed) must
+     * consume each element. */
+    template <typename Fn>
+    void
+    parseArrayWith(Fn &&element)
+    {
+        if (!consume('[')) {
+            fail("expected array");
+            return;
+        }
+        if (consume(']'))
+            return;
+        for (;;) {
+            element();
+            if (failed_)
+                return;
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return;
+            fail("expected ',' or ']'");
+            return;
+        }
+    }
+
+    void
+    skipArray()
+    {
+        parseArrayWith([&] { parseValue(nullptr, nullptr); });
+    }
+
+  private:
+    void
+    expectWord(const char *word)
+    {
+        for (const char *p = word; *p != '\0'; ++p) {
+            if (pos_ >= text_.size() || text_[pos_] != *p) {
+                fail(std::string("expected '") + word + "'");
+                return;
+            }
+            ++pos_;
+        }
+    }
+
+    const std::string &text_;
+    std::string *error_;
+    std::size_t pos_ = 0;
+    bool failed_ = false;
+};
+
+/** Parse one paper_metrics element into a MetricEntry. */
+MetricEntry
+parseMetricObject(JsonReader &reader, const std::string &suite)
+{
+    MetricEntry entry;
+    entry.suite = suite;
+    reader.parseObjectWith([&](const std::string &key) {
+        if (key == "case") {
+            entry.case_name = reader.parseString();
+            return;
+        }
+        double value = 0.0;
+        bool is_number = false;
+        reader.parseValue(&value, &is_number);
+        if (is_number && std::isfinite(value))
+            entry.values[key] = value;
+    });
+    return entry;
+}
+
+} // namespace
+
+std::vector<MetricEntry>
+parseBenchResults(const std::string &json_text, std::string *error)
+{
+    if (error != nullptr)
+        error->clear();
+    std::vector<MetricEntry> entries;
+    JsonReader reader(json_text, error);
+
+    reader.parseObjectWith([&](const std::string &top_key) {
+        if (top_key != "suites") {
+            reader.parseValue(nullptr, nullptr);
+            return;
+        }
+        reader.parseObjectWith([&](const std::string &suite) {
+            reader.parseObjectWith([&](const std::string &field) {
+                if (field != "paper_metrics") {
+                    reader.parseValue(nullptr, nullptr);
+                    return;
+                }
+                reader.parseArrayWith([&] {
+                    MetricEntry entry = parseMetricObject(reader, suite);
+                    if (!entry.case_name.empty())
+                        entries.push_back(std::move(entry));
+                });
+            });
+        });
+    });
+    if (!reader.atEnd())
+        reader.fail("trailing content");
+
+    if (reader.failed()) {
+        entries.clear();
+        return entries;
+    }
+    return entries;
+}
+
+MetricDirection
+metricDirection(const std::string &key)
+{
+    // Higher is better.
+    if (key == "success_rate" || key == "speedup" ||
+        key == "batch_occupancy" || key == "latency_saved_pct")
+        return MetricDirection::HigherIsBetter;
+    // Lower is better: cost-like metrics bench_util.h emits.
+    if (key == "s_per_step" || key == "runtime_min" ||
+        key == "avg_steps" || key == "llm_calls_per_episode" ||
+        key == "tokens_per_episode")
+        return MetricDirection::LowerIsBetter;
+    return MetricDirection::Informational;
+}
+
+namespace {
+
+using CaseKey = std::pair<std::string, std::string>;
+using CaseIndex = std::map<CaseKey, std::map<std::string, double>>;
+
+/**
+ * Consolidate entries by (suite, case), merging their value maps:
+ * run_all emits one entry per EBS_METRIC line and benches emit several
+ * lines per case (emitMetric + emitScalarMetric share the case name),
+ * so diffing must see the union, not whichever line came last.
+ */
+CaseIndex
+indexByCase(const std::vector<MetricEntry> &entries)
+{
+    CaseIndex index;
+    for (const auto &entry : entries) {
+        auto &values = index[{entry.suite, entry.case_name}];
+        for (const auto &[key, value] : entry.values)
+            values[key] = value;
+    }
+    return index;
+}
+
+} // namespace
+
+DiffReport
+diffMetrics(const std::vector<MetricEntry> &old_entries,
+            const std::vector<MetricEntry> &new_entries,
+            const DiffOptions &options)
+{
+    DiffReport report;
+
+    const CaseIndex old_index = indexByCase(old_entries);
+    const CaseIndex new_index = indexByCase(new_entries);
+
+    for (const auto &[key, old_values] : old_index) {
+        const auto found = new_index.find(key);
+        if (found == new_index.end()) {
+            report.missing_cases.push_back(key.first + "/" + key.second);
+            continue;
+        }
+        const auto &new_values = found->second;
+        for (const auto &[metric, old_value] : old_values) {
+            const auto new_it = new_values.find(metric);
+            if (new_it == new_values.end())
+                continue;
+            const double new_value = new_it->second;
+            ++report.compared_values;
+
+            // Relative tolerance is anchored on the OLD magnitude (per
+            // DiffOptions): scaling by max(old, new) would let a
+            // lower-is-better metric grow 1/(1-rel_tol)-fold — 2.5x at
+            // rel_tol 0.6 — before flagging.
+            const double delta = new_value - old_value;
+            if (std::fabs(delta) <= options.abs_tol ||
+                std::fabs(delta) <= options.rel_tol * std::fabs(old_value))
+                continue;
+
+            const MetricDirection direction = metricDirection(metric);
+            if (direction == MetricDirection::Informational)
+                continue;
+            const bool worsened =
+                direction == MetricDirection::HigherIsBetter ? delta < 0
+                                                             : delta > 0;
+            MetricDelta flagged;
+            flagged.suite = key.first;
+            flagged.case_name = key.second;
+            flagged.key = metric;
+            flagged.old_value = old_value;
+            flagged.new_value = new_value;
+            flagged.regression = worsened;
+            (worsened ? report.regressions : report.improvements)
+                .push_back(std::move(flagged));
+        }
+    }
+
+    for (const auto &[key, values] : new_index) {
+        (void)values;
+        if (old_index.count(key) == 0)
+            report.new_cases.push_back(key.first + "/" + key.second);
+    }
+
+    report.ok = report.regressions.empty() &&
+                (!options.fail_on_missing || report.missing_cases.empty());
+    return report;
+}
+
+} // namespace ebs::stats

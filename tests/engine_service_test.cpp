@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Determinism harness for the shared LLM engine service (the tentpole
+ * contract): routing every agent module through LlmEngineService — with
+ * batching off or on, serial or fanned across EpisodeRunner workers —
+ * must be bit-identical to the legacy per-agent-engine path, while the
+ * service's usage aggregation stays exact and its batch assembly stays
+ * reproducible at any worker count.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "llm/engine.h"
+#include "llm/engine_service.h"
+#include "llm/model_profile.h"
+#include "runner/averaged.h"
+#include "runner/episode_runner.h"
+#include "runner/run_stats.h"
+#include "test_util.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using namespace ebs;
+
+/** A batch covering all three paradigms (single, centralized,
+ * decentralized), several seeds each, with multi-agent teams. */
+std::vector<runner::EpisodeJob>
+paradigmBatch(llm::LlmEngineService *service)
+{
+    std::vector<runner::EpisodeJob> jobs;
+    for (const char *name : {"EmbodiedGPT", "MindAgent", "CoELA"}) {
+        const auto &spec = workloads::workload(name);
+        for (int seed = 1; seed <= 3; ++seed) {
+            runner::EpisodeJob job;
+            job.workload = &spec;
+            job.config = spec.config;
+            job.difficulty = env::Difficulty::Easy;
+            job.seed = runner::episodeSeed(seed);
+            job.record_tokens = true;
+            job.engine_service = service;
+            jobs.push_back(std::move(job));
+        }
+    }
+    return jobs;
+}
+
+TEST(EngineService, BitIdenticalAcrossEnginePathsAndWorkerCounts)
+{
+    // Reference: the legacy per-agent-engine path, serial.
+    const auto legacy =
+        runner::EpisodeRunner(1).run(paradigmBatch(nullptr));
+
+    // The EBS_JOBS sweep of the acceptance contract: serial, a fixed
+    // multi-worker count, and the hardware/EBS_JOBS default.
+    const int worker_counts[] = {1, 4, runner::EpisodeRunner::defaultJobs()};
+
+    for (const bool batching : {false, true}) {
+        for (const int workers : worker_counts) {
+            llm::LlmEngineService service(
+                llm::ServiceConfig{.batching = batching});
+            const auto routed = runner::EpisodeRunner(workers).run(
+                paradigmBatch(&service));
+            ASSERT_EQ(routed.size(), legacy.size());
+            for (std::size_t i = 0; i < legacy.size(); ++i) {
+                SCOPED_TRACE("batching=" + std::to_string(batching) +
+                             " workers=" + std::to_string(workers) +
+                             " job " + std::to_string(i));
+                test::expectEpisodeIdentical(legacy[i], routed[i]);
+            }
+        }
+    }
+}
+
+TEST(EngineService, LegacyPathProducesNoBatchLog)
+{
+    const auto legacy =
+        runner::EpisodeRunner(1).run(paradigmBatch(nullptr));
+    for (const auto &episode : legacy)
+        EXPECT_TRUE(episode.llm_batches.empty());
+
+    llm::LlmEngineService unbatched(llm::ServiceConfig{.batching = false});
+    const auto routed =
+        runner::EpisodeRunner(1).run(paradigmBatch(&unbatched));
+    for (const auto &episode : routed)
+        EXPECT_TRUE(episode.llm_batches.empty());
+}
+
+TEST(EngineService, BatchAssemblyIsDeterministicAcrossWorkerCounts)
+{
+    llm::LlmEngineService serial_service;
+    const auto serial =
+        runner::EpisodeRunner(1).run(paradigmBatch(&serial_service));
+
+    llm::LlmEngineService parallel_service;
+    const auto parallel = runner::EpisodeRunner(
+        runner::EpisodeRunner::defaultJobs())
+                              .run(paradigmBatch(&parallel_service));
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE("job " + std::to_string(i));
+        const auto &a = serial[i].llm_batches;
+        const auto &b = parallel[i].llm_batches;
+        ASSERT_EQ(a.size(), b.size());
+        EXPECT_FALSE(a.empty()); // every episode makes LLM calls
+        for (std::size_t r = 0; r < a.size(); ++r) {
+            SCOPED_TRACE("record " + std::to_string(r));
+            EXPECT_EQ(a[r].step, b[r].step);
+            EXPECT_EQ(a[r].phase, b[r].phase);
+            EXPECT_EQ(a[r].backend, b[r].backend);
+            EXPECT_EQ(a[r].requests, b[r].requests);
+            EXPECT_EQ(a[r].remote, b[r].remote);
+            EXPECT_EQ(a[r].rtt_mean_s, b[r].rtt_mean_s);
+            EXPECT_EQ(a[r].prefill_s, b[r].prefill_s);
+            EXPECT_EQ(a[r].max_decode_s, b[r].max_decode_s);
+            EXPECT_EQ(a[r].baseline_s, b[r].baseline_s);
+            EXPECT_EQ(a[r].batched_s, b[r].batched_s);
+        }
+    }
+
+    // The service-side tallies agree with the per-episode logs no matter
+    // how the episodes were scheduled.
+    const auto serial_stats = serial_service.stats();
+    const auto parallel_stats = parallel_service.stats();
+    EXPECT_EQ(serial_stats.batches, parallel_stats.batches);
+    EXPECT_EQ(serial_stats.requests, parallel_stats.requests);
+    EXPECT_EQ(serial_stats.cross_agent_batches,
+              parallel_stats.cross_agent_batches);
+}
+
+TEST(EngineService, MultiAgentWorkloadsBatchAcrossAgents)
+{
+    llm::LlmEngineService service;
+    std::vector<runner::EpisodeJob> jobs;
+    const auto &spec = workloads::workload("CoELA"); // decentralized, 2
+    for (int seed = 1; seed <= 2; ++seed) {
+        runner::EpisodeJob job;
+        job.workload = &spec;
+        job.config = spec.config;
+        job.difficulty = env::Difficulty::Easy;
+        job.seed = runner::episodeSeed(seed);
+        job.engine_service = &service;
+        jobs.push_back(std::move(job));
+    }
+    const auto episodes = runner::EpisodeRunner(2).run(jobs);
+
+    llm::BatchStats folded;
+    for (const auto &episode : episodes) {
+        ASSERT_FALSE(episode.llm_batches.empty());
+        for (const auto &record : episode.llm_batches) {
+            EXPECT_GE(record.requests, 1);
+            // The central batching promise: joint inference never costs
+            // more than sequential calls.
+            EXPECT_LE(record.batched_s, record.baseline_s);
+            EXPECT_GT(record.batched_s, 0.0);
+        }
+        folded.merge(llm::foldBatchLog(episode.llm_batches));
+    }
+
+    // Two agents planning/communicating/reflecting each step must yield
+    // real cross-agent batches and strictly positive modeled savings.
+    EXPECT_GT(folded.cross_agent_batches, 0);
+    EXPECT_GT(folded.occupancy(), 1.0);
+    EXPECT_LT(folded.batched_s, folded.baseline_s);
+}
+
+TEST(EngineService, CrossEpisodeFoldMergesLockstepBatches)
+{
+    llm::LlmEngineService service;
+    const auto episodes =
+        runner::EpisodeRunner(4).run(paradigmBatch(&service));
+
+    std::vector<std::vector<llm::BatchRecord>> logs;
+    llm::BatchStats per_episode;
+    for (const auto &episode : episodes) {
+        logs.push_back(episode.llm_batches);
+        per_episode.merge(llm::foldBatchLog(episode.llm_batches));
+    }
+
+    const auto cross = llm::foldCrossEpisodeBatches(logs);
+    // Merging loses no requests, only batch boundaries.
+    EXPECT_EQ(cross.requests, per_episode.requests);
+    EXPECT_LT(cross.batches, per_episode.batches);
+    EXPECT_GT(cross.occupancy(), per_episode.occupancy());
+    // Same baseline work (summation order differs, so compare to relative
+    // precision), no worse — and here strictly better — joint time.
+    EXPECT_NEAR(cross.baseline_s, per_episode.baseline_s,
+                1e-9 * per_episode.baseline_s);
+    EXPECT_LT(cross.batched_s, per_episode.batched_s);
+
+    // Pure fold: running it again gives the same numbers bitwise.
+    const auto again = llm::foldCrossEpisodeBatches(logs);
+    EXPECT_EQ(again.batches, cross.batches);
+    EXPECT_EQ(again.requests, cross.requests);
+    EXPECT_EQ(again.baseline_s, cross.baseline_s);
+    EXPECT_EQ(again.batched_s, cross.batched_s);
+}
+
+TEST(EngineService, UsageAccountingIsExactSerial)
+{
+    llm::LlmEngineService service;
+    const auto episodes =
+        runner::EpisodeRunner(1).run(paradigmBatch(&service));
+
+    llm::LlmUsage summed;
+    for (const auto &episode : episodes) {
+        summed.calls += episode.llm.calls;
+        summed.tokens_in += episode.llm.tokens_in;
+        summed.tokens_out += episode.llm.tokens_out;
+        summed.total_latency_s += episode.llm.total_latency_s;
+    }
+
+    const auto total = service.totalUsage();
+    EXPECT_EQ(total.calls, summed.calls);
+    EXPECT_EQ(total.tokens_in, summed.tokens_in);
+    EXPECT_EQ(total.tokens_out, summed.tokens_out);
+    // Accumulation order differs (per-backend vs. per-episode), so the
+    // float sum is compared to relative precision, not bitwise.
+    EXPECT_NEAR(total.total_latency_s, summed.total_latency_s,
+                1e-9 * summed.total_latency_s);
+
+    service.reset();
+    const auto cleared = service.totalUsage();
+    EXPECT_EQ(cleared.calls, 0u);
+    EXPECT_EQ(cleared.tokens_in, 0);
+    EXPECT_EQ(service.stats().batches, 0);
+}
+
+TEST(EngineService, UsageAccountingLosesNothingUnderWorkers)
+{
+    llm::LlmEngineService service;
+    const auto episodes =
+        runner::EpisodeRunner(4).run(paradigmBatch(&service));
+
+    llm::LlmUsage summed;
+    for (const auto &episode : episodes) {
+        summed.calls += episode.llm.calls;
+        summed.tokens_in += episode.llm.tokens_in;
+        summed.tokens_out += episode.llm.tokens_out;
+    }
+    const auto total = service.totalUsage();
+    EXPECT_EQ(total.calls, summed.calls);
+    EXPECT_EQ(total.tokens_in, summed.tokens_in);
+    EXPECT_EQ(total.tokens_out, summed.tokens_out);
+}
+
+TEST(EngineService, BackendsAreSharedPerProfile)
+{
+    llm::LlmEngineService service;
+    const auto gpt4 = llm::ModelProfile::gpt4Api();
+    const auto local = llm::ModelProfile::llama3_8bLocal();
+
+    const int a = service.backendFor(gpt4);
+    const int b = service.backendFor(gpt4);
+    const int c = service.backendFor(local);
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_EQ(service.backendCount(), 2);
+    EXPECT_EQ(service.backendName(a), gpt4.name);
+
+    // A quantized variant is a different endpoint even under one name.
+    auto tweaked = gpt4;
+    tweaked.decode_tok_per_s *= 2.0;
+    EXPECT_NE(service.backendFor(tweaked), a);
+}
+
+TEST(EngineService, DetachedHandleMatchesPrivateEngine)
+{
+    const auto profile = llm::ModelProfile::gpt4Api();
+    llm::LlmEngine engine(profile, sim::Rng(42));
+    llm::EngineHandle handle(nullptr, profile, sim::Rng(42));
+
+    llm::LlmRequest request;
+    request.tokens_in = 900;
+    request.tokens_out_mean = 80;
+    for (int i = 0; i < 50; ++i) {
+        const auto a = engine.complete(request);
+        const auto b = handle.complete(request);
+        EXPECT_EQ(a.latency_s, b.latency_s);
+        EXPECT_EQ(a.tokens_in, b.tokens_in);
+        EXPECT_EQ(a.tokens_out, b.tokens_out);
+        EXPECT_EQ(a.parse_ok, b.parse_ok);
+        EXPECT_EQ(a.good, b.good);
+    }
+    EXPECT_EQ(engine.usage().calls, handle.usage().calls);
+    EXPECT_EQ(engine.usage().tokens_out, handle.usage().tokens_out);
+    EXPECT_EQ(engine.usage().total_latency_s,
+              handle.usage().total_latency_s);
+}
+
+TEST(EngineService, SharedServiceIsTheDefaultRoute)
+{
+    const core::EpisodeOptions options;
+    EXPECT_EQ(options.engine_service, &llm::LlmEngineService::shared());
+    const runner::EpisodeJob job;
+    EXPECT_EQ(job.engine_service, &llm::LlmEngineService::shared());
+}
+
+} // namespace

@@ -232,6 +232,132 @@ TEST(LlmEngine, BatchEmptyIsEmpty)
 {
     LlmEngine engine(ModelProfile::gpt4Api(), sim::Rng(8));
     EXPECT_TRUE(engine.completeBatch({}).empty());
+    // An empty batch costs nothing: no usage, no RNG consumption.
+    EXPECT_EQ(engine.usage().calls, 0u);
+    LlmEngine untouched(ModelProfile::gpt4Api(), sim::Rng(8));
+    LlmRequest req;
+    req.tokens_in = 500;
+    EXPECT_EQ(engine.complete(req).latency_s,
+              untouched.complete(req).latency_s);
+}
+
+TEST(LlmEngine, BatchOfOneIsExactlyComplete)
+{
+    LlmRequest req;
+    req.tokens_in = 1200;
+    req.tokens_out_mean = 70;
+
+    LlmEngine single(ModelProfile::gpt4Api(), sim::Rng(21));
+    LlmEngine batched(ModelProfile::gpt4Api(), sim::Rng(21));
+    const auto a = single.complete(req);
+    const auto batch = batched.completeBatch({req});
+    ASSERT_EQ(batch.size(), 1u);
+    const auto &b = batch.front();
+    EXPECT_EQ(a.latency_s, b.latency_s); // bitwise: same draws, same math
+    EXPECT_EQ(a.tokens_in, b.tokens_in);
+    EXPECT_EQ(a.tokens_out, b.tokens_out);
+    EXPECT_EQ(a.parse_ok, b.parse_ok);
+    EXPECT_EQ(a.good, b.good);
+    EXPECT_EQ(single.usage().calls, batched.usage().calls);
+    EXPECT_EQ(single.usage().total_latency_s,
+              batched.usage().total_latency_s);
+}
+
+TEST(LlmEngine, BatchResponseStreamMatchesSequential)
+{
+    // Batching is a latency optimization only: every non-latency response
+    // field must be bit-identical to issuing the same requests one by one
+    // on the same stream.
+    std::vector<LlmRequest> requests(5);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        requests[i].tokens_in = 400 + 300 * static_cast<int>(i);
+        requests[i].tokens_out_mean = 40 + 10 * static_cast<int>(i);
+    }
+    LlmEngine seq(ModelProfile::gpt4Api(), sim::Rng(22));
+    LlmEngine bat(ModelProfile::gpt4Api(), sim::Rng(22));
+    const auto batched = bat.completeBatch(requests);
+    ASSERT_EQ(batched.size(), requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const auto a = seq.complete(requests[i]);
+        EXPECT_EQ(a.tokens_in, batched[i].tokens_in);
+        EXPECT_EQ(a.tokens_out, batched[i].tokens_out);
+        EXPECT_EQ(a.parse_ok, batched[i].parse_ok);
+        EXPECT_EQ(a.good, batched[i].good);
+        EXPECT_EQ(a.truncated, batched[i].truncated);
+        // Batch members all report the shared completion time.
+        EXPECT_EQ(batched[i].latency_s, batched.front().latency_s);
+    }
+}
+
+TEST(LlmEngine, BatchTruncatesOversizedMemberOnly)
+{
+    auto profile = ModelProfile::llama3_8bLocal();
+    profile.context_limit = 1000;
+    LlmEngine engine(profile, sim::Rng(23));
+
+    std::vector<LlmRequest> requests(3);
+    requests[0].tokens_in = 300;
+    requests[1].tokens_in = 5000; // exceeds the window
+    requests[2].tokens_in = 800;
+    const auto batched = engine.completeBatch(requests);
+    ASSERT_EQ(batched.size(), 3u);
+    EXPECT_FALSE(batched[0].truncated);
+    EXPECT_TRUE(batched[1].truncated);
+    EXPECT_FALSE(batched[2].truncated);
+    EXPECT_EQ(batched[1].tokens_in, 1000);
+    // Usage counts the clamped prompt sizes.
+    EXPECT_EQ(engine.usage().tokens_in, 300 + 1000 + 800);
+    EXPECT_EQ(engine.usage().calls, 3u);
+}
+
+TEST(LlmEngine, BatchLatencyNeverExceedsSequentialSum)
+{
+    LlmEngine seq(ModelProfile::gpt4Api(), sim::Rng(24));
+    LlmEngine bat(ModelProfile::gpt4Api(), sim::Rng(24));
+    for (int round = 0; round < 20; ++round) {
+        std::vector<LlmRequest> requests(
+            static_cast<std::size_t>(2 + round % 5));
+        for (auto &r : requests) {
+            r.tokens_in = 300 + 100 * (round % 7);
+            r.tokens_out_mean = 30 + 10 * (round % 4);
+        }
+        double sequential = 0.0;
+        for (const auto &r : requests)
+            sequential += seq.complete(r).latency_s;
+        const auto batched = bat.completeBatch(requests);
+        EXPECT_LE(batched.front().latency_s, sequential);
+    }
+}
+
+TEST(LlmEngine, ExpectedBatchLatencyMatchesSampledMean)
+{
+    const auto profile = ModelProfile::gpt4Api();
+    std::vector<LlmRequest> requests(4);
+    for (auto &r : requests) {
+        r.tokens_in = 1500;
+        r.tokens_out_mean = 20;
+    }
+    // One member dominates decode so the sampled max is centered on the
+    // model's max-of-means (the max over several same-mean lognormals
+    // would sit systematically above it).
+    requests.front().tokens_out_mean = 240;
+    const double expected = expectedBatchLatency(profile, requests);
+    // Joint model: one mean RTT + summed prefill + longest decode.
+    EXPECT_GT(expected, profile.api_rtt_mean_s);
+    EXPECT_LT(expected, 4 * expectedCompletionLatency(profile,
+                                                      requests.front()));
+
+    LlmEngine engine(profile, sim::Rng(25));
+    double sum = 0.0;
+    const int n = 2000;
+    for (int i = 0; i < n; ++i)
+        sum += engine.completeBatch(requests).front().latency_s;
+    EXPECT_NEAR(sum / n, expected, expected * 0.1);
+}
+
+TEST(LlmEngine, ExpectedBatchLatencyEmptyIsZero)
+{
+    EXPECT_EQ(expectedBatchLatency(ModelProfile::gpt4Api(), {}), 0.0);
 }
 
 /** Property sweep: latency is monotone in both token dimensions for every

@@ -17,41 +17,19 @@
 #include "runner/episode_runner.h"
 #include "runner/run_stats.h"
 #include "stats/module_kind.h"
+#include "test_util.h"
 #include "workloads/workload.h"
 
 namespace {
 
 using namespace ebs;
+using test::expectEpisodeIdentical;
 
-/** Every field of two EpisodeResults must match exactly — bitwise for the
- * doubles, since parallel runs promise bit-identical results. */
+/** Bitwise comparison shared with engine_service_test (test_util.h). */
 void
 expectIdentical(const core::EpisodeResult &a, const core::EpisodeResult &b)
 {
-    EXPECT_EQ(a.success, b.success);
-    EXPECT_EQ(a.steps, b.steps);
-    EXPECT_EQ(a.sim_seconds, b.sim_seconds);
-    EXPECT_EQ(a.final_progress, b.final_progress);
-    for (std::size_t k = 0; k < stats::kNumModuleKinds; ++k) {
-        const auto kind = static_cast<stats::ModuleKind>(k);
-        EXPECT_EQ(a.latency.total(kind), b.latency.total(kind));
-        EXPECT_EQ(a.latency.count(kind), b.latency.count(kind));
-    }
-    EXPECT_EQ(a.llm.calls, b.llm.calls);
-    EXPECT_EQ(a.llm.tokens_in, b.llm.tokens_in);
-    EXPECT_EQ(a.llm.tokens_out, b.llm.tokens_out);
-    EXPECT_EQ(a.llm.total_latency_s, b.llm.total_latency_s);
-    EXPECT_EQ(a.messages_generated, b.messages_generated);
-    EXPECT_EQ(a.messages_useful, b.messages_useful);
-    ASSERT_EQ(a.token_series.size(), b.token_series.size());
-    for (std::size_t i = 0; i < a.token_series.size(); ++i) {
-        EXPECT_EQ(a.token_series[i].step, b.token_series[i].step);
-        EXPECT_EQ(a.token_series[i].agent, b.token_series[i].agent);
-        EXPECT_EQ(a.token_series[i].plan_tokens,
-                  b.token_series[i].plan_tokens);
-        EXPECT_EQ(a.token_series[i].message_tokens,
-                  b.token_series[i].message_tokens);
-    }
+    expectEpisodeIdentical(a, b);
 }
 
 /** A batch covering all three paradigms, several seeds each. */

@@ -3,10 +3,57 @@
 
 #include <string>
 
+#include <gtest/gtest.h>
+
+#include "core/episode.h"
 #include "env/env.h"
 #include "plan/controller.h"
+#include "stats/module_kind.h"
 
 namespace ebs::test {
+
+/**
+ * Every *simulated-result* field of two EpisodeResults must match
+ * exactly — bitwise for the doubles, since both the parallel episode
+ * runner and the shared LLM engine service promise bit-identical
+ * results to the serial/legacy paths. Shared by runner_test and
+ * engine_service_test.
+ *
+ * Deliberately excluded: `llm_batches`, which is service telemetry, not
+ * a simulated result — it is empty by construction on the legacy and
+ * batching-off paths this helper compares against, and its own
+ * worker-count determinism is asserted separately
+ * (EngineService.BatchAssemblyIsDeterministicAcrossWorkerCounts).
+ */
+inline void
+expectEpisodeIdentical(const core::EpisodeResult &a,
+                       const core::EpisodeResult &b)
+{
+    EXPECT_EQ(a.success, b.success);
+    EXPECT_EQ(a.steps, b.steps);
+    EXPECT_EQ(a.sim_seconds, b.sim_seconds);
+    EXPECT_EQ(a.final_progress, b.final_progress);
+    for (std::size_t k = 0; k < stats::kNumModuleKinds; ++k) {
+        const auto kind = static_cast<stats::ModuleKind>(k);
+        EXPECT_EQ(a.latency.total(kind), b.latency.total(kind));
+        EXPECT_EQ(a.latency.count(kind), b.latency.count(kind));
+    }
+    EXPECT_EQ(a.llm.calls, b.llm.calls);
+    EXPECT_EQ(a.llm.tokens_in, b.llm.tokens_in);
+    EXPECT_EQ(a.llm.tokens_out, b.llm.tokens_out);
+    EXPECT_EQ(a.llm.total_latency_s, b.llm.total_latency_s);
+    EXPECT_EQ(a.messages_generated, b.messages_generated);
+    EXPECT_EQ(a.messages_useful, b.messages_useful);
+    ASSERT_EQ(a.token_series.size(), b.token_series.size());
+    for (std::size_t i = 0; i < a.token_series.size(); ++i) {
+        EXPECT_EQ(a.token_series[i].step, b.token_series[i].step);
+        EXPECT_EQ(a.token_series[i].agent, b.token_series[i].agent);
+        EXPECT_EQ(a.token_series[i].plan_tokens,
+                  b.token_series[i].plan_tokens);
+        EXPECT_EQ(a.token_series[i].message_tokens,
+                  b.token_series[i].message_tokens);
+    }
+}
 
 /**
  * Scripted oracle rollout: every agent executes the first useful subgoal
