@@ -10,10 +10,14 @@
  *
  * Usage:
  *   diff_metrics OLD.json NEW.json [--abs-tol X] [--rel-tol Y]
- *                [--fail-on-missing] [--quiet]
+ *                [--fail-on-missing] [--fail-on-improvement] [--quiet]
  *
- * Exit codes: 0 within tolerance, 1 regressions (or missing cases with
- * --fail-on-missing), 2 usage/IO/parse errors.
+ * Exit codes: 0 within tolerance, 1 regressions (or missing cases /
+ * missing per-case metric keys with --fail-on-missing, or
+ * out-of-tolerance improvements with --fail-on-improvement), 2
+ * usage/IO/parse errors — including a comparison that covers zero
+ * metrics, which would otherwise pass vacuously on a corrupted or
+ * empty baseline.
  */
 
 #include <cstdio>
@@ -85,13 +89,15 @@ main(int argc, char **argv)
             }
         } else if (std::strcmp(arg, "--fail-on-missing") == 0) {
             options.fail_on_missing = true;
+        } else if (std::strcmp(arg, "--fail-on-improvement") == 0) {
+            options.fail_on_improvement = true;
         } else if (std::strcmp(arg, "--quiet") == 0) {
             quiet = true;
         } else if (arg[0] == '-') {
             std::fprintf(stderr,
                          "usage: diff_metrics OLD.json NEW.json "
                          "[--abs-tol X] [--rel-tol Y] [--fail-on-missing] "
-                         "[--quiet]\n");
+                         "[--fail-on-improvement] [--quiet]\n");
             return std::strcmp(arg, "--help") == 0 ||
                            std::strcmp(arg, "-h") == 0
                        ? 0
@@ -142,6 +148,16 @@ main(int argc, char **argv)
     const auto report =
         ebs::stats::diffMetrics(old_entries, new_entries, options);
 
+    if (report.compared_values == 0) {
+        // A gate that compared nothing proves nothing: an empty or
+        // structurally mismatched baseline must not read as a pass.
+        std::fprintf(stderr,
+                     "diff_metrics: no overlapping metric values between "
+                     "%s and %s — empty or mismatched baseline?\n",
+                     old_path, new_path);
+        return 2;
+    }
+
     if (!quiet) {
         std::printf("diff_metrics: %d metric values compared "
                     "(abs tol %.3g, rel tol %.3g)\n",
@@ -153,14 +169,18 @@ main(int argc, char **argv)
             printDelta("improvement", delta);
         for (const auto &name : report.missing_cases)
             std::printf("  missing in new: %s\n", name.c_str());
+        for (const auto &name : report.missing_metrics)
+            std::printf("  missing metric in new: %s\n", name.c_str());
         for (const auto &name : report.new_cases)
             std::printf("  new-only case: %s\n", name.c_str());
     }
 
     if (!report.ok) {
-        std::printf("diff_metrics: FAIL (%zu regressions, %zu missing)\n",
-                    report.regressions.size(),
-                    report.missing_cases.size());
+        std::printf("diff_metrics: FAIL (%zu regressions, "
+                    "%zu improvements, %zu missing)\n",
+                    report.regressions.size(), report.improvements.size(),
+                    report.missing_cases.size() +
+                        report.missing_metrics.size());
         return 1;
     }
     std::printf("diff_metrics: OK (%zu improvements, %zu new cases)\n",

@@ -19,10 +19,14 @@ class Harness
     Harness(env::Environment &environment, const AgentConfig &config,
             const EpisodeOptions &options)
         : env_(environment), options_(options),
-          master_rng_(options.seed)
+          master_rng_(options.seed),
+          // The session is pinned (handles keep its address), so it is
+          // built in place at its final location, before any agent mints
+          // a handle on it.
+          llm_session_(options.engine_service != nullptr
+                           ? options.engine_service->openSession()
+                           : llm::EngineSession())
     {
-        if (options_.engine_service != nullptr)
-            llm_session_ = options_.engine_service->openSession();
         const int n = env_.world().agentCount();
         for (int i = 0; i < n; ++i) {
             agents_.push_back(std::make_unique<Agent>(

@@ -92,16 +92,33 @@ expectedBatchLatency(const ModelProfile &profile,
         return 0.0;
     double prefill_s = 0.0;
     double max_decode_s = 0.0;
+    double baseline_s = 0.0;
     for (const auto &req : requests) {
         const int in = std::min(req.tokens_in, profile.context_limit);
         prefill_s += in / profile.prefill_tok_per_s;
         max_decode_s = std::max(
             max_decode_s, req.tokens_out_mean / profile.decode_tok_per_s);
+        baseline_s += expectedCompletionLatency(profile, req);
     }
+    // The expected sequential baseline never undercuts the joint time
+    // (summed decode >= longest decode, n RTTs >= one), so the clamp is
+    // inert here and the singleton rule reduces to the member's own
+    // expected latency.
+    return jointBatchTime(static_cast<int>(requests.size()), prefill_s,
+                          max_decode_s, profile.remote,
+                          profile.api_rtt_mean_s, baseline_s);
+}
+
+double
+jointBatchTime(int requests, double prefill_s, double max_decode_s,
+               bool remote, double rtt_mean_s, double baseline_s)
+{
+    if (requests <= 1)
+        return baseline_s;
     double latency = prefill_s + max_decode_s;
-    if (profile.remote)
-        latency += profile.api_rtt_mean_s;
-    return latency;
+    if (remote)
+        latency += rtt_mean_s;
+    return std::min(latency, baseline_s);
 }
 
 void
@@ -170,10 +187,9 @@ LlmEngine::completeBatch(const std::vector<LlmRequest> &requests)
         out.push_back(resp);
     }
 
-    double batch_latency = prefill_s + max_decode_s;
-    if (profile_.remote)
-        batch_latency += profile_.api_rtt_mean_s;
-    batch_latency = std::min(batch_latency, sequential_s);
+    const double batch_latency = jointBatchTime(
+        static_cast<int>(requests.size()), prefill_s, max_decode_s,
+        profile_.remote, profile_.api_rtt_mean_s, sequential_s);
 
     for (auto &resp : out) {
         resp.latency_s = batch_latency;

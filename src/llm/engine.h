@@ -92,6 +92,19 @@ double expectedBatchLatency(const ModelProfile &profile,
                             const std::vector<LlmRequest> &requests);
 
 /**
+ * The single definition of the joint-batch cost model, shared by
+ * LlmEngine::completeBatch(), expectedBatchLatency(), and the engine
+ * service's BatchRecord fold (engine_service.cpp): summed prefill +
+ * longest member decode + one mean RTT for remote backends, clamped so
+ * a batch never costs more than its members run sequentially
+ * (`baseline_s`). A group of one IS the sequential call and keeps its
+ * baseline exactly — substituting the mean RTT for a sampled RTT under
+ * a one-sided clamp would manufacture savings out of RTT jitter.
+ */
+double jointBatchTime(int requests, double prefill_s, double max_decode_s,
+                      bool remote, double rtt_mean_s, double baseline_s);
+
+/**
  * Simulated LLM inference backend.
  *
  * Substitutes the paper's GPT-4 API / local A6000 inference: computes

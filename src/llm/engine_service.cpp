@@ -1,6 +1,7 @@
 #include "llm/engine_service.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <map>
 #include <tuple>
@@ -9,32 +10,102 @@ namespace ebs::llm {
 
 namespace {
 
-/** Modeled joint completion time of an assembled group, clamped so a
- * batch can never cost more than running its members sequentially. A
- * group of one IS the sequential call — substituting the mean RTT for
- * its sampled RTT under a one-sided clamp would manufacture savings
- * out of RTT jitter, so singletons keep their baseline exactly. */
+/** Modeled joint completion time of an assembled group: the shared
+ * jointBatchTime() cost model (engine.h) applied to a BatchRecord. */
 double
 jointCompletionTime(const BatchRecord &record)
 {
-    if (record.requests <= 1)
-        return record.baseline_s;
-    double latency = record.prefill_s + record.max_decode_s;
-    if (record.remote)
-        latency += record.rtt_mean_s;
-    return std::min(latency, record.baseline_s);
+    return jointBatchTime(record.requests, record.prefill_s,
+                          record.max_decode_s, record.remote,
+                          record.rtt_mean_s, record.baseline_s);
 }
 
-/** Two profiles map to the same backend iff their identity and latency
- * model agree (capability axes ride along with the name). */
-bool
+/** Feed every ModelProfile field except the name to `field`, as a
+ * double. Backend equality and identity below both consume exactly this
+ * enumeration, so the two can never drift apart: a same-name,
+ * same-latency profile with e.g. a workload-tweaked reflect_quality is
+ * a differently-calibrated model and must not merge into another
+ * backend's usage accounting. When ModelProfile gains a field, extend
+ * this list (the size guard below fails loudly until you do). */
+template <typename Fn>
+void
+forEachProfileField(const ModelProfile &p, Fn &&field)
+{
+    field(p.remote ? 1.0 : 0.0);
+    field(p.api_rtt_mean_s);
+    field(p.api_rtt_cv);
+    field(p.prefill_tok_per_s);
+    field(p.decode_tok_per_s);
+    field(static_cast<double>(p.context_limit));
+    field(p.plan_quality);
+    field(p.comm_quality);
+    field(p.reflect_quality);
+    field(p.format_compliance);
+    field(p.dilution_onset_tokens);
+    field(p.dilution_scale_tokens);
+}
+
+#if defined(__GLIBCXX__) && defined(__x86_64__) && \
+    defined(_GLIBCXX_USE_CXX11_ABI) && _GLIBCXX_USE_CXX11_ABI == 1
+static_assert(sizeof(ModelProfile) == 128,
+              "ModelProfile changed: extend forEachProfileField() (and "
+              "this size) so backend identity keeps covering every field");
+#endif
+
+/** Full-profile backend equality (same name, same field stream). Only
+ * the debug-build collision assert calls this — the identity hash below
+ * consumes the same enumeration — hence maybe_unused. */
+[[maybe_unused]] bool
 sameBackend(const ModelProfile &a, const ModelProfile &b)
 {
-    return a.name == b.name && a.remote == b.remote &&
-           a.api_rtt_mean_s == b.api_rtt_mean_s &&
-           a.prefill_tok_per_s == b.prefill_tok_per_s &&
-           a.decode_tok_per_s == b.decode_tok_per_s &&
-           a.context_limit == b.context_limit;
+    if (a.name != b.name)
+        return false;
+    std::vector<double> fields_a;
+    std::vector<double> fields_b;
+    forEachProfileField(a, [&](double v) { fields_a.push_back(v); });
+    forEachProfileField(b, [&](double v) { fields_b.push_back(v); });
+    return fields_a == fields_b;
+}
+
+std::uint64_t
+fnv1aBytes(std::uint64_t hash, const void *data, std::size_t size)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 1099511628211ULL;
+    }
+    return hash;
+}
+
+std::uint64_t
+fnv1aField(std::uint64_t hash, double value)
+{
+    // Normalize so the hash agrees with the operator== comparison in
+    // sameBackend(): -0.0 must hash like +0.0. (NaN fields would break
+    // both functions and never occur in a profile.)
+    if (value == 0.0)
+        value = 0.0;
+    const auto bits = std::bit_cast<std::uint64_t>(value);
+    return fnv1aBytes(hash, &bits, sizeof bits);
+}
+
+/** The stable BackendId of a profile: FNV-1a over the name and the
+ * field stream sameBackend() compares, so the id is a pure function of
+ * the profile and never depends on which thread registered a backend
+ * first. Two distinct profiles colliding on the full 64 bits is
+ * astronomically improbable for the handful of backends a run touches;
+ * backendFor() still asserts against it. */
+BackendId
+backendIdentity(const ModelProfile &p)
+{
+    std::uint64_t hash = 1469598103934665603ULL;
+    hash = fnv1aBytes(hash, p.name.data(), p.name.size());
+    hash = fnv1aBytes(hash, "\x1f", 1); // terminate the name bytes
+    forEachProfileField(p, [&hash](double field) {
+        hash = fnv1aField(hash, field);
+    });
+    return hash;
 }
 
 } // namespace
@@ -108,7 +179,7 @@ EngineSession::beginStep(int step)
 }
 
 void
-EngineSession::note(int backend, const ModelProfile &profile,
+EngineSession::note(BackendId backend, const ModelProfile &profile,
                     const LlmResponse &resp)
 {
     BatchRecord *group = nullptr;
@@ -133,7 +204,7 @@ EngineSession::note(int backend, const ModelProfile &profile,
 }
 
 void
-EngineSession::noteUsage(int backend, const LlmResponse &resp)
+EngineSession::noteUsage(BackendId backend, const LlmResponse &resp)
 {
     LlmUsage *slot = nullptr;
     for (auto &[pending_backend, usage] : pending_usage_)
@@ -175,18 +246,20 @@ LlmEngineService::LlmEngineService(ServiceConfig config) : config_(config)
 {
 }
 
-int
+BackendId
 LlmEngineService::backendFor(const ModelProfile &profile)
 {
+    const BackendId id = backendIdentity(profile);
     std::lock_guard<std::mutex> lock(mu_);
-    for (std::size_t i = 0; i < backends_.size(); ++i)
-        if (sameBackend(backends_[i].profile, profile))
-            return static_cast<int>(i);
-    Backend fresh;
-    fresh.name = profile.name;
-    fresh.profile = profile;
-    backends_.push_back(std::move(fresh));
-    return static_cast<int>(backends_.size()) - 1;
+    auto [it, inserted] = backends_.try_emplace(id);
+    if (inserted) {
+        it->second.name = profile.name;
+        it->second.profile = profile;
+    } else {
+        assert(sameBackend(it->second.profile, profile) &&
+               "64-bit backend identity collision");
+    }
+    return id;
 }
 
 int
@@ -197,21 +270,21 @@ LlmEngineService::backendCount() const
 }
 
 std::string
-LlmEngineService::backendName(int backend) const
+LlmEngineService::backendName(BackendId backend) const
 {
     std::lock_guard<std::mutex> lock(mu_);
-    assert(backend >= 0 &&
-           backend < static_cast<int>(backends_.size()));
-    return backends_[static_cast<std::size_t>(backend)].name;
+    const auto it = backends_.find(backend);
+    assert(it != backends_.end());
+    return it != backends_.end() ? it->second.name : std::string();
 }
 
 LlmUsage
-LlmEngineService::backendUsage(int backend) const
+LlmEngineService::backendUsage(BackendId backend) const
 {
     std::lock_guard<std::mutex> lock(mu_);
-    assert(backend >= 0 &&
-           backend < static_cast<int>(backends_.size()));
-    return backends_[static_cast<std::size_t>(backend)].usage;
+    const auto it = backends_.find(backend);
+    assert(it != backends_.end());
+    return it != backends_.end() ? it->second.usage : LlmUsage{};
 }
 
 LlmUsage
@@ -219,7 +292,7 @@ LlmEngineService::totalUsage() const
 {
     std::lock_guard<std::mutex> lock(mu_);
     LlmUsage total;
-    for (const auto &backend : backends_)
+    for (const auto &[id, backend] : backends_)
         total += backend.usage;
     return total;
 }
@@ -235,21 +308,22 @@ void
 LlmEngineService::reset()
 {
     std::lock_guard<std::mutex> lock(mu_);
-    for (auto &backend : backends_)
+    for (auto &[id, backend] : backends_)
         backend.usage = LlmUsage{};
     stats_ = BatchStats{};
 }
 
 void
 LlmEngineService::accountFlush(
-    std::span<const std::pair<int, LlmUsage>> usage,
+    std::span<const std::pair<BackendId, LlmUsage>> usage,
     std::span<const BatchRecord> batches)
 {
     std::lock_guard<std::mutex> lock(mu_);
     for (const auto &[backend, staged] : usage) {
-        assert(backend >= 0 &&
-               backend < static_cast<int>(backends_.size()));
-        backends_[static_cast<std::size_t>(backend)].usage += staged;
+        const auto it = backends_.find(backend);
+        assert(it != backends_.end());
+        if (it != backends_.end())
+            it->second.usage += staged;
     }
     for (const auto &record : batches)
         stats_.add(record);
@@ -278,8 +352,10 @@ foldCrossEpisodeBatches(std::span<const std::vector<BatchRecord>> logs)
 {
     // Merge per-episode batches keyed by (step, phase, backend): the same
     // pipeline stage of episodes advancing in lockstep shares one joint
-    // inference. std::map keeps the fold order deterministic.
-    std::map<std::tuple<int, int, int>, BatchRecord> merged;
+    // inference. std::map keeps the fold order deterministic — backend
+    // ids are stable profile hashes, so the key (and with it the float
+    // summation order) never depends on registration order.
+    std::map<std::tuple<int, int, BackendId>, BatchRecord> merged;
     for (const auto &log : logs) {
         for (const auto &record : log) {
             const auto key = std::make_tuple(record.step, record.phase,

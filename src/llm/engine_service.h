@@ -2,6 +2,8 @@
 #define EBS_LLM_ENGINE_SERVICE_H
 
 #include <cstddef>
+#include <cstdint>
+#include <map>
 #include <mutex>
 #include <span>
 #include <string>
@@ -16,6 +18,16 @@ namespace ebs::llm {
 
 class EngineSession;
 class LlmEngineService;
+
+/**
+ * Stable backend identity: a pure function of the full ModelProfile
+ * (an FNV-1a hash over every field), never a registration-order index.
+ * Episodes racing to register profiles on the EpisodeRunner pool always
+ * agree on a profile's id, which is what keeps BatchRecord.backend, the
+ * cross-episode fold key, and per-backend usage slots bit-identical at
+ * any EBS_JOBS. See LlmEngineService::backendFor().
+ */
+using BackendId = std::uint64_t;
 
 /** Build-time switches of an LlmEngineService. */
 struct ServiceConfig
@@ -44,7 +56,7 @@ struct BatchRecord
 {
     int step = 0;            ///< episode step the batch was assembled in
     int phase = 0;           ///< flush index within the step
-    int backend = 0;         ///< service backend id (per ModelProfile)
+    BackendId backend = 0;   ///< profile-derived backend id (stable)
     int requests = 0;        ///< completions in the batch (occupancy)
     bool remote = false;     ///< backend pays an RTT per (batched) call
     double rtt_mean_s = 0.0; ///< backend's mean RTT (deterministic)
@@ -120,7 +132,7 @@ class EngineHandle
 
   private:
     EngineSession *session_ = nullptr;
-    int backend_ = -1;
+    BackendId backend_ = 0; ///< meaningful only when attached
     ModelProfile profile_;
     sim::Rng rng_;
     LlmUsage usage_;
@@ -149,8 +161,15 @@ class EngineSession
   public:
     EngineSession() = default;
 
-    EngineSession(EngineSession &&) = default;
-    EngineSession &operator=(EngineSession &&) = default;
+    /**
+     * Sessions are pinned: every EngineHandle holds a raw pointer back
+     * to the session it was minted from, so moving a session would leave
+     * its handles dangling. Construct the session at its final address
+     * (the Harness in coordinator.cpp builds it in its member-init list)
+     * and mint handles afterwards.
+     */
+    EngineSession(EngineSession &&) = delete;
+    EngineSession &operator=(EngineSession &&) = delete;
 
     /** Mint a handle for one agent module (see EngineHandle). */
     EngineHandle handle(const ModelProfile &profile, sim::Rng stream);
@@ -182,12 +201,12 @@ class EngineSession
     explicit EngineSession(LlmEngineService *service) : service_(service) {}
 
     /** Join `resp` to the open batch group of `backend`. */
-    void note(int backend, const ModelProfile &profile,
+    void note(BackendId backend, const ModelProfile &profile,
               const LlmResponse &resp);
 
     /** Stage `resp`'s usage for the backend; drained to the service at
      * the next flush so the hot path never takes the service mutex. */
-    void noteUsage(int backend, const LlmResponse &resp);
+    void noteUsage(BackendId backend, const LlmResponse &resp);
 
     LlmEngineService *service_ = nullptr;
     int step_ = 0;
@@ -195,7 +214,7 @@ class EngineSession
     std::vector<BatchRecord> open_; ///< one open group per touched backend
     std::vector<BatchRecord> log_;
     /** Usage staged since the last flush, one slot per touched backend. */
-    std::vector<std::pair<int, LlmUsage>> pending_usage_;
+    std::vector<std::pair<BackendId, LlmUsage>> pending_usage_;
 };
 
 /**
@@ -231,14 +250,19 @@ class LlmEngineService
     EngineSession openSession() { return EngineSession(this); }
 
     /**
-     * Backend id for a profile, registering it on first sight. Profiles
-     * are keyed by name plus their latency parameters, so e.g. a
-     * quantized variant gets its own backend even if renamed carelessly.
+     * Backend id for a profile, registering it on first sight. The id is
+     * a pure function of the profile — an FNV-1a hash over every field —
+     * NOT a registration-order index, so concurrently racing episodes
+     * always agree on it regardless of thread scheduling. Keying on the
+     * full profile also means a quantized or differently-calibrated
+     * variant (e.g. a workload-tweaked reflect_quality) gets its own
+     * backend even under a reused name, so usage accounting never
+     * silently merges differently-calibrated models.
      */
-    int backendFor(const ModelProfile &profile);
+    BackendId backendFor(const ModelProfile &profile);
 
     int backendCount() const;
-    std::string backendName(int backend) const;
+    std::string backendName(BackendId backend) const;
 
     /**
      * Fleet-wide usage of one backend (race-free snapshot). Sessions
@@ -246,7 +270,7 @@ class LlmEngineService
      * exact once an episode finishes — mid-phase reads may lag by the
      * calls staged since the last phase boundary.
      */
-    LlmUsage backendUsage(int backend) const;
+    LlmUsage backendUsage(BackendId backend) const;
 
     /** Fleet-wide usage summed over all backends (same freshness). */
     LlmUsage totalUsage() const;
@@ -273,7 +297,7 @@ class LlmEngineService
     /** Fold one session flush — staged usage plus the phase's assembled
      * batches — into the shared tallies under a single lock. */
     void
-    accountFlush(std::span<const std::pair<int, LlmUsage>> usage,
+    accountFlush(std::span<const std::pair<BackendId, LlmUsage>> usage,
                  std::span<const BatchRecord> batches);
 
     struct Backend
@@ -285,7 +309,9 @@ class LlmEngineService
 
     mutable std::mutex mu_;
     ServiceConfig config_;
-    std::vector<Backend> backends_;
+    /** Keyed (and therefore iterated) by stable id, so aggregate float
+     * sums over backends accumulate in a scheduling-independent order. */
+    std::map<BackendId, Backend> backends_;
     BatchStats stats_;
 };
 

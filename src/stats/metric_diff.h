@@ -39,6 +39,10 @@ enum class MetricDirection
 {
     HigherIsBetter, ///< e.g. success_rate: a drop is a regression
     LowerIsBetter,  ///< e.g. s_per_step: a rise is a regression
+    /** Calibration target reproducing a paper value (e.g.
+     * llm_latency_share ~ 0.70): drifting out of tolerance in EITHER
+     * direction is a regression — "higher" is not better, closer is. */
+    Anchored,
     Informational,  ///< e.g. episodes: never a regression
 };
 
@@ -52,8 +56,15 @@ struct DiffOptions
     double abs_tol = 0.05;
     /** Relative change below this never flags (vs. the old magnitude). */
     double rel_tol = 0.10;
-    /** Treat cases present in old but missing in new as regressions. */
+    /** Treat cases — and individual metric keys of still-present cases —
+     * present in old but missing in new as regressions. */
     bool fail_on_missing = false;
+    /** Fail on out-of-tolerance improvements too. For a deterministic
+     * simulator every such shift is a real code-driven change, and a
+     * baseline left stale after one would mask the reverse regression
+     * later — this flag forces the baseline refresh to be acknowledged
+     * in the same change. */
+    bool fail_on_improvement = false;
 };
 
 /** One flagged metric change. */
@@ -72,6 +83,10 @@ struct DiffReport
     std::vector<MetricDelta> regressions;  ///< worsened beyond tolerance
     std::vector<MetricDelta> improvements; ///< bettered beyond tolerance
     std::vector<std::string> missing_cases; ///< "suite/case" gone in new
+    /** "suite/case:key" — metric gone from a still-present case (e.g. a
+     * bench stopped emitting success_rate): a coverage gap, never a
+     * silent pass. */
+    std::vector<std::string> missing_metrics;
     std::vector<std::string> new_cases;     ///< "suite/case" new-only
     int compared_values = 0;
 

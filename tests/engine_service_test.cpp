@@ -255,9 +255,9 @@ TEST(EngineService, BackendsAreSharedPerProfile)
     const auto gpt4 = llm::ModelProfile::gpt4Api();
     const auto local = llm::ModelProfile::llama3_8bLocal();
 
-    const int a = service.backendFor(gpt4);
-    const int b = service.backendFor(gpt4);
-    const int c = service.backendFor(local);
+    const auto a = service.backendFor(gpt4);
+    const auto b = service.backendFor(gpt4);
+    const auto c = service.backendFor(local);
     EXPECT_EQ(a, b);
     EXPECT_NE(a, c);
     EXPECT_EQ(service.backendCount(), 2);
@@ -267,6 +267,33 @@ TEST(EngineService, BackendsAreSharedPerProfile)
     auto tweaked = gpt4;
     tweaked.decode_tok_per_s *= 2.0;
     EXPECT_NE(service.backendFor(tweaked), a);
+
+    // So is a differently-calibrated one (same name, same latency):
+    // workloads tweak quality axes in place, and those must not merge
+    // into another backend's usage accounting.
+    auto recalibrated = local;
+    recalibrated.reflect_quality = 0.99;
+    EXPECT_NE(service.backendFor(recalibrated), c);
+}
+
+TEST(EngineService, BackendIdsAreRegistrationOrderIndependent)
+{
+    // Backend ids are pure functions of the profile, so two services
+    // that discover the same profiles in opposite orders — the scheduler
+    // race when concurrent episodes mix model mixes — agree on every id.
+    const auto gpt4 = llm::ModelProfile::gpt4Api();
+    const auto local = llm::ModelProfile::llama3_8bLocal();
+
+    llm::LlmEngineService first;
+    const auto gpt4_first = first.backendFor(gpt4);
+    const auto local_first = first.backendFor(local);
+
+    llm::LlmEngineService second;
+    const auto local_second = second.backendFor(local);
+    const auto gpt4_second = second.backendFor(gpt4);
+
+    EXPECT_EQ(gpt4_first, gpt4_second);
+    EXPECT_EQ(local_first, local_second);
 }
 
 TEST(EngineService, DetachedHandleMatchesPrivateEngine)

@@ -127,6 +127,40 @@ TEST(MetricDiff, ImprovementsAreNotRegressions)
     EXPECT_TRUE(report.ok);
     EXPECT_TRUE(report.regressions.empty());
     EXPECT_EQ(report.improvements.size(), 3u);
+
+    // --fail-on-improvement enforces the acknowledged-refresh policy:
+    // in a deterministic sim an out-of-tolerance improvement is a real
+    // code-driven change, and a stale baseline would mask the reverse
+    // regression later.
+    DiffOptions strict;
+    strict.fail_on_improvement = true;
+    EXPECT_FALSE(diffMetrics(old_entries, new_entries, strict).ok);
+}
+
+TEST(MetricDiff, AnchoredMetricsFlagDriftInEitherDirection)
+{
+    // Calibration targets (llm_latency_share ~ paper's 0.70) regress by
+    // drifting away from the baseline either way — a "rise" is not an
+    // improvement.
+    auto entry = [](double share) {
+        std::vector<MetricEntry> entries(1);
+        entries[0].suite = "bench_fig2";
+        entries[0].case_name = "aggregate";
+        entries[0].values["llm_latency_share"] = share;
+        return entries;
+    };
+
+    DiffOptions options;
+    options.abs_tol = 0.05;
+    options.rel_tol = 0.10;
+    for (const double drifted : {0.10, 0.99}) {
+        const auto report =
+            diffMetrics(entry(0.70), entry(drifted), options);
+        EXPECT_FALSE(report.ok) << "drift to " << drifted;
+        ASSERT_EQ(report.regressions.size(), 1u);
+        EXPECT_TRUE(report.improvements.empty());
+    }
+    EXPECT_TRUE(diffMetrics(entry(0.70), entry(0.72), options).ok);
 }
 
 TEST(MetricDiff, ToleranceSuppressesSmallDrift)
@@ -166,6 +200,29 @@ TEST(MetricDiff, MissingCasesWarnByDefaultFailOnRequest)
     options.fail_on_missing = true;
     report = diffMetrics(old_entries, new_entries, options);
     EXPECT_FALSE(report.ok);
+}
+
+TEST(MetricDiff, MissingMetricKeysWarnByDefaultFailOnRequest)
+{
+    std::string error;
+    const auto old_entries =
+        parseBenchResults(benchJson(0.8, 10.0, 20000), &error);
+    auto new_entries = old_entries;
+    // The case stays but one of its metrics vanishes — the gate must not
+    // silently pass on the shrunken comparison.
+    new_entries[0].values.erase("s_per_step");
+
+    DiffOptions options;
+    auto report = diffMetrics(old_entries, new_entries, options);
+    EXPECT_TRUE(report.ok);
+    EXPECT_TRUE(report.missing_cases.empty());
+    ASSERT_EQ(report.missing_metrics.size(), 1u);
+    EXPECT_EQ(report.missing_metrics[0], "bench_x/alpha:s_per_step");
+
+    options.fail_on_missing = true;
+    report = diffMetrics(old_entries, new_entries, options);
+    EXPECT_FALSE(report.ok);
+    EXPECT_TRUE(report.regressions.empty());
 }
 
 TEST(MetricDiff, NewCasesAreInformational)
@@ -224,10 +281,20 @@ TEST(MetricDiff, DirectionTable)
               MetricDirection::HigherIsBetter);
     EXPECT_EQ(metricDirection("batch_occupancy"),
               MetricDirection::HigherIsBetter);
+    EXPECT_EQ(metricDirection("cross_episode_occupancy"),
+              MetricDirection::HigherIsBetter);
+    EXPECT_EQ(metricDirection("cross_episode_saved_pct"),
+              MetricDirection::HigherIsBetter);
     EXPECT_EQ(metricDirection("s_per_step"),
               MetricDirection::LowerIsBetter);
     EXPECT_EQ(metricDirection("tokens_per_episode"),
               MetricDirection::LowerIsBetter);
+    EXPECT_EQ(metricDirection("llm_latency_share"),
+              MetricDirection::Anchored);
+    EXPECT_EQ(metricDirection("memory_ablation_steps_ratio"),
+              MetricDirection::Anchored);
+    EXPECT_EQ(metricDirection("message_utility"),
+              MetricDirection::Anchored);
     EXPECT_EQ(metricDirection("episodes"),
               MetricDirection::Informational);
     EXPECT_EQ(metricDirection("anything_else"),
