@@ -94,5 +94,30 @@ main()
                 "changing work; Rec. 7 removes per-action replanning; Rec. 8\n"
                 "eliminates most pre-generated messages — all with success\n"
                 "held roughly constant (paper Takeaway 6).\n");
+
+    // Host-side check that parallel_agents is real concurrency now, not
+    // just a latency model: re-run the baseline and the parallel variant
+    // and time the actual wall-clock. Host timings vary with EBS_JOBS and
+    // core count, so this goes to stderr (stdout stays byte-identical
+    // across worker counts for the metric gate).
+    const auto time_variant = [&](const core::PipelineOptions &pipeline) {
+        runner::RunVariant v;
+        v.workload = &spec;
+        v.config = spec.config;
+        v.difficulty = difficulty;
+        v.seeds = kSeeds;
+        v.pipeline = pipeline;
+        return bench::hostSeconds([&] {
+            runner::runAveraged(runner::EpisodeRunner::shared(), v);
+        });
+    };
+    const double serial_s = time_variant(cases[0].pipeline);
+    const double parallel_s = time_variant(cases[1].pipeline);
+    std::fprintf(stderr,
+                 "host wall-clock: sequential %.3fs, parallel agent "
+                 "pipelines %.3fs (%.2fx, %d workers)\n",
+                 serial_s, parallel_s,
+                 parallel_s > 0.0 ? serial_s / parallel_s : 0.0,
+                 runner::EpisodeRunner::shared().scheduler()->workers());
     return 0;
 }

@@ -2,6 +2,7 @@
 #define EBS_BENCH_BENCH_UTIL_H
 
 #include <cctype>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -74,6 +75,25 @@ runAveraged(const workloads::WorkloadSpec &spec,
     variant.n_agents = n_agents;
     variant.pipeline = pipeline;
     return runner::runAveraged(runner::EpisodeRunner::shared(), variant);
+}
+
+/**
+ * Host (not simulated) wall-clock of `fn`, in seconds. Suites print
+ * these to *stderr* as scheduling diagnostics — e.g. the real speedup of
+ * `parallel_agents` episodes fanning per-agent phases onto the fleet
+ * scheduler. Host timings depend on EBS_JOBS and machine load, so they
+ * must never reach stdout, which stays byte-identical across worker
+ * counts (EBS_METRIC lines feed the regression gate).
+ */
+template <typename Fn>
+inline double
+hostSeconds(Fn &&fn)
+{
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
 }
 
 /** Format a double as a JSON number; non-finite values become null so a

@@ -6,6 +6,17 @@
  * `BENCH_results.json` (suite -> metric -> value) so successive PRs have a
  * perf trajectory to compare against.
  *
+ * Suites are submitted as one sched::TaskGraph onto a FleetScheduler pool,
+ * so several suites run concurrently under a single global `EBS_JOBS`
+ * budget: with budget J the driver runs `C = min(J, suites)` suite
+ * processes at once and hands each child `EBS_JOBS = max(1, J / C)` for
+ * its internal episode fan-out — episodes from different suites interleave
+ * in time while the total in-flight episode count stays within the budget.
+ * Per-episode results are bit-identical at any worker split (the episode
+ * runner's determinism contract), so only wall-clock changes. The
+ * scheduler's task timeline becomes the per-suite wall-clock / straggler
+ * summary, printed at the end and written to `BENCH_timeline.json`.
+ *
  * Besides runtime counters, every suite's captured stdout is scanned for
  * `EBS_METRIC {...}` lines (emitted by the benches via bench_util.h) and
  * the JSON objects are folded into the suite's `paper_metrics` array, so
@@ -15,11 +26,17 @@
  * Flags:
  *   --smoke        run each suite with tiny iteration counts (sets
  *                  EBS_BENCH_SMOKE=1, honored by bench_util.h)
- *   --jobs N       episode-runner threads per suite (sets EBS_JOBS for
- *                  the children; default: inherit the environment)
+ *   --jobs N       global worker budget (default: EBS_JOBS, else the
+ *                  hardware concurrency)
+ *   --serial       legacy schedule: suites one at a time, each child
+ *                  getting the whole budget (the pre-scheduler baseline
+ *                  for wall-clock comparisons)
  *   --out PATH     output JSON path (default: BENCH_results.json in cwd)
  *   --logs DIR     per-suite stdout logs (default: BENCH_logs in cwd)
+ *   --timeline P   scheduler timeline JSON (default: BENCH_timeline.json)
  *   --filter STR   only run suites whose name contains STR
+ *   --suites LIST  comma-separated suite names to run (with or without
+ *                  the bench_ prefix; substrings accepted when unique)
  *   --list         print discovered suite names and exit
  */
 
@@ -31,13 +48,19 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include <fcntl.h>
+#include <spawn.h>
 #include <sys/resource.h>
 #include <sys/wait.h>
 #include <unistd.h>
+
+#include "sched/fleet_scheduler.h"
+
+extern char **environ;
 
 namespace {
 
@@ -100,41 +123,67 @@ isExecutableFile(const fs::path &p)
            ::access(p.c_str(), X_OK) == 0;
 }
 
+/**
+ * The environment block every suite child receives: the parent's
+ * environment minus the fleet knobs, plus the driver-chosen values.
+ * Built once before scheduling — with suite tasks running on scheduler
+ * threads, children must not mutate the (non-thread-safe) parent
+ * environment between fork and exec; posix_spawn with an explicit envp
+ * sidesteps the problem entirely.
+ */
+class ChildEnvironment
+{
+  public:
+    ChildEnvironment(bool smoke, int child_jobs)
+    {
+        for (char **e = environ; *e != nullptr; ++e) {
+            const std::string entry(*e);
+            if (entry.rfind("EBS_BENCH_SMOKE=", 0) == 0 ||
+                entry.rfind("EBS_JOBS=", 0) == 0)
+                continue; // a stale value would silently override ours
+            storage_.push_back(entry);
+        }
+        if (smoke)
+            storage_.push_back("EBS_BENCH_SMOKE=1");
+        storage_.push_back("EBS_JOBS=" + std::to_string(child_jobs));
+        for (auto &entry : storage_)
+            pointers_.push_back(entry.data());
+        pointers_.push_back(nullptr);
+    }
+
+    char *const *envp() const { return pointers_.data(); }
+
+  private:
+    std::vector<std::string> storage_;
+    std::vector<char *> pointers_;
+};
+
 /** Run one benchmark binary, capturing output and resource usage. */
 SuiteResult
-runSuite(const fs::path &binary, const fs::path &log_path, bool smoke,
-         const std::string &jobs)
+runSuite(const fs::path &binary, const fs::path &log_path,
+         const ChildEnvironment &env)
 {
     SuiteResult result;
     result.name = binary.filename().string();
 
+    posix_spawn_file_actions_t actions;
+    posix_spawn_file_actions_init(&actions);
+    posix_spawn_file_actions_addopen(&actions, STDOUT_FILENO,
+                                     log_path.c_str(),
+                                     O_CREAT | O_WRONLY | O_TRUNC, 0644);
+    posix_spawn_file_actions_adddup2(&actions, STDOUT_FILENO,
+                                     STDERR_FILENO);
+
+    char *const argv[] = {const_cast<char *>(binary.c_str()), nullptr};
+    pid_t pid = -1;
     const auto start = std::chrono::steady_clock::now();
-    const pid_t pid = ::fork();
-    if (pid < 0) {
-        std::fprintf(stderr, "run_all: fork failed: %s\n",
-                     std::strerror(errno));
+    const int rc = ::posix_spawn(&pid, binary.c_str(), &actions, nullptr,
+                                 argv, env.envp());
+    posix_spawn_file_actions_destroy(&actions);
+    if (rc != 0) {
+        std::fprintf(stderr, "run_all: spawn %s failed: %s\n",
+                     binary.c_str(), std::strerror(rc));
         return result;
-    }
-    if (pid == 0) {
-        const int fd = ::open(log_path.c_str(),
-                              O_CREAT | O_WRONLY | O_TRUNC, 0644);
-        if (fd >= 0) {
-            ::dup2(fd, STDOUT_FILENO);
-            ::dup2(fd, STDERR_FILENO);
-            ::close(fd);
-        }
-        if (smoke)
-            ::setenv("EBS_BENCH_SMOKE", "1", 1);
-        else
-            ::unsetenv("EBS_BENCH_SMOKE"); // a stale value would silently
-                                           // clamp a full baseline run
-        if (!jobs.empty())
-            ::setenv("EBS_JOBS", jobs.c_str(), 1);
-        ::execl(binary.c_str(), binary.c_str(),
-                static_cast<char *>(nullptr));
-        std::fprintf(stderr, "run_all: exec %s failed: %s\n",
-                     binary.c_str(), std::strerror(errno));
-        ::_exit(127);
     }
 
     int status = 0;
@@ -197,6 +246,134 @@ writeJson(const fs::path &out_path, const std::vector<SuiteResult> &results,
     std::fclose(f);
 }
 
+/**
+ * The scheduler-side view of the fleet run: how the suite tasks packed
+ * onto the pool, who the straggler was, and how busy the budget stayed.
+ */
+struct FleetSummary
+{
+    int budget = 1;
+    int concurrent_suites = 1;
+    int jobs_per_child = 1;
+    double makespan_s = 0.0;
+    double busy_s = 0.0; ///< summed per-suite wall inside the schedule
+    double utilization = 0.0;
+    std::size_t straggler = 0; ///< index into the timings/results
+};
+
+FleetSummary
+summarize(const std::vector<ebs::sched::TaskTiming> &timings, int budget,
+          int concurrent, int child_jobs)
+{
+    FleetSummary s;
+    s.budget = budget;
+    s.concurrent_suites = concurrent;
+    s.jobs_per_child = child_jobs;
+    if (timings.empty())
+        return s;
+    double first_start = timings[0].start_s;
+    double last_end = timings[0].end_s;
+    for (std::size_t i = 0; i < timings.size(); ++i) {
+        const auto &t = timings[i];
+        first_start = std::min(first_start, t.start_s);
+        last_end = std::max(last_end, t.end_s);
+        s.busy_s += t.duration();
+        if (t.duration() > timings[s.straggler].duration())
+            s.straggler = i;
+    }
+    s.makespan_s = last_end - first_start;
+    const double capacity = s.makespan_s * s.concurrent_suites;
+    s.utilization = capacity > 0.0 ? s.busy_s / capacity : 0.0;
+    return s;
+}
+
+void
+writeTimeline(const fs::path &path,
+              const std::vector<ebs::sched::TaskTiming> &timings,
+              const std::vector<SuiteResult> &results,
+              const FleetSummary &s)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "run_all: cannot write %s: %s\n",
+                     path.c_str(), std::strerror(errno));
+        return;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"budget\": %d,\n"
+                 "  \"concurrent_suites\": %d,\n"
+                 "  \"jobs_per_child\": %d,\n"
+                 "  \"makespan_seconds\": %.6f,\n"
+                 "  \"busy_seconds\": %.6f,\n"
+                 "  \"utilization\": %.4f,\n"
+                 "  \"straggler\": \"%s\",\n"
+                 "  \"suites\": [",
+                 s.budget, s.concurrent_suites, s.jobs_per_child,
+                 s.makespan_s, s.busy_s, s.utilization,
+                 timings.empty() ? "" : timings[s.straggler].label.c_str());
+    for (std::size_t i = 0; i < timings.size(); ++i) {
+        std::fprintf(f,
+                     "%s\n    {\"name\": \"%s\", \"start_s\": %.6f, "
+                     "\"end_s\": %.6f, \"wall_seconds\": %.6f, "
+                     "\"exit_code\": %d}",
+                     i > 0 ? "," : "", timings[i].label.c_str(),
+                     timings[i].start_s, timings[i].end_s,
+                     timings[i].duration(), results[i].exit_code);
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+}
+
+/** Split a comma-separated list, dropping empty items. */
+std::vector<std::string>
+splitList(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::size_t begin = 0;
+    while (begin <= list.size()) {
+        const std::size_t comma = list.find(',', begin);
+        const std::size_t end =
+            comma == std::string::npos ? list.size() : comma;
+        if (end > begin)
+            out.push_back(list.substr(begin, end - begin));
+        if (comma == std::string::npos)
+            break;
+        begin = comma + 1;
+    }
+    return out;
+}
+
+/**
+ * Resolve one --suites entry against the discovered binaries: exact name
+ * first (with or without the bench_ prefix), then unique substring.
+ * Returns npos and prints the candidates when nothing (or too much)
+ * matches, so a typo'd suite name fails loudly instead of silently
+ * shrinking the fleet.
+ */
+std::size_t
+resolveSuite(const std::string &entry,
+             const std::vector<fs::path> &binaries)
+{
+    std::vector<std::size_t> substring_hits;
+    for (std::size_t i = 0; i < binaries.size(); ++i) {
+        const std::string name = binaries[i].filename().string();
+        if (name == entry || name == "bench_" + entry)
+            return i;
+        if (name.find(entry) != std::string::npos)
+            substring_hits.push_back(i);
+    }
+    if (substring_hits.size() == 1)
+        return substring_hits[0];
+    std::fprintf(stderr, "run_all: --suites entry '%s' %s\n", entry.c_str(),
+                 substring_hits.empty() ? "matches no suite"
+                                        : "is ambiguous");
+    for (const std::size_t i : substring_hits)
+        std::fprintf(stderr, "run_all:   candidate: %s\n",
+                     binaries[i].filename().c_str());
+    return static_cast<std::size_t>(-1);
+}
+
 } // namespace
 
 int
@@ -204,10 +381,13 @@ main(int argc, char **argv)
 {
     bool smoke = false;
     bool list_only = false;
+    bool serial = false;
     std::string filter;
-    std::string jobs;
+    std::string suites_arg;
+    int budget = 0; // 0 = EBS_JOBS / hardware default
     fs::path out_path = "BENCH_results.json";
     fs::path log_dir = "BENCH_logs";
+    fs::path timeline_path = "BENCH_timeline.json";
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -215,14 +395,20 @@ main(int argc, char **argv)
             smoke = true;
         } else if (arg == "--list") {
             list_only = true;
+        } else if (arg == "--serial") {
+            serial = true;
         } else if (arg == "--out" && i + 1 < argc) {
             out_path = argv[++i];
         } else if (arg == "--logs" && i + 1 < argc) {
             log_dir = argv[++i];
+        } else if (arg == "--timeline" && i + 1 < argc) {
+            timeline_path = argv[++i];
         } else if (arg == "--filter" && i + 1 < argc) {
             filter = argv[++i];
+        } else if (arg == "--suites" && i + 1 < argc) {
+            suites_arg = argv[++i];
         } else if (arg == "--jobs" && i + 1 < argc) {
-            jobs = argv[++i];
+            const std::string jobs = argv[++i];
             char *end = nullptr;
             const long parsed = std::strtol(jobs.c_str(), &end, 10);
             if (end == jobs.c_str() || *end != '\0' || parsed <= 0 ||
@@ -233,39 +419,59 @@ main(int argc, char **argv)
                              jobs.c_str());
                 return 2;
             }
+            budget = static_cast<int>(parsed);
         } else {
             std::fprintf(stderr,
-                         "usage: run_all [--smoke] [--list] [--out PATH] "
-                         "[--logs DIR] [--filter STR] [--jobs N]\n");
+                         "usage: run_all [--smoke] [--list] [--serial] "
+                         "[--out PATH] [--logs DIR] [--timeline PATH] "
+                         "[--filter STR] [--suites a,b,c] [--jobs N]\n");
             return arg == "--help" || arg == "-h" ? 0 : 2;
         }
     }
+    if (budget <= 0)
+        budget = ebs::sched::FleetScheduler::defaultWorkers();
 
     const fs::path bench_dir = selfDirectory(argv[0]);
-    std::vector<fs::path> binaries;
-    std::size_t discovered = 0;
+    std::vector<fs::path> discovered;
     for (const auto &entry : fs::directory_iterator(bench_dir)) {
         const std::string name = entry.path().filename().string();
-        if (name.rfind("bench_", 0) != 0 || !isExecutableFile(entry.path()))
-            continue;
-        ++discovered;
-        if (!filter.empty() && name.find(filter) == std::string::npos)
-            continue;
-        binaries.push_back(entry.path());
+        if (name.rfind("bench_", 0) == 0 && isExecutableFile(entry.path()))
+            discovered.push_back(entry.path());
     }
-    std::sort(binaries.begin(), binaries.end());
+    std::sort(discovered.begin(), discovered.end());
 
-    if (binaries.empty()) {
-        if (discovered > 0)
+    if (discovered.empty()) {
+        std::fprintf(stderr, "run_all: no bench_* binaries found in %s\n",
+                     bench_dir.c_str());
+        return 1;
+    }
+
+    std::vector<fs::path> binaries;
+    if (!suites_arg.empty()) {
+        // --suites: an explicit, validated selection in list order.
+        for (const auto &entry : splitList(suites_arg)) {
+            const std::size_t found = resolveSuite(entry, discovered);
+            if (found == static_cast<std::size_t>(-1))
+                return 2;
+            if (std::find(binaries.begin(), binaries.end(),
+                          discovered[found]) == binaries.end())
+                binaries.push_back(discovered[found]);
+        }
+    } else {
+        binaries = discovered;
+    }
+    if (!filter.empty()) {
+        std::erase_if(binaries, [&](const fs::path &p) {
+            return p.filename().string().find(filter) == std::string::npos;
+        });
+        if (binaries.empty()) {
             std::fprintf(stderr,
                          "run_all: --filter '%s' matched none of the %zu "
-                         "bench_* binaries in %s\n",
-                         filter.c_str(), discovered, bench_dir.c_str());
-        else
-            std::fprintf(stderr,
-                         "run_all: no bench_* binaries found in %s\n",
+                         "selected bench_* binaries in %s\n",
+                         filter.c_str(), discovered.size(),
                          bench_dir.c_str());
-        return 1;
+            return 1;
+        }
     }
     if (list_only) {
         for (const auto &b : binaries)
@@ -282,19 +488,69 @@ main(int argc, char **argv)
         return 1;
     }
 
-    std::vector<SuiteResult> results;
-    int failures = 0;
-    for (const auto &binary : binaries) {
+    // Split the global budget: run `concurrent` suite processes at once,
+    // each fanning its episodes across `child_jobs` workers, so the
+    // in-flight episode count stays within `budget`. --serial restores
+    // the legacy schedule (one suite at a time owning the whole budget).
+    const int n_suites = static_cast<int>(binaries.size());
+    const int concurrent = serial ? 1 : std::min(budget, n_suites);
+    const int child_jobs = std::max(1, budget / concurrent);
+
+    std::printf("[run_all] fleet: %d suites, budget %d "
+                "(%d concurrent x %d jobs/child%s)\n",
+                n_suites, budget, concurrent, child_jobs,
+                serial ? ", --serial" : "");
+
+    const ChildEnvironment child_env(smoke, child_jobs);
+    std::vector<SuiteResult> results(binaries.size());
+    std::mutex print_mutex;
+
+    // One work-graph for the whole fleet: a node per suite, no edges —
+    // the scheduler packs them onto `concurrent` pool threads and its
+    // timings become the straggler report. (Each node blocks in wait4
+    // while the child burns the actual CPU, so pool threads are cheap
+    // placeholders for the child's budget share.)
+    ebs::sched::FleetScheduler scheduler(concurrent);
+    ebs::sched::TaskGraph graph;
+    for (std::size_t i = 0; i < binaries.size(); ++i) {
+        const fs::path &binary = binaries[i];
         const fs::path log_path =
             log_dir / (binary.filename().string() + ".log");
-        std::printf("[run_all] %-32s ... ", binary.filename().c_str());
-        std::fflush(stdout);
-        const SuiteResult r = runSuite(binary, log_path, smoke, jobs);
-        std::printf("exit=%d wall=%.2fs rss=%ldKB\n", r.exit_code,
-                    r.wall_seconds, r.max_rss_kb);
-        failures += r.exit_code != 0;
-        results.push_back(r);
+        graph.add(
+            [&, i, log_path] {
+                results[i] = runSuite(binaries[i], log_path, child_env);
+                std::lock_guard<std::mutex> lock(print_mutex);
+                std::printf("[run_all] %-32s exit=%d wall=%.2fs rss=%ldKB\n",
+                            results[i].name.c_str(), results[i].exit_code,
+                            results[i].wall_seconds, results[i].max_rss_kb);
+                std::fflush(stdout);
+            },
+            binary.filename().string());
     }
+    // The cap matters even with a right-sized pool: the run() caller
+    // help-executes while waiting, which would otherwise add a
+    // budget-breaching (concurrent+1)-th suite.
+    const auto timings = scheduler.run(std::move(graph), concurrent);
+
+    int failures = 0;
+    for (const auto &r : results)
+        failures += r.exit_code != 0;
+
+    const FleetSummary summary =
+        summarize(timings, budget, concurrent, child_jobs);
+    std::printf("[run_all] schedule: makespan %.2fs, suite wall sum %.2fs, "
+                "pool busy %.0f%%\n",
+                summary.makespan_s, summary.busy_s,
+                100.0 * summary.utilization);
+    if (!timings.empty()) {
+        const auto &straggler = timings[summary.straggler];
+        std::printf("[run_all] straggler: %s (%.2fs, %.0f%% of makespan)\n",
+                    straggler.label.c_str(), straggler.duration(),
+                    summary.makespan_s > 0.0
+                        ? 100.0 * straggler.duration() / summary.makespan_s
+                        : 0.0);
+    }
+    writeTimeline(timeline_path, timings, results, summary);
 
     writeJson(out_path, results, smoke);
     std::printf("[run_all] wrote %s (%zu suites, %d failed)\n",

@@ -88,6 +88,23 @@ class Agent
     /** Sum of LLM usage across this agent's engines. */
     llm::LlmUsage llmUsage() const;
 
+    /**
+     * Redirect this agent's shared-state side channels — latency charges
+     * and LLM session accounting — into thread-private buffers for the
+     * duration of one parallel phase turn. The coordinator harness calls
+     * this before fanning the agents' pure compute onto scheduler
+     * threads; the buffers are replayed into the episode recorder and
+     * session in agent-index order at the phase's commit step, so the
+     * episode's accounting is bit-identical to a serial phase. The
+     * agent's own state (rng, memory, percept, usage) needs no
+     * redirection — it is touched only by this agent's turn.
+     */
+    void beginBufferedTurn(stats::LatencyRecorder *scratch,
+                           llm::DeferredNotes *notes);
+
+    /** Restore the shared recorder and live session accounting. */
+    void endBufferedTurn();
+
     // --- per-step pipeline (called by coordinators) ---
 
     /** Run the sensing module: observe, update memory, charge latency. */
@@ -177,6 +194,8 @@ class Agent
     sim::Rng rng_;
     sim::SimClock *clock_;
     stats::LatencyRecorder *recorder_;
+    stats::LatencyRecorder *episode_recorder_ = nullptr; ///< saved across
+                                                         ///< buffered turns
     sim::EventTrace *trace_;
 
     llm::EngineHandle planner_engine_;

@@ -12,6 +12,24 @@ namespace {
 /**
  * Shared episode machinery: agent construction, per-phase latency
  * combination (sequential sum vs. parallel max), and result assembly.
+ *
+ * Phases come in two kinds, reflecting the compute/mutation split that
+ * lets `parallel_agents` workloads run on real threads:
+ *
+ *  - computePhase(): *pure per-agent module evaluation* (sense, plan,
+ *    message generation, reflection — each touches only its agent's own
+ *    state plus const environment reads). The turns may execute
+ *    concurrently on the episode's FleetScheduler; every shared-state
+ *    effect — latency charges, LLM session accounting, token series,
+ *    message counters — is buffered per agent and applied in a
+ *    deterministic agent-index-ordered commit step, reproducing the
+ *    exact operation sequence of a serial phase. Results are therefore
+ *    bit-identical at any worker count.
+ *
+ *  - envPhase(): *environment-mutating* turns (execution, and any phase
+ *    whose agents exchange state mid-phase). These run serially in
+ *    agent-index order against the live environment — the ordered
+ *    commit step of the episode's step pipeline.
  */
 class Harness
 {
@@ -19,6 +37,7 @@ class Harness
     Harness(env::Environment &environment, const AgentConfig &config,
             const EpisodeOptions &options)
         : env_(environment), options_(options),
+          scheduler_(options.scheduler),
           master_rng_(options.seed),
           // The session is pinned (handles keep its address), so it is
           // built in place at its final location, before any agent mints
@@ -33,6 +52,10 @@ class Harness
                 i, config, &env_, master_rng_.fork(100 + i), &clock_,
                 &recorder_, nullptr, &llm_session_));
         }
+        scratch_.resize(agents_.size());
+        notes_.resize(agents_.size());
+        for (auto &recorder : scratch_)
+            recorder.enableEventLog();
     }
 
     std::vector<std::unique_ptr<Agent>> &agents() { return agents_; }
@@ -62,22 +85,100 @@ class Harness
 
     /**
      * Close the open LLM batch groups. Called automatically at every
-     * phase() boundary; coordinators with solo actors (central planner,
+     * phase boundary; coordinators with solo actors (central planner,
      * cluster leads) call it wherever a causal dependency separates their
      * calls from the next batchable group.
      */
     void flushLlm() { llm_session_.flush(); }
 
+    /** True when per-agent compute fans out on scheduler threads. A
+     * single-worker pool stays inline: there is no concurrency to win,
+     * and the EBS_JOBS=1 baseline must keep the episode entirely on the
+     * calling thread (results are bit-identical either way — this gate
+     * is purely about dispatch overhead). */
+    bool
+    parallelPhases() const
+    {
+        return scheduler_ != nullptr && scheduler_->workers() > 1 &&
+               options_.pipeline.parallel_agents && agents_.size() > 1;
+    }
+
     /**
-     * Run `turn` once per agent, measuring each agent's latency
-     * contribution; advance the clock by the sum (sequential pipeline) or
-     * the max (parallel execution across agents). The phase boundary is
-     * also the batch boundary: every same-backend LLM call the agents
-     * issued inside `turn` forms one cross-agent batch.
+     * Run a pure-compute phase: `compute(agent)` once per agent
+     * (concurrently when parallelPhases()), then `commit(agent)` once
+     * per agent serially in agent-index order. `compute` must only
+     * touch its agent's state, per-agent slots, and const environment
+     * reads; everything order-sensitive belongs in `commit`.
+     *
+     * The buffered accounting is replayed event-by-event in agent-index
+     * order, so the episode recorder, the LLM session's batch assembly,
+     * and the phase's clock advance are bit-identical to a serial phase
+     * — this is what keeps `parallel_agents` results independent of
+     * EBS_JOBS. The phase boundary is also the batch boundary: every
+     * same-backend LLM call the agents issued inside `compute` forms one
+     * cross-agent batch.
+     */
+    template <typename Compute, typename Commit>
+    void
+    computePhase(Compute &&compute, Commit &&commit)
+    {
+        const std::size_t n = agents_.size();
+        for (std::size_t i = 0; i < n; ++i) {
+            scratch_[i].reset();
+            notes_[i].entries.clear();
+            agents_[i]->beginBufferedTurn(&scratch_[i], &notes_[i]);
+        }
+        try {
+            if (parallelPhases()) {
+                scheduler_->parallelFor(
+                    n, [&](std::size_t i) { compute(*agents_[i]); });
+            } else {
+                for (std::size_t i = 0; i < n; ++i)
+                    compute(*agents_[i]);
+            }
+        } catch (...) {
+            for (std::size_t i = 0; i < n; ++i)
+                agents_[i]->endBufferedTurn();
+            throw;
+        }
+
+        double total = 0.0;
+        double longest = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            agents_[i]->endBufferedTurn();
+            const double before = recorder_.grandTotal();
+            for (const auto &event : scratch_[i].events())
+                recorder_.record(event.kind, event.seconds);
+            llm_session_.replay(notes_[i]);
+            const double delta = recorder_.grandTotal() - before;
+            total += delta;
+            longest = std::max(longest, delta);
+            commit(*agents_[i]);
+        }
+        flushLlm();
+        advanceBy(total, longest);
+    }
+
+    /** computePhase() with no per-agent commit step. */
+    template <typename Compute>
+    void
+    computePhase(Compute &&compute)
+    {
+        computePhase(std::forward<Compute>(compute), [](Agent &) {});
+    }
+
+    /**
+     * Run an environment-mutating phase: `turn` once per agent, serially
+     * in agent-index order against the live environment, measuring each
+     * agent's latency contribution; advance the clock by the sum
+     * (sequential pipeline) or the max (parallel execution across
+     * agents). This is the deterministic ordered commit step for env
+     * writes — execution must see the world as left by lower-index
+     * agents of the same step, exactly as the serial pipeline defines.
      */
     template <typename Fn>
     void
-    phase(Fn &&turn)
+    envPhase(Fn &&turn)
     {
         double total = 0.0;
         double longest = 0.0;
@@ -171,11 +272,15 @@ class Harness
 
     env::Environment &env_;
     EpisodeOptions options_;
+    sched::FleetScheduler *scheduler_;
     sim::Rng master_rng_;
     sim::SimClock clock_;
     stats::LatencyRecorder recorder_;
     llm::EngineSession llm_session_; ///< must outlive agents_ (handles)
     std::vector<std::unique_ptr<Agent>> agents_;
+    /** Per-agent phase buffers (reused each computePhase). */
+    std::vector<stats::LatencyRecorder> scratch_;
+    std::vector<llm::DeferredNotes> notes_;
     EpisodeResult partial_;
     std::vector<StepTokens> token_series_;
     int steps_ = 0;
@@ -210,7 +315,7 @@ runSingleAgent(env::Environment &environment, const AgentConfig &config,
         environment.beginStep();
         harness.setSteps(step + 1);
 
-        harness.phase([&](Agent &a) { a.sense(step); });
+        harness.computePhase([&](Agent &a) { a.sense(step); });
 
         env::Subgoal subgoal;
         bool plan_sound = true;
@@ -226,7 +331,8 @@ runSingleAgent(env::Environment &environment, const AgentConfig &config,
             context.n_agents = 1;
             context.compression = options.pipeline.context_compression;
             PlanDecision decision;
-            harness.phase([&](Agent &a) { decision = a.plan(step, context); });
+            harness.computePhase(
+                [&](Agent &a) { decision = a.plan(step, context); });
             subgoal = decision.subgoal;
             plan_sound = decision.from_oracle;
             harness.recordTokens(step, 0, decision.prompt_tokens, 0);
@@ -235,8 +341,8 @@ runSingleAgent(env::Environment &environment, const AgentConfig &config,
         }
 
         ExecResult exec;
-        harness.phase([&](Agent &a) { exec = a.execute(step, subgoal); });
-        harness.phase([&](Agent &a) {
+        harness.envPhase([&](Agent &a) { exec = a.execute(step, subgoal); });
+        harness.computePhase([&](Agent &a) {
             a.reflect(step, subgoal, exec, plan_sound);
         });
         if (!exec.success)
@@ -275,7 +381,7 @@ runCentralized(env::Environment &environment, const AgentConfig &config,
         environment.beginStep();
         harness.setSteps(step + 1);
 
-        harness.phase([&](Agent &a) { a.sense(step); });
+        harness.computePhase([&](Agent &a) { a.sense(step); });
 
         // Central joint plan: prompt covers every agent's state plus the
         // accumulated feedback dialogue.
@@ -326,26 +432,37 @@ runCentralized(env::Environment &environment, const AgentConfig &config,
 
         // Each agent follows its instruction; a bad joint plan still gets
         // parts right (per-agent partial correctness), and feedback flows
-        // back to the central context.
-        std::vector<env::Subgoal> subgoals(static_cast<std::size_t>(n));
-        std::vector<char> sound(static_cast<std::size_t>(n), 1);
-        harness.phase([&](Agent &a) {
+        // back to the central context. The shared-stream coin flips are
+        // pre-drawn in agent-index order (the exact sequence the serial
+        // pipeline consumed) so the subgoal choice itself is pure
+        // per-agent compute.
+        std::vector<char> pre_good(static_cast<std::size_t>(n));
+        std::vector<char> pre_hallucinate(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i) {
             const bool agent_good =
                 good || harness.rng().bernoulli(0.25);
             const bool hallucinate =
                 !agent_good &&
                 harness.rng().bernoulli(config.hallucination_rate);
-            sound[static_cast<std::size_t>(a.id())] = agent_good;
-            subgoals[static_cast<std::size_t>(a.id())] =
-                a.chooseSubgoal(agent_good, hallucinate, step);
+            pre_good[static_cast<std::size_t>(i)] = agent_good;
+            pre_hallucinate[static_cast<std::size_t>(i)] = hallucinate;
+        }
+
+        std::vector<env::Subgoal> subgoals(static_cast<std::size_t>(n));
+        std::vector<char> sound(static_cast<std::size_t>(n), 1);
+        harness.computePhase([&](Agent &a) {
+            const auto idx = static_cast<std::size_t>(a.id());
+            sound[idx] = pre_good[idx];
+            subgoals[idx] = a.chooseSubgoal(pre_good[idx] != 0,
+                                            pre_hallucinate[idx] != 0, step);
         });
 
         std::vector<ExecResult> execs(static_cast<std::size_t>(n));
-        harness.phase([&](Agent &a) {
+        harness.envPhase([&](Agent &a) {
             execs[static_cast<std::size_t>(a.id())] =
                 a.execute(step, subgoals[static_cast<std::size_t>(a.id())]);
         });
-        harness.phase([&](Agent &a) {
+        harness.computePhase([&](Agent &a) {
             const auto &exec = execs[static_cast<std::size_t>(a.id())];
             a.reflect(step, subgoals[static_cast<std::size_t>(a.id())],
                       exec, sound[static_cast<std::size_t>(a.id())] != 0);
@@ -391,19 +508,30 @@ runHierarchical(env::Environment &environment, const AgentConfig &config,
         environment.beginStep();
         harness.setSteps(step + 1);
 
-        harness.phase([&](Agent &a) { a.sense(step); });
+        harness.computePhase([&](Agent &a) { a.sense(step); });
 
         // Cross-cluster coordination: one message per cluster lead,
         // broadcast to the other leads (bounded, not quadratic in n).
+        // Generation is pure per-lead compute; counting and delivery are
+        // the ordered commit.
         if (config.has_communication && clusters > 1) {
             std::vector<Message> outbox;
-            harness.phase([&](Agent &a) {
-                if (a.id() % k != 0)
-                    return; // only cluster leads speak
-                Message m = a.generateMessage(step, clusters);
-                harness.countMessage(m.useful);
-                outbox.push_back(std::move(m));
-            });
+            std::vector<Message> generated(static_cast<std::size_t>(n));
+            harness.computePhase(
+                [&](Agent &a) {
+                    if (a.id() % k != 0)
+                        return; // only cluster leads speak
+                    generated[static_cast<std::size_t>(a.id())] =
+                        a.generateMessage(step, clusters);
+                },
+                [&](Agent &a) {
+                    if (a.id() % k != 0)
+                        return;
+                    Message &m =
+                        generated[static_cast<std::size_t>(a.id())];
+                    harness.countMessage(m.useful);
+                    outbox.push_back(std::move(m));
+                });
             for (const auto &m : outbox)
                 for (int c = 0; c < clusters; ++c)
                     if (c * k != m.from_agent && c * k < n)
@@ -435,27 +563,37 @@ runHierarchical(env::Environment &environment, const AgentConfig &config,
         // All cluster plans are independent: one cross-cluster batch.
         harness.flushLlm();
 
-        std::vector<env::Subgoal> subgoals(static_cast<std::size_t>(n));
-        std::vector<char> sound(static_cast<std::size_t>(n), 1);
-        harness.phase([&](Agent &a) {
-            const auto idx = static_cast<std::size_t>(a.id());
+        // Pre-draw the shared-stream coin flips in agent-index order
+        // (see runCentralized); the subgoal choice is then pure compute.
+        std::vector<char> pre_good(static_cast<std::size_t>(n));
+        std::vector<char> pre_hallucinate(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i) {
             const bool agent_good =
-                cluster_good[static_cast<std::size_t>(
-                    cluster_of(a.id()))] != 0 ||
+                cluster_good[static_cast<std::size_t>(cluster_of(i))] !=
+                    0 ||
                 harness.rng().bernoulli(0.25);
             const bool hallucinate =
                 !agent_good &&
                 harness.rng().bernoulli(config.hallucination_rate);
-            sound[idx] = agent_good;
-            subgoals[idx] = a.chooseSubgoal(agent_good, hallucinate, step);
+            pre_good[static_cast<std::size_t>(i)] = agent_good;
+            pre_hallucinate[static_cast<std::size_t>(i)] = hallucinate;
+        }
+
+        std::vector<env::Subgoal> subgoals(static_cast<std::size_t>(n));
+        std::vector<char> sound(static_cast<std::size_t>(n), 1);
+        harness.computePhase([&](Agent &a) {
+            const auto idx = static_cast<std::size_t>(a.id());
+            sound[idx] = pre_good[idx];
+            subgoals[idx] = a.chooseSubgoal(pre_good[idx] != 0,
+                                            pre_hallucinate[idx] != 0, step);
         });
 
         std::vector<ExecResult> execs(static_cast<std::size_t>(n));
-        harness.phase([&](Agent &a) {
+        harness.envPhase([&](Agent &a) {
             execs[static_cast<std::size_t>(a.id())] =
                 a.execute(step, subgoals[static_cast<std::size_t>(a.id())]);
         });
-        harness.phase([&](Agent &a) {
+        harness.computePhase([&](Agent &a) {
             const auto idx = static_cast<std::size_t>(a.id());
             a.reflect(step, subgoals[idx], execs[idx], sound[idx] != 0);
         });
@@ -487,22 +625,29 @@ runDecentralized(env::Environment &environment, const AgentConfig &config,
         environment.beginStep();
         harness.setSteps(step + 1);
 
-        harness.phase([&](Agent &a) { a.sense(step); });
+        harness.computePhase([&](Agent &a) { a.sense(step); });
 
         // Dialogue: in the default pipeline, every agent pre-generates a
         // message every step (the paper's observed inefficiency), in
-        // turn-taking rounds that grow with the team size.
+        // turn-taking rounds that grow with the team size. Messages are
+        // delivered after the round, so generation is pure per-agent
+        // compute; counting/recording is the ordered commit.
         if (config.has_communication && !options.pipeline.comm_on_demand) {
             const int rounds = 1 + (n - 1) / 4;
             for (int round = 0; round < rounds; ++round) {
-                std::vector<Message> outbox;
-                harness.phase([&](Agent &a) {
-                    Message m = a.generateMessage(step, n);
-                    harness.countMessage(m.useful);
-                    harness.recordTokens(step, a.id(), 0,
-                                         a.lastMessageTokens());
-                    outbox.push_back(std::move(m));
-                });
+                std::vector<Message> outbox(static_cast<std::size_t>(n));
+                harness.computePhase(
+                    [&](Agent &a) {
+                        outbox[static_cast<std::size_t>(a.id())] =
+                            a.generateMessage(step, n);
+                    },
+                    [&](Agent &a) {
+                        const auto &m =
+                            outbox[static_cast<std::size_t>(a.id())];
+                        harness.countMessage(m.useful);
+                        harness.recordTokens(step, a.id(), 0,
+                                             a.lastMessageTokens());
+                    });
                 for (const auto &m : outbox)
                     broadcast(harness, m, step);
             }
@@ -511,43 +656,83 @@ runDecentralized(env::Environment &environment, const AgentConfig &config,
         // Independent planning with teammate-intent complexity.
         std::vector<env::Subgoal> subgoals(static_cast<std::size_t>(n));
         std::vector<char> sound(static_cast<std::size_t>(n), 1);
-        harness.phase([&](Agent &a) {
-            const auto idx = static_cast<std::size_t>(a.id());
-            if (guided_left[idx] > 0) {
-                // Plan-guided multi-step execution (Rec. 7): follow the
-                // standing plan without a fresh LLM call.
-                subgoals[idx] = a.chooseSubgoal(true, false, step);
-                sound[idx] = 1;
-                --guided_left[idx];
-                return;
-            }
-            PlanContext context;
-            context.step = step;
-            context.n_agents = n;
-            context.compression = options.pipeline.context_compression;
-            const PlanDecision decision = a.plan(step, context);
-            subgoals[idx] = decision.subgoal;
-            sound[idx] = decision.from_oracle;
-            if (decision.from_oracle && plan_every > 1)
-                guided_left[idx] = plan_every - 1;
-            harness.recordTokens(step, a.id(), decision.prompt_tokens, 0);
+        const bool comm_during_planning =
+            config.has_communication && options.pipeline.comm_on_demand;
+        if (comm_during_planning) {
+            // Planning-then-communication (Rec. 8): an agent's plan may
+            // broadcast immediately, and later agents plan *with* that
+            // message in memory — a genuine cross-agent dependency chain,
+            // so this phase stays serial in agent-index order.
+            harness.envPhase([&](Agent &a) {
+                const auto idx = static_cast<std::size_t>(a.id());
+                if (guided_left[idx] > 0) {
+                    // Plan-guided multi-step execution (Rec. 7): follow
+                    // the standing plan without a fresh LLM call.
+                    subgoals[idx] = a.chooseSubgoal(true, false, step);
+                    sound[idx] = 1;
+                    --guided_left[idx];
+                    return;
+                }
+                PlanContext context;
+                context.step = step;
+                context.n_agents = n;
+                context.compression = options.pipeline.context_compression;
+                const PlanDecision decision = a.plan(step, context);
+                subgoals[idx] = decision.subgoal;
+                sound[idx] = decision.from_oracle;
+                if (decision.from_oracle && plan_every > 1)
+                    guided_left[idx] = plan_every - 1;
+                harness.recordTokens(step, a.id(), decision.prompt_tokens,
+                                     0);
 
-            // Planning-then-communication (Rec. 8): only talk when the
-            // plan decided it is needed.
-            if (config.has_communication &&
-                options.pipeline.comm_on_demand && decision.wants_comm) {
-                Message m = a.generateMessage(step, n);
-                harness.countMessage(m.useful);
-                broadcast(harness, m, step);
-            }
-        });
+                // Only talk when the plan decided it is needed.
+                if (decision.wants_comm) {
+                    Message m = a.generateMessage(step, n);
+                    harness.countMessage(m.useful);
+                    broadcast(harness, m, step);
+                }
+            });
+        } else {
+            // No mid-phase message flow: planning is pure per-agent
+            // compute (memory retrieval, one LLM call, subgoal choice).
+            std::vector<int> prompt_tokens(static_cast<std::size_t>(n),
+                                           -1); // -1 = guided, no call
+            harness.computePhase(
+                [&](Agent &a) {
+                    const auto idx = static_cast<std::size_t>(a.id());
+                    if (guided_left[idx] > 0) {
+                        // Plan-guided multi-step execution (Rec. 7).
+                        subgoals[idx] = a.chooseSubgoal(true, false, step);
+                        sound[idx] = 1;
+                        --guided_left[idx];
+                        return;
+                    }
+                    PlanContext context;
+                    context.step = step;
+                    context.n_agents = n;
+                    context.compression =
+                        options.pipeline.context_compression;
+                    const PlanDecision decision = a.plan(step, context);
+                    subgoals[idx] = decision.subgoal;
+                    sound[idx] = decision.from_oracle;
+                    if (decision.from_oracle && plan_every > 1)
+                        guided_left[idx] = plan_every - 1;
+                    prompt_tokens[idx] = decision.prompt_tokens;
+                },
+                [&](Agent &a) {
+                    const auto idx = static_cast<std::size_t>(a.id());
+                    if (prompt_tokens[idx] >= 0)
+                        harness.recordTokens(step, a.id(),
+                                             prompt_tokens[idx], 0);
+                });
+        }
 
         std::vector<ExecResult> execs(static_cast<std::size_t>(n));
-        harness.phase([&](Agent &a) {
+        harness.envPhase([&](Agent &a) {
             execs[static_cast<std::size_t>(a.id())] =
                 a.execute(step, subgoals[static_cast<std::size_t>(a.id())]);
         });
-        harness.phase([&](Agent &a) {
+        harness.computePhase([&](Agent &a) {
             const auto idx = static_cast<std::size_t>(a.id());
             a.reflect(step, subgoals[idx], execs[idx], sound[idx] != 0);
             if (!execs[idx].success)

@@ -149,9 +149,16 @@ EngineHandle::complete(const LlmRequest &request)
     usage_.add(resp);
 
     if (session_ != nullptr && session_->attached()) {
-        session_->noteUsage(backend_, resp);
-        if (session_->batching())
-            session_->note(backend_, profile_, resp);
+        if (deferred_ != nullptr) {
+            // Parallel phase turn: the session is single-threaded and its
+            // accounting is order-sensitive, so stage the note for the
+            // agent-index-ordered replay at the phase's commit step.
+            deferred_->entries.push_back({backend_, &profile_, resp});
+        } else {
+            session_->noteUsage(backend_, resp);
+            if (session_->batching())
+                session_->note(backend_, profile_, resp);
+        }
     }
     return resp;
 }
@@ -229,6 +236,16 @@ EngineSession::flush()
     pending_usage_.clear();
     open_.clear();
     ++phase_;
+}
+
+void
+EngineSession::replay(const DeferredNotes &notes)
+{
+    for (const auto &entry : notes.entries) {
+        noteUsage(entry.backend, entry.resp);
+        if (batching())
+            note(entry.backend, *entry.profile, entry.resp);
+    }
 }
 
 std::vector<BatchRecord>

@@ -1,39 +1,22 @@
 #include "runner/episode_runner.h"
 
-#include <algorithm>
-#include <atomic>
-#include <cstdio>
-#include <cstdlib>
-#include <exception>
-#include <mutex>
+#include <cassert>
 #include <stdexcept>
-#include <thread>
+#include <string>
 
 namespace ebs::runner {
 
-EpisodeRunner::EpisodeRunner(int jobs)
-    : jobs_(jobs > 0 ? jobs : defaultJobs())
+EpisodeRunner::EpisodeRunner(int jobs, sched::FleetScheduler *scheduler)
+    : jobs_(jobs > 0 ? jobs : defaultJobs()),
+      scheduler_(scheduler != nullptr ? scheduler
+                                      : &sched::FleetScheduler::shared())
 {
 }
 
 int
 EpisodeRunner::defaultJobs()
 {
-    const unsigned hw = std::thread::hardware_concurrency();
-    const int fallback = hw > 0 ? static_cast<int>(hw) : 1;
-    if (const char *v = std::getenv("EBS_JOBS")) {
-        char *end = nullptr;
-        const long parsed = std::strtol(v, &end, 10);
-        if (end != v && *end == '\0' && parsed > 0 && parsed <= 1024)
-            return static_cast<int>(parsed);
-        // A typo'd EBS_JOBS silently running at full parallelism would
-        // corrupt serial baselines; say what happened.
-        std::fprintf(stderr,
-                     "runner: ignoring invalid EBS_JOBS='%s' "
-                     "(want 1..1024), using %d\n",
-                     v, fallback);
-    }
-    return fallback;
+    return sched::FleetScheduler::defaultWorkers();
 }
 
 const EpisodeRunner &
@@ -44,13 +27,17 @@ EpisodeRunner::shared()
 }
 
 core::EpisodeResult
-runEpisode(const EpisodeJob &job)
+runEpisode(const EpisodeJob &job, sched::FleetScheduler *scheduler)
 {
     core::EpisodeOptions options;
     options.seed = job.seed;
     options.record_tokens = job.record_tokens;
     options.pipeline = job.pipeline;
     options.engine_service = job.engine_service;
+    options.scheduler = job.scheduler != nullptr ? job.scheduler
+                        : scheduler != nullptr
+                            ? scheduler
+                            : &sched::FleetScheduler::shared();
     if (job.custom)
         return job.custom(options);
     if (job.workload == nullptr)
@@ -64,51 +51,36 @@ std::vector<core::EpisodeResult>
 EpisodeRunner::run(const std::vector<EpisodeJob> &batch) const
 {
     std::vector<core::EpisodeResult> results(batch.size());
-    const int workers =
-        static_cast<int>(std::min<std::size_t>(
-            static_cast<std::size_t>(jobs_), batch.size()));
-    if (workers <= 1) {
+    if (jobs_ <= 1 || batch.size() <= 1) {
+        // EBS_JOBS=1 (or a singleton batch) stays entirely on the calling
+        // thread: the pre-runner serial behavior, exactly.
         for (std::size_t i = 0; i < batch.size(); ++i)
-            results[i] = runEpisode(batch[i]);
+            results[i] = runEpisode(batch[i], scheduler_);
         return results;
     }
 
-    // Dynamic claiming: episode runtimes vary by orders of magnitude
-    // across difficulties/paradigms, so a shared cursor load-balances far
-    // better than static striping. Each worker writes only its claimed
-    // slots; publication happens-before the joins below.
-    std::atomic<std::size_t> cursor{0};
-    std::atomic<bool> failed{false};
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
+    sched::TaskGraph graph;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        const EpisodeJob &job = batch[i];
+        std::string label =
+            job.workload != nullptr ? job.workload->name : "custom";
+        label += "#" + std::to_string(job.seed);
+        graph.add(
+            [this, &results, &job, i] {
+                results[i] = runEpisode(job, scheduler_);
+            },
+            std::move(label));
+    }
 
-    auto work = [&] {
-        for (;;) {
-            const std::size_t i =
-                cursor.fetch_add(1, std::memory_order_relaxed);
-            if (i >= batch.size() || failed.load(std::memory_order_relaxed))
-                return;
-            try {
-                results[i] = runEpisode(batch[i]);
-            } catch (...) {
-                std::lock_guard<std::mutex> lock(error_mutex);
-                if (!first_error)
-                    first_error = std::current_exception();
-                failed.store(true, std::memory_order_relaxed);
-                return;
-            }
-        }
-    };
+    // The contract this subsystem was refactored for: batches ride the
+    // scheduler's persistent workers — a run must never spawn threads.
+    const long long spawned_before = scheduler_->threadsSpawned();
+    scheduler_->run(std::move(graph), jobs_);
+    assert(scheduler_->threadsSpawned() == spawned_before &&
+           "EpisodeRunner batches must reuse the scheduler's persistent "
+           "worker pool");
+    (void)spawned_before;
 
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(workers));
-    for (int t = 0; t < workers; ++t)
-        pool.emplace_back(work);
-    for (auto &thread : pool)
-        thread.join();
-
-    if (first_error)
-        std::rethrow_exception(first_error);
     return results;
 }
 

@@ -8,6 +8,7 @@
 #include "core/config.h"
 #include "core/coordinator.h"
 #include "env/env.h"
+#include "sched/fleet_scheduler.h"
 #include "workloads/workload.h"
 
 namespace ebs::runner {
@@ -40,9 +41,20 @@ struct EpisodeJob
      * shares backends; nullptr selects the legacy per-agent-engine path.
      * Either way results are bit-identical — the service only adds
      * fleet-wide accounting and batch assembly, both race-free under the
-     * runner's worker pool.
+     * scheduler's worker pool.
      */
     llm::LlmEngineService *engine_service = &llm::LlmEngineService::shared();
+
+    /**
+     * Scheduler the episode's *nested* per-agent phase fan-outs run on
+     * (not owned). nullptr = inherit: the runner executing this job
+     * passes its own scheduler, and a directly-called runEpisode() uses
+     * FleetScheduler::shared() — either way episodes and their per-agent
+     * subtasks draw from one worker budget. Results are bit-identical at
+     * any pool size (the per-agent phases are pure compute with an
+     * agent-index-ordered commit step).
+     */
+    sched::FleetScheduler *scheduler = nullptr;
 
     /** When set, runs instead of the workload path. Must be thread-safe
      * with respect to every other job in the same batch. */
@@ -50,47 +62,68 @@ struct EpisodeJob
 };
 
 /**
- * Thread-pooled fan-out over a batch of episode jobs.
+ * Thin batch facade over the process-wide FleetScheduler: episodes fan
+ * out as one edge-free TaskGraph on the scheduler's *persistent* worker
+ * pool (no per-batch thread spawning — the runner asserts the pool is
+ * reused across batches).
  *
- * Workers claim jobs from a shared atomic cursor and write each result
- * into the slot matching the job's submission index, so `run()` returns
- * results in submission order and downstream folds are deterministic.
- * Episodes share no mutable state (all simulator state is per-episode and
- * every stochastic draw flows through the job's seed), which makes the
- * results bit-identical regardless of the worker count.
+ * Each task writes its result into the slot matching the job's submission
+ * index, so `run()` returns results in submission order and downstream
+ * folds are deterministic. Episodes share no mutable state (all simulator
+ * state is per-episode and every stochastic draw flows through the job's
+ * seed), which makes the results bit-identical regardless of the worker
+ * count.
  *
- * The worker count comes from the constructor, or — for the default
- * instance — from `EBS_JOBS` (falling back to hardware_concurrency).
- * `EBS_JOBS=1` runs every job inline on the calling thread, preserving
- * the pre-runner serial behavior exactly.
+ * `jobs` caps how many of this runner's episodes are in flight at once
+ * (the scheduler's pool size always caps globally); for the default
+ * instance it comes from `EBS_JOBS` (falling back to
+ * hardware_concurrency). `EBS_JOBS=1` runs every job inline on the
+ * calling thread, preserving the pre-runner serial behavior exactly.
  */
 class EpisodeRunner
 {
   public:
-    /** @param jobs worker threads; <= 0 selects defaultJobs() */
-    explicit EpisodeRunner(int jobs = 0);
+    /**
+     * @param jobs      in-flight episode cap; <= 0 selects defaultJobs()
+     * @param scheduler pool to run on (not owned); nullptr selects
+     *                  FleetScheduler::shared()
+     */
+    explicit EpisodeRunner(int jobs = 0,
+                           sched::FleetScheduler *scheduler = nullptr);
 
-    /** Worker threads this runner fans out across (>= 1). */
+    /** In-flight episode cap of this runner (>= 1). */
     int jobs() const { return jobs_; }
+
+    /** The scheduler batches execute on (never null). */
+    sched::FleetScheduler *scheduler() const { return scheduler_; }
 
     /** Execute a batch; results are in submission order. */
     std::vector<core::EpisodeResult>
     run(const std::vector<EpisodeJob> &batch) const;
 
     /** `EBS_JOBS` if set to a positive integer, else the hardware
-     * concurrency (>= 1). */
+     * concurrency (>= 1). Delegates to sched::FleetScheduler so the
+     * whole fleet derives its budget from one parser. */
     static int defaultJobs();
 
-    /** Process-wide runner built with defaultJobs(), shared by the bench
-     * fleet so every bench honors one EBS_JOBS setting. */
+    /** Process-wide runner built with defaultJobs() on
+     * FleetScheduler::shared(), shared by the bench fleet so every bench
+     * honors one EBS_JOBS setting. */
     static const EpisodeRunner &shared();
 
   private:
     int jobs_ = 1;
+    sched::FleetScheduler *scheduler_ = nullptr;
 };
 
-/** Execute one job on the calling thread (the serial building block). */
-core::EpisodeResult runEpisode(const EpisodeJob &job);
+/**
+ * Execute one job on the calling thread (the serial building block).
+ * Nested per-agent phases run on the job's scheduler when set, else on
+ * `scheduler` (the runner passes its own), else on
+ * FleetScheduler::shared().
+ */
+core::EpisodeResult runEpisode(const EpisodeJob &job,
+                               sched::FleetScheduler *scheduler = nullptr);
 
 } // namespace ebs::runner
 

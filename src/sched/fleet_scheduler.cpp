@@ -1,0 +1,303 @@
+#include "sched/fleet_scheduler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+namespace ebs::sched {
+
+TaskGraph::TaskId
+TaskGraph::add(std::function<void()> fn, std::string label,
+               std::vector<TaskId> deps)
+{
+    const TaskId id = nodes_.size();
+    for (const TaskId dep : deps)
+        if (dep >= id)
+            throw std::invalid_argument(
+                "TaskGraph: task " + std::to_string(id) +
+                " depends on task " + std::to_string(dep) +
+                " which is not an earlier task (graphs are acyclic by "
+                "construction: dependencies must point backwards)");
+    nodes_.push_back({std::move(fn), std::move(label), std::move(deps)});
+    return id;
+}
+
+/**
+ * One in-flight graph. Lives on the stack of the run() call that owns
+ * it, registered with the scheduler for its lifetime; all fields are
+ * guarded by the scheduler mutex.
+ */
+struct FleetScheduler::Execution
+{
+    TaskGraph graph;
+    std::vector<int> waiting_deps; ///< unresolved dep count per task
+    std::vector<std::vector<std::size_t>> dependents;
+    std::vector<std::size_t> ready; ///< FIFO queue of runnable task ids
+    std::size_t next_ready = 0;     ///< pop cursor into `ready`
+    std::vector<TaskTiming> timings;
+    std::size_t done = 0;
+    int running = 0;
+    int cap = 0; ///< max concurrent tasks of this graph; 0 = pool-only
+    bool failed = false;
+    std::exception_ptr error;
+    /** Wakes the owning waiter: fires when one of this graph's tasks
+     * finishes or becomes ready (so the waiter can help execute it). */
+    std::condition_variable owner_cv;
+};
+
+FleetScheduler::FleetScheduler(int workers)
+    : epoch_(std::chrono::steady_clock::now())
+{
+    const int count = workers > 0 ? workers : defaultWorkers();
+    pool_.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i)
+        spawnWorker();
+}
+
+void
+FleetScheduler::spawnWorker()
+{
+    const int index = static_cast<int>(pool_.size());
+    ++spawned_;
+    pool_.emplace_back([this, index] { workerLoop(index); });
+}
+
+FleetScheduler::~FleetScheduler()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto &thread : pool_)
+        thread.join();
+}
+
+long long
+FleetScheduler::threadsSpawned() const
+{
+    // A creation-event counter, deliberately not pool_.size(): if a
+    // future change tears workers down and respawns them per batch, the
+    // pool size would look unchanged while this count grows — which is
+    // exactly what the EpisodeRunner's reuse assertion must catch.
+    std::lock_guard<std::mutex> lock(mu_);
+    return spawned_;
+}
+
+long long
+FleetScheduler::tasksExecuted() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return executed_;
+}
+
+double
+FleetScheduler::nowSeconds() const
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
+}
+
+int
+FleetScheduler::defaultWorkers()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    const int fallback = hw > 0 ? static_cast<int>(hw) : 1;
+    if (const char *v = std::getenv("EBS_JOBS")) {
+        char *end = nullptr;
+        const long parsed = std::strtol(v, &end, 10);
+        if (end != v && *end == '\0' && parsed > 0 && parsed <= 1024)
+            return static_cast<int>(parsed);
+        // A typo'd EBS_JOBS silently running at full parallelism would
+        // corrupt serial baselines; say what happened.
+        std::fprintf(stderr,
+                     "sched: ignoring invalid EBS_JOBS='%s' "
+                     "(want 1..1024), using %d\n",
+                     v, fallback);
+    }
+    return fallback;
+}
+
+FleetScheduler &
+FleetScheduler::shared()
+{
+    static FleetScheduler instance;
+    return instance;
+}
+
+bool
+FleetScheduler::claimLocked(Execution *only, Claim &claim)
+{
+    const auto claimable = [](const Execution &exec) {
+        if (exec.next_ready >= exec.ready.size())
+            return false;
+        // The cap throttles live work, not the post-failure drain: once
+        // a graph failed its remaining tasks are skipped, and delaying
+        // the skips would only stall the waiter.
+        return exec.failed || exec.cap <= 0 || exec.running < exec.cap;
+    };
+
+    Execution *chosen = nullptr;
+    if (only != nullptr) {
+        if (claimable(*only))
+            chosen = only;
+    } else {
+        for (Execution *exec : active_) {
+            if (claimable(*exec)) {
+                chosen = exec;
+                break;
+            }
+        }
+    }
+    if (chosen == nullptr)
+        return false;
+
+    claim.exec = chosen;
+    claim.task = chosen->ready[chosen->next_ready++];
+    ++chosen->running;
+    return true;
+}
+
+void
+FleetScheduler::finishLocked(Execution &exec, std::size_t task)
+{
+    --exec.running;
+    ++exec.done;
+    for (const std::size_t dependent : exec.dependents[task]) {
+        if (--exec.waiting_deps[dependent] == 0)
+            exec.ready.push_back(dependent);
+    }
+}
+
+void
+FleetScheduler::runClaim(std::unique_lock<std::mutex> &lock,
+                         const Claim &claim, int worker)
+{
+    Execution &exec = *claim.exec;
+    const std::size_t task = claim.task;
+    const bool skip = exec.failed;
+
+    TaskTiming &timing = exec.timings[task];
+    timing.worker = worker;
+    timing.start_s = nowSeconds();
+
+    std::exception_ptr error;
+    if (!skip) {
+        lock.unlock();
+        try {
+            exec.graph.nodes_[task].fn();
+        } catch (...) {
+            error = std::current_exception();
+        }
+        lock.lock();
+    }
+
+    timing.end_s = nowSeconds();
+    timing.ran = !skip;
+    if (!skip)
+        ++executed_;
+    if (error) {
+        exec.failed = true;
+        if (!exec.error)
+            exec.error = error;
+    }
+    finishLocked(exec, task);
+
+    // Wake pool workers only when this graph actually has claimable work
+    // left (released dependents, a cap slot freeing over a non-empty
+    // queue, or a failure drain) — per-agent phase tasks are tiny, and an
+    // unconditional notify_all would thundering-herd every idle worker on
+    // each completion. Other graphs' claimability cannot change here.
+    // The owner always learns about its graph's progress.
+    if (exec.next_ready < exec.ready.size())
+        work_cv_.notify_all();
+    exec.owner_cv.notify_all();
+}
+
+void
+FleetScheduler::workerLoop(int index)
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+        Claim claim;
+        if (claimLocked(nullptr, claim)) {
+            runClaim(lock, claim, index);
+            continue;
+        }
+        if (stop_)
+            return;
+        work_cv_.wait(lock);
+    }
+}
+
+std::vector<TaskTiming>
+FleetScheduler::run(TaskGraph graph, int max_parallel)
+{
+    const std::size_t count = graph.size();
+    if (count == 0)
+        return {};
+
+    Execution exec;
+    exec.graph = std::move(graph);
+    exec.waiting_deps.resize(count, 0);
+    exec.dependents.resize(count);
+    exec.timings.resize(count);
+    exec.cap = max_parallel > 0 ? max_parallel : 0;
+    exec.ready.reserve(count);
+    for (std::size_t id = 0; id < count; ++id) {
+        exec.timings[id].label = exec.graph.nodes_[id].label;
+        exec.waiting_deps[id] =
+            static_cast<int>(exec.graph.nodes_[id].deps.size());
+        for (const std::size_t dep : exec.graph.nodes_[id].deps)
+            exec.dependents[dep].push_back(id);
+        if (exec.waiting_deps[id] == 0)
+            exec.ready.push_back(id);
+    }
+
+    std::unique_lock<std::mutex> lock(mu_);
+    active_.push_back(&exec);
+    work_cv_.notify_all();
+
+    // Help-execute our own graph while it drains. Restricting helping to
+    // the awaited graph keeps the blocked stack bounded (an episode task
+    // never starts an unrelated episode in its own frames) and cannot
+    // deadlock: either this thread finds a ready task to run, or every
+    // remaining task is running on some other thread, which will finish
+    // it and signal owner_cv.
+    while (exec.done < count) {
+        Claim claim;
+        if (claimLocked(&exec, claim)) {
+            runClaim(lock, claim, /*worker=*/-1);
+            continue;
+        }
+        exec.owner_cv.wait(lock);
+    }
+
+    active_.erase(std::find(active_.begin(), active_.end(), &exec));
+    lock.unlock();
+
+    if (exec.error)
+        std::rethrow_exception(exec.error);
+    return std::move(exec.timings);
+}
+
+void
+FleetScheduler::parallelFor(std::size_t count,
+                            const std::function<void(std::size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    if (count == 1) {
+        fn(0);
+        return;
+    }
+    TaskGraph graph;
+    for (std::size_t i = 0; i < count; ++i)
+        graph.add([&fn, i] { fn(i); });
+    run(std::move(graph));
+}
+
+} // namespace ebs::sched

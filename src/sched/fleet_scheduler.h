@@ -1,0 +1,195 @@
+#ifndef EBS_SCHED_FLEET_SCHEDULER_H
+#define EBS_SCHED_FLEET_SCHEDULER_H
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ebs::sched {
+
+/**
+ * When and where one task of a scheduled graph ran, in seconds relative
+ * to the scheduler's construction. `run_all` turns these into the
+ * per-suite wall-clock / straggler summary; tests use them to prove that
+ * dependency edges were honored.
+ */
+struct TaskTiming
+{
+    std::string label;
+    double start_s = 0.0;
+    double end_s = 0.0;
+    int worker = -1; ///< executing worker index; -1 = a helping waiter
+    bool ran = false; ///< false when skipped after an earlier task threw
+
+    double duration() const { return end_s - start_s; }
+};
+
+/**
+ * A dependency-ordered batch of work: the unit FleetScheduler executes.
+ *
+ * Tasks are identified by their insertion index, and a task may only
+ * depend on tasks added before it — which makes every graph acyclic by
+ * construction (add() rejects forward/self edges). Episode batches are
+ * edge-free graphs; `run_all` uses one node per suite; nested per-agent
+ * fan-outs use parallelFor(), which builds an edge-free graph under the
+ * hood.
+ */
+class TaskGraph
+{
+  public:
+    using TaskId = std::size_t;
+
+    /**
+     * Append a task. @param deps ids of earlier tasks that must finish
+     * first (every id must be < the new task's id).
+     * @throws std::invalid_argument on a forward or self dependency.
+     */
+    TaskId add(std::function<void()> fn, std::string label = {},
+               std::vector<TaskId> deps = {});
+
+    std::size_t size() const { return nodes_.size(); }
+    bool empty() const { return nodes_.empty(); }
+
+  private:
+    friend class FleetScheduler;
+
+    struct Node
+    {
+        std::function<void()> fn;
+        std::string label;
+        std::vector<TaskId> deps;
+    };
+
+    std::vector<Node> nodes_;
+};
+
+/**
+ * Process-wide work scheduler: one persistent pool of `workers()` threads
+ * (sized by EBS_JOBS for the shared() instance) executing TaskGraphs for
+ * every client in the process — suite drivers, the EpisodeRunner's
+ * episode batches, and the per-agent phase fan-outs *inside* a running
+ * episode all share the same global budget.
+ *
+ * Nested submission is a first-class operation: run() blocks, but the
+ * calling thread *helps* — it executes ready tasks of the graph it is
+ * waiting on instead of sleeping. A worker whose task itself calls run()
+ * (an episode fanning out per-agent subtasks) therefore drives the nested
+ * graph to completion even when it occupies the pool's only thread, so no
+ * pool size can deadlock. Helping is scoped to the awaited graph, which
+ * also bounds help-recursion depth by the nesting depth, not the batch
+ * size.
+ *
+ * The scheduler never influences results: tasks carry their own state and
+ * clients require order-independence of the work they submit (the episode
+ * determinism contract), so worker count and interleaving only change
+ * wall-clock. Exceptions: the first throwing task's exception is
+ * rethrown from run() after the graph drains; tasks that were not yet
+ * started when the failure happened are skipped (TaskTiming::ran stays
+ * false).
+ */
+class FleetScheduler
+{
+  public:
+    /** @param workers pool threads; <= 0 selects defaultWorkers(). */
+    explicit FleetScheduler(int workers = 0);
+    ~FleetScheduler();
+
+    FleetScheduler(const FleetScheduler &) = delete;
+    FleetScheduler &operator=(const FleetScheduler &) = delete;
+
+    /** Persistent pool threads (>= 1). */
+    int workers() const { return static_cast<int>(pool_.size()); }
+
+    /**
+     * Worker threads this scheduler has ever created — constant after
+     * construction, which is exactly the point: repeated batches reuse
+     * the persistent pool instead of respawning threads (the
+     * EpisodeRunner asserts this around every run).
+     */
+    long long threadsSpawned() const;
+
+    /** Tasks executed (not skipped) over the scheduler's lifetime. */
+    long long tasksExecuted() const;
+
+    /**
+     * Execute every task of `graph`, honoring dependency edges, and
+     * return one TaskTiming per task (indexed like the graph). At most
+     * `max_parallel` tasks of this graph run concurrently when > 0 (the
+     * EpisodeRunner passes its --jobs cap); the pool size always caps
+     * globally. Blocking, help-executing, nestable; see class comment
+     * for the failure contract.
+     */
+    std::vector<TaskTiming> run(TaskGraph graph, int max_parallel = 0);
+
+    /**
+     * Convenience fan-out: run `fn(0..count-1)` as an edge-free graph.
+     * This is the nested-submission entry point coordinators use for
+     * per-agent phase compute.
+     */
+    void parallelFor(std::size_t count,
+                     const std::function<void(std::size_t)> &fn);
+
+    /** Seconds since this scheduler was constructed (timeline clock). */
+    double nowSeconds() const;
+
+    /**
+     * `EBS_JOBS` if set to a positive integer (1..1024), else the
+     * hardware concurrency (>= 1). One knob sizes the whole fleet's
+     * budget: run_all's suite concurrency, the shared EpisodeRunner,
+     * and the shared scheduler's pool all derive from it.
+     */
+    static int defaultWorkers();
+
+    /**
+     * Process-wide instance built with defaultWorkers(): the single
+     * global pool behind EpisodeRunner::shared() and the default
+     * EpisodeOptions, so suites, episodes, and per-agent phases all
+     * draw from one EBS_JOBS budget.
+     */
+    static FleetScheduler &shared();
+
+  private:
+    struct Execution; ///< one in-flight graph (lives on run()'s stack)
+
+    struct Claim
+    {
+        Execution *exec = nullptr;
+        std::size_t task = 0;
+    };
+
+    /** Pop a runnable task — from `only` when helping, from any active
+     * execution (oldest graph first) when a worker. Caller holds mu_. */
+    bool claimLocked(Execution *only, Claim &claim);
+
+    /** Execute (or skip) a claimed task; releases/reacquires `lock`. */
+    void runClaim(std::unique_lock<std::mutex> &lock, const Claim &claim,
+                  int worker);
+
+    /** Mark a task finished and release its dependents. Holds mu_. */
+    void finishLocked(Execution &exec, std::size_t task);
+
+    /** Create one pool thread (the only place a thread is ever made;
+     * counts into threadsSpawned so a respawn regression trips the
+     * runner's reuse assertion instead of passing silently). */
+    void spawnWorker();
+
+    void workerLoop(int index);
+
+    mutable std::mutex mu_;
+    std::condition_variable work_cv_; ///< wakes idle workers
+    std::vector<Execution *> active_; ///< registration order = priority
+    std::vector<std::thread> pool_;
+    bool stop_ = false;
+    long long executed_ = 0;
+    long long spawned_ = 0; ///< thread-creation events, not pool size
+    std::chrono::steady_clock::time_point epoch_;
+};
+
+} // namespace ebs::sched
+
+#endif // EBS_SCHED_FLEET_SCHEDULER_H

@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Tests for the src/sched fleet-scheduler subsystem and its integration
+ * with the episode runner and the coordinator's parallel per-agent
+ * phases: dependency ordering, nested-submission deadlock-freedom at
+ * pool size 1, exception propagation, submission-order result delivery,
+ * persistent-worker reuse, and — the contract everything else leans on —
+ * bitwise-identical episode results at any pool size with
+ * `parallel_agents` fanning real subtasks onto the pool.
+ */
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runner/averaged.h"
+#include "runner/episode_runner.h"
+#include "sched/fleet_scheduler.h"
+#include "test_util.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using namespace ebs;
+using test::expectEpisodeIdentical;
+
+TEST(TaskGraph, RejectsForwardAndSelfDependencies)
+{
+    sched::TaskGraph graph;
+    const auto a = graph.add([] {});
+    EXPECT_THROW(graph.add([] {}, "self", {1}), std::invalid_argument);
+    EXPECT_THROW(graph.add([] {}, "forward", {7}), std::invalid_argument);
+    const auto b = graph.add([] {}, "ok", {a});
+    EXPECT_EQ(b, 1u);
+    EXPECT_EQ(graph.size(), 2u);
+}
+
+TEST(FleetScheduler, HonorsDependencyEdges)
+{
+    sched::FleetScheduler scheduler(4);
+    std::atomic<int> sequence{0};
+    std::vector<int> order(3, -1);
+
+    sched::TaskGraph graph;
+    const auto a = graph.add([&] { order[0] = sequence.fetch_add(1); }, "a");
+    const auto b =
+        graph.add([&] { order[1] = sequence.fetch_add(1); }, "b", {a});
+    graph.add([&] { order[2] = sequence.fetch_add(1); }, "c", {a, b});
+
+    const auto timings = scheduler.run(std::move(graph));
+    ASSERT_EQ(timings.size(), 3u);
+    EXPECT_LT(order[0], order[1]);
+    EXPECT_LT(order[1], order[2]);
+    for (const auto &t : timings) {
+        EXPECT_TRUE(t.ran);
+        EXPECT_LE(t.start_s, t.end_s);
+    }
+    EXPECT_EQ(timings[0].label, "a");
+}
+
+TEST(FleetScheduler, ParallelForCoversEveryIndexExactlyOnce)
+{
+    sched::FleetScheduler scheduler(4);
+    std::vector<std::atomic<int>> hits(64);
+    scheduler.parallelFor(hits.size(), [&](std::size_t i) {
+        hits[i].fetch_add(1);
+    });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(FleetScheduler, NestedSubmissionCannotDeadlockAtPoolSizeOne)
+{
+    // The regression this guards: an episode task occupying the pool's
+    // only worker fans per-agent subtasks onto the same pool and waits.
+    // Help-execution must drive the nested graphs to completion.
+    sched::FleetScheduler scheduler(1);
+    std::atomic<int> leaves{0};
+    scheduler.parallelFor(4, [&](std::size_t) {
+        scheduler.parallelFor(4, [&](std::size_t) {
+            scheduler.parallelFor(2, [&](std::size_t) {
+                leaves.fetch_add(1);
+            });
+        });
+    });
+    EXPECT_EQ(leaves.load(), 4 * 4 * 2);
+}
+
+TEST(FleetScheduler, PropagatesExceptionsFromNestedTasks)
+{
+    sched::FleetScheduler scheduler(2);
+    EXPECT_THROW(scheduler.parallelFor(3,
+                                       [&](std::size_t outer) {
+                                           scheduler.parallelFor(
+                                               2, [&](std::size_t inner) {
+                                                   if (outer == 1 &&
+                                                       inner == 1)
+                                                       throw std::runtime_error(
+                                                           "subtask failed");
+                                               });
+                                       }),
+                 std::runtime_error);
+}
+
+TEST(FleetScheduler, SkipsTasksDependingOnAFailedTask)
+{
+    sched::FleetScheduler scheduler(2);
+    const long long executed_before = scheduler.tasksExecuted();
+    std::atomic<int> ran{0};
+
+    sched::TaskGraph graph;
+    const auto poison = graph.add(
+        [] { throw std::runtime_error("poisoned root"); }, "root");
+    for (int i = 0; i < 8; ++i)
+        graph.add([&] { ran.fetch_add(1); }, "dependent", {poison});
+
+    try {
+        scheduler.run(std::move(graph));
+        FAIL() << "expected the root task's exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "poisoned root");
+    }
+    EXPECT_EQ(ran.load(), 0);
+    // Only the root executed; its dependents were drained as skips.
+    EXPECT_EQ(scheduler.tasksExecuted() - executed_before, 1);
+}
+
+TEST(FleetScheduler, PersistentWorkersAreReusedAcrossBatches)
+{
+    sched::FleetScheduler scheduler(3);
+    EXPECT_EQ(scheduler.workers(), 3);
+    const long long spawned = scheduler.threadsSpawned();
+    for (int batch = 0; batch < 5; ++batch)
+        scheduler.parallelFor(16, [](std::size_t) {});
+    // The satellite contract: repeated batches ride the same pool — the
+    // scheduler never creates a thread after construction.
+    EXPECT_EQ(scheduler.threadsSpawned(), spawned);
+    EXPECT_GE(scheduler.tasksExecuted(), 5 * 16);
+}
+
+TEST(FleetScheduler, DefaultWorkersParsesEnvDefensively)
+{
+    const char *saved = std::getenv("EBS_JOBS");
+    const std::string saved_value = saved ? saved : "";
+
+    ::setenv("EBS_JOBS", "6", 1);
+    EXPECT_EQ(sched::FleetScheduler::defaultWorkers(), 6);
+    // The runner derives its budget from the same parser.
+    EXPECT_EQ(runner::EpisodeRunner::defaultJobs(), 6);
+    for (const char *bad : {"zero", "0", "-3", "6x", "", "9999"}) {
+        ::setenv("EBS_JOBS", bad, 1);
+        EXPECT_GE(sched::FleetScheduler::defaultWorkers(), 1) << bad;
+    }
+    ::unsetenv("EBS_JOBS");
+    EXPECT_GE(sched::FleetScheduler::defaultWorkers(), 1);
+
+    if (saved)
+        ::setenv("EBS_JOBS", saved_value.c_str(), 1);
+}
+
+/**
+ * A batch that exercises every coordinator paradigm with the
+ * parallel-agents pipeline enabled — the configuration whose per-agent
+ * phase compute fans out as nested subtasks — pinned to `scheduler`.
+ */
+std::vector<runner::EpisodeJob>
+parallelAgentsBatch(sched::FleetScheduler *scheduler)
+{
+    std::vector<runner::EpisodeJob> jobs;
+    // RoCo/HMAS: decentralized dialogue; MindAgent: centralized;
+    // EmbodiedGPT: single-agent (nothing to fan out, still must agree).
+    for (const char *name : {"RoCo", "HMAS", "MindAgent", "EmbodiedGPT"}) {
+        const auto &spec = workloads::workload(name);
+        for (int seed = 1; seed <= 2; ++seed) {
+            runner::EpisodeJob job;
+            job.workload = &spec;
+            job.config = spec.config;
+            job.difficulty = env::Difficulty::Easy;
+            job.seed = runner::episodeSeed(seed);
+            job.record_tokens = true;
+            job.pipeline.parallel_agents = true;
+            job.scheduler = scheduler;
+            jobs.push_back(job);
+
+            // Rec. 8 on top: the planning phase then carries a genuine
+            // cross-agent dependency and must fall back to the serial
+            // ordered path — results still cannot depend on the pool.
+            job.pipeline.comm_on_demand = true;
+            jobs.push_back(std::move(job));
+        }
+    }
+    return jobs;
+}
+
+TEST(SchedulerDeterminism, EpisodesBitIdenticalAcrossPoolSizes)
+{
+    // Serial reference: every phase inline on the calling thread.
+    sched::FleetScheduler serial_pool(1);
+    const auto serial =
+        runner::EpisodeRunner(1, &serial_pool)
+            .run(parallelAgentsBatch(&serial_pool));
+
+    const int hw = std::max(
+        2u, std::thread::hardware_concurrency()); // >= 2 so phases fan out
+    for (const int pool_size : {4, static_cast<int>(hw)}) {
+        SCOPED_TRACE("pool size " + std::to_string(pool_size));
+        sched::FleetScheduler pool(pool_size);
+        const auto scheduled =
+            runner::EpisodeRunner(pool_size, &pool)
+                .run(parallelAgentsBatch(&pool));
+        ASSERT_EQ(scheduled.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i) {
+            SCOPED_TRACE("job " + std::to_string(i));
+            expectEpisodeIdentical(serial[i], scheduled[i]);
+        }
+    }
+}
+
+TEST(SchedulerDeterminism, NestedPhasesCompleteOnASaturatedPool)
+{
+    // Episodes and their per-agent subtasks share one pool with every
+    // worker already occupied by an episode: the tightest deadlock
+    // scenario a gated parallel phase can reach (a 1-worker pool runs
+    // phases inline by design; raw nested submission at pool size 1 is
+    // covered by NestedSubmissionCannotDeadlockAtPoolSizeOne). Both
+    // episode tasks must drive their own per-agent fan-outs to
+    // completion via help-execution and stay bit-identical to the
+    // serial reference.
+    sched::FleetScheduler pool(2);
+    const auto batch = parallelAgentsBatch(&pool);
+    const auto nested = runner::EpisodeRunner(2, &pool).run(batch);
+    const auto serial = runner::EpisodeRunner(1, &pool).run(batch);
+    ASSERT_EQ(nested.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        SCOPED_TRACE("job " + std::to_string(i));
+        expectEpisodeIdentical(serial[i], nested[i]);
+    }
+}
+
+TEST(SchedulerDeterminism, RunnerDeliversResultsInSubmissionOrder)
+{
+    sched::FleetScheduler pool(4);
+    std::vector<runner::EpisodeJob> jobs;
+    for (int i = 0; i < 24; ++i) {
+        runner::EpisodeJob job;
+        job.seed = static_cast<std::uint64_t>(500 + i);
+        job.custom = [](const core::EpisodeOptions &options) {
+            core::EpisodeResult r;
+            r.steps = static_cast<int>(options.seed);
+            return r;
+        };
+        jobs.push_back(std::move(job));
+    }
+    const auto results = runner::EpisodeRunner(4, &pool).run(jobs);
+    ASSERT_EQ(results.size(), jobs.size());
+    for (int i = 0; i < 24; ++i)
+        EXPECT_EQ(results[static_cast<std::size_t>(i)].steps, 500 + i);
+}
+
+TEST(SchedulerDeterminism, RunnerPropagatesEpisodeExceptions)
+{
+    sched::FleetScheduler pool(2);
+    std::vector<runner::EpisodeJob> jobs(6);
+    for (auto &job : jobs)
+        job.custom = [](const core::EpisodeOptions &) -> core::EpisodeResult {
+            throw std::runtime_error("episode exploded");
+        };
+    EXPECT_THROW(runner::EpisodeRunner(4, &pool).run(jobs),
+                 std::runtime_error);
+}
+
+TEST(SchedulerDeterminism, RunnerBatchesReuseThePersistentPool)
+{
+    sched::FleetScheduler pool(3);
+    const runner::EpisodeRunner runner(3, &pool);
+    const long long spawned = pool.threadsSpawned();
+
+    const auto &spec = workloads::workload("RoCo");
+    std::vector<runner::EpisodeJob> jobs;
+    for (int seed = 1; seed <= 3; ++seed) {
+        runner::EpisodeJob job;
+        job.workload = &spec;
+        job.config = spec.config;
+        job.difficulty = env::Difficulty::Easy;
+        job.seed = runner::episodeSeed(seed);
+        job.pipeline.parallel_agents = true;
+        job.scheduler = &pool;
+        jobs.push_back(std::move(job));
+    }
+    const auto first = runner.run(jobs);
+    const auto second = runner.run(jobs);
+    EXPECT_EQ(pool.threadsSpawned(), spawned);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i)
+        expectEpisodeIdentical(first[i], second[i]);
+}
+
+} // namespace
