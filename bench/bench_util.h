@@ -161,6 +161,43 @@ emitScalarMetric(const std::string &bench_case, const std::string &name,
 }
 
 /**
+ * Fraction of sequential step latency saved by the charged-batching
+ * ablation (`batch_llm_calls`), from the two runs' s/step. Sub-epsilon
+ * ratios are float noise from the reassociated clock sums, not a real
+ * (anti-)saving, and are reported as exactly zero — the single
+ * definition behind every suite's `batch_charge_saved_pct`.
+ */
+inline double
+chargedSavedFraction(double sequential_s_per_step,
+                     double charged_s_per_step)
+{
+    if (sequential_s_per_step <= 0.0)
+        return 0.0;
+    const double saved = 1.0 - charged_s_per_step / sequential_s_per_step;
+    return std::abs(saved) < 1e-9 ? 0.0 : saved;
+}
+
+/**
+ * Emit the charged-batching metric pair for one case — the charged
+ * s/step (`batched_s_per_step`) and its saving versus the sequential
+ * run (`batch_charge_saved_pct`), both gated by metricDirection() —
+ * and return the saved fraction for the suite's own table. One
+ * definition, so every suite reports the ablation identically.
+ */
+inline double
+emitChargedMetrics(const std::string &bench_case,
+                   double sequential_s_per_step,
+                   double charged_s_per_step)
+{
+    const double saved =
+        chargedSavedFraction(sequential_s_per_step, charged_s_per_step);
+    emitScalarMetric(bench_case, "batched_s_per_step",
+                     charged_s_per_step);
+    emitScalarMetric(bench_case, "batch_charge_saved_pct", 100.0 * saved);
+    return saved;
+}
+
+/**
  * Report what the process-wide engine service saw over this suite: every
  * episode's LLM traffic routes through LlmEngineService::shared() by
  * default, so after the suite's fan-outs this is a fleet-level view of

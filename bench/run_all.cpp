@@ -48,7 +48,10 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <limits>
+#include <map>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -291,7 +294,8 @@ void
 writeTimeline(const fs::path &path,
               const std::vector<ebs::sched::TaskTiming> &timings,
               const std::vector<SuiteResult> &results,
-              const FleetSummary &s)
+              const FleetSummary &s,
+              const std::vector<std::size_t> &order)
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f) {
@@ -313,16 +317,93 @@ writeTimeline(const fs::path &path,
                  s.makespan_s, s.busy_s, s.utilization,
                  timings.empty() ? "" : timings[s.straggler].label.c_str());
     for (std::size_t i = 0; i < timings.size(); ++i) {
+        // Timings are in submission (schedule) order; map each back to
+        // its suite's result slot.
+        const SuiteResult &result = results[order[i]];
         std::fprintf(f,
                      "%s\n    {\"name\": \"%s\", \"start_s\": %.6f, "
                      "\"end_s\": %.6f, \"wall_seconds\": %.6f, "
                      "\"exit_code\": %d}",
                      i > 0 ? "," : "", timings[i].label.c_str(),
                      timings[i].start_s, timings[i].end_s,
-                     timings[i].duration(), results[i].exit_code);
+                     timings[i].duration(), result.exit_code);
     }
     std::fprintf(f, "\n  ]\n}\n");
     std::fclose(f);
+}
+
+/**
+ * Per-suite wall-clock of a previous fleet run, read back from the
+ * BENCH_timeline.json the run wrote. Used to seed the schedule order:
+ * submitting the longest suites first shaves the straggler tail versus
+ * the default alphabetical order (a long suite started last overhangs
+ * the makespan by almost its whole duration). The parser is a minimal
+ * scan over the file this binary itself writes — on any mismatch it
+ * returns an empty map and the schedule falls back to list order.
+ */
+std::map<std::string, double>
+readTimelineDurations(const fs::path &path)
+{
+    std::map<std::string, double> durations;
+    std::ifstream in(path);
+    if (!in)
+        return durations;
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str();
+
+    static const std::string kName = "\"name\": \"";
+    static const std::string kWall = "\"wall_seconds\": ";
+    std::size_t pos = 0;
+    while ((pos = text.find(kName, pos)) != std::string::npos) {
+        pos += kName.size();
+        const std::size_t name_end = text.find('"', pos);
+        if (name_end == std::string::npos)
+            break;
+        const std::string name = text.substr(pos, name_end - pos);
+        const std::size_t wall_at = text.find(kWall, name_end);
+        const std::size_t next_name = text.find(kName, name_end);
+        // The wall_seconds must belong to this entry, not a later one.
+        if (wall_at == std::string::npos ||
+            (next_name != std::string::npos && wall_at > next_name)) {
+            pos = name_end;
+            continue;
+        }
+        const double wall =
+            std::strtod(text.c_str() + wall_at + kWall.size(), nullptr);
+        if (wall > 0.0)
+            durations[name] = wall;
+        pos = name_end;
+    }
+    return durations;
+}
+
+/**
+ * The order suite tasks are submitted to the scheduler: previous-run
+ * longest first (suites absent from the previous timeline are treated
+ * as unknown-and-possibly-long and go first, keeping their relative
+ * order), or plain list order when no usable timeline exists.
+ */
+std::vector<std::size_t>
+scheduleOrder(const std::vector<fs::path> &binaries,
+              const std::map<std::string, double> &durations)
+{
+    std::vector<std::size_t> order(binaries.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    if (durations.empty())
+        return order;
+    const auto duration_of = [&](std::size_t i) {
+        const auto it = durations.find(binaries[i].filename().string());
+        return it == durations.end()
+                   ? std::numeric_limits<double>::infinity()
+                   : it->second;
+    };
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return duration_of(a) > duration_of(b);
+                     });
+    return order;
 }
 
 /** Split a comma-separated list, dropping empty items. */
@@ -505,6 +586,17 @@ main(int argc, char **argv)
     std::vector<SuiteResult> results(binaries.size());
     std::mutex print_mutex;
 
+    // Seed the submission order from the previous run's timeline
+    // (longest suite first): the scheduler starts tasks in submission
+    // order, so known stragglers begin immediately instead of last.
+    const auto previous_durations = readTimelineDurations(timeline_path);
+    const std::vector<std::size_t> order =
+        scheduleOrder(binaries, previous_durations);
+    if (!previous_durations.empty())
+        std::printf("[run_all] schedule seeded from %s "
+                    "(longest suite first)\n",
+                    timeline_path.c_str());
+
     // One work-graph for the whole fleet: a node per suite, no edges —
     // the scheduler packs them onto `concurrent` pool threads and its
     // timings become the straggler report. (Each node blocks in wait4
@@ -512,7 +604,7 @@ main(int argc, char **argv)
     // placeholders for the child's budget share.)
     ebs::sched::FleetScheduler scheduler(concurrent);
     ebs::sched::TaskGraph graph;
-    for (std::size_t i = 0; i < binaries.size(); ++i) {
+    for (const std::size_t i : order) {
         const fs::path &binary = binaries[i];
         const fs::path log_path =
             log_dir / (binary.filename().string() + ".log");
@@ -550,7 +642,7 @@ main(int argc, char **argv)
                         ? 100.0 * straggler.duration() / summary.makespan_s
                         : 0.0);
     }
-    writeTimeline(timeline_path, timings, results, summary);
+    writeTimeline(timeline_path, timings, results, summary, order);
 
     writeJson(out_path, results, smoke);
     std::printf("[run_all] wrote %s (%zu suites, %d failed)\n",

@@ -125,8 +125,18 @@ struct PipelineOptions
      * (Rec. 6); ratio of retained tokens. */
     double context_compression = 1.0;
 
-    /** Batch the per-agent LLM calls of one step into a single batched
-     * inference (Rec. 1). Only affects same-model calls. */
+    /**
+     * Batch the same-backend LLM calls of one coordinator phase into a
+     * single joint inference (Rec. 1) and charge the episode clock its
+     * `llm::jointBatchTime` — summed prefill + longest decode + one mean
+     * RTT, clamped at the sequential sum — instead of the members'
+     * individually sampled latencies. Responses are untouched (sampling
+     * streams are identical either way), so only `sim_seconds` changes.
+     * Batching is phase-granular: whatever one flush window assembles is
+     * priced as one batch per backend. Requires an engine-service
+     * session that assembles batches (the default); on the legacy
+     * serviceless path the switch is inert.
+     */
     bool batch_llm_calls = false;
 };
 

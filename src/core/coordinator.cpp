@@ -44,7 +44,14 @@ class Harness
           // a handle on it.
           llm_session_(options.engine_service != nullptr
                            ? options.engine_service->openSession()
-                           : llm::EngineSession())
+                           : llm::EngineSession()),
+          // Rec. 1 end-to-end: the ablation charges real joint-batch
+          // latency to the clock, which needs a session that actually
+          // assembles batches. Without one (legacy path, or a service
+          // built with batching=false) the switch is inert — there is
+          // nothing to batch, so every call stays at its sequential cost.
+          charged_batching_(options.pipeline.batch_llm_calls &&
+                            llm_session_.batching())
     {
         const int n = env_.world().agentCount();
         for (int i = 0; i < n; ++i) {
@@ -88,8 +95,26 @@ class Harness
      * phase boundary; coordinators with solo actors (central planner,
      * cluster leads) call it wherever a causal dependency separates their
      * calls from the next batchable group.
+     *
+     * This is also the charging point of the batched-inference ablation:
+     * when `batch_llm_calls` is live, each flushed (phase, backend) group
+     * costs the episode clock its `jointBatchTime` (summed prefill +
+     * longest decode + one RTT, clamped at the sequential sum) instead of
+     * the members' individually sampled latencies, which the phases
+     * withhold from their own clock advance. A group of one is charged
+     * exactly its sequential sampled latency (the jointBatchTime
+     * singleton rule), so batching never invents savings where nothing
+     * co-batches.
      */
-    void flushLlm() { llm_session_.flush(); }
+    void
+    flushLlm()
+    {
+        llm_session_.setNow(clock_.now());
+        llm_session_.flush();
+        const double charge = llm_session_.takePendingCharge();
+        if (charged_batching_)
+            clock_.advance(charge);
+    }
 
     /** True when per-agent compute fans out on scheduler threads. A
      * single-worker pool stays inline: there is no concurrency to win,
@@ -144,6 +169,8 @@ class Harness
 
         double total = 0.0;
         double longest = 0.0;
+        double llm_total = 0.0;
+        double nonllm_longest = 0.0;
         for (std::size_t i = 0; i < n; ++i) {
             agents_[i]->endBufferedTurn();
             const double before = recorder_.grandTotal();
@@ -153,10 +180,20 @@ class Harness
             const double delta = recorder_.grandTotal() - before;
             total += delta;
             longest = std::max(longest, delta);
+            // The agent's sampled LLM latency this phase, read from the
+            // same buffered notes the session replay consumes — when the
+            // batch ablation charges jointBatchTime at the flush, this
+            // share is withheld from the phase's own clock advance.
+            double llm = 0.0;
+            for (const auto &entry : notes_[i].entries)
+                llm += entry.resp.latency_s;
+            llm_total += llm;
+            nonllm_longest =
+                std::max(nonllm_longest, std::max(0.0, delta - llm));
             commit(*agents_[i]);
         }
         flushLlm();
-        advanceBy(total, longest);
+        advanceBy(total, longest, llm_total, nonllm_longest);
     }
 
     /** computePhase() with no per-agent commit step. */
@@ -182,26 +219,47 @@ class Harness
     {
         double total = 0.0;
         double longest = 0.0;
+        double llm_total = 0.0;
+        double nonllm_longest = 0.0;
         for (auto &agent : agents_) {
             const double before = recorder_.grandTotal();
+            const double llm_before = llm_session_.phaseBaseline();
             turn(*agent);
             const double delta = recorder_.grandTotal() - before;
+            // Env-phase turns note their completions into the session
+            // live, so the turn's sampled LLM share is the growth of the
+            // open groups' sequential baseline.
+            const double llm = llm_session_.phaseBaseline() - llm_before;
             total += delta;
             longest = std::max(longest, delta);
+            llm_total += llm;
+            nonllm_longest =
+                std::max(nonllm_longest, std::max(0.0, delta - llm));
         }
         flushLlm();
-        advanceBy(total, longest);
+        advanceBy(total, longest, llm_total, nonllm_longest);
     }
 
-    /** Run a single-actor phase (e.g., the central planner). */
+    /** Run a single-actor phase (e.g., the central planner). Under
+     * charged batching the actor's sampled LLM latency is withheld here
+     * and charged at the next flush instead — that is what lets the
+     * hierarchical coordinator's independent cluster-lead plans, each
+     * issued in its own soloPhase, cost one cross-cluster jointBatchTime
+     * rather than a serial sum. */
     template <typename Fn>
     void
     soloPhase(Fn &&body)
     {
         const double before = recorder_.grandTotal();
+        const double llm_before = llm_session_.phaseBaseline();
         body();
         const double delta = recorder_.grandTotal() - before;
-        clock_.advance(delta);
+        if (charged_batching_) {
+            const double llm = llm_session_.phaseBaseline() - llm_before;
+            clock_.advance(std::max(0.0, delta - llm));
+        } else {
+            clock_.advance(delta);
+        }
     }
 
     /** Finish bookkeeping for one global step; true when episode is over. */
@@ -217,7 +275,14 @@ class Harness
     finish(bool success, const llm::LlmUsage &extra = {})
     {
         EpisodeResult result = partial_;
+        // takeLog() flushes any still-open groups (coordinators flush at
+        // every phase boundary, so normally there are none); claim their
+        // charge before the clock is read so no batch goes uncharged.
+        llm_session_.setNow(clock_.now());
         result.llm_batches = llm_session_.takeLog();
+        const double charge = llm_session_.takePendingCharge();
+        if (charged_batching_)
+            clock_.advance(charge);
         result.success = success;
         result.sim_seconds = clock_.now();
         result.final_progress = env_.task().progress(env_.world());
@@ -256,14 +321,41 @@ class Harness
     const PipelineOptions &pipeline() const { return options_.pipeline; }
 
   private:
+    /**
+     * Advance the episode clock for one phase. `total`/`longest` cover
+     * every charge of the phase (per-agent sums and max); `llm_total` is
+     * the sampled-LLM share of `total` and `nonllm_longest` the max over
+     * agents of their non-LLM share.
+     *
+     * The two ablations compose explicitly instead of sharing a branch:
+     *
+     *  - `parallel_agents` concurrent per-agent pipelines cost the
+     *    slowest agent plus a small serial residue (the recorder still
+     *    holds the full work done);
+     *  - `batch_llm_calls` (when live — see charged_batching_) charges
+     *    each (phase, backend) batch its jointBatchTime at the flush
+     *    point, so this function only advances the *non-LLM* remainder —
+     *    serially summed unless parallel_agents also applies its
+     *    max-over-agents rule to it. Batching alone must not discount
+     *    motion/planning/actuation latency, which the old shared branch
+     *    silently did.
+     */
     void
-    advanceBy(double total, double longest)
+    advanceBy(double total, double longest, double llm_total,
+              double nonllm_longest)
     {
-        if (options_.pipeline.parallel_agents ||
-            options_.pipeline.batch_llm_calls) {
-            // Concurrent per-agent pipelines (or batched inference): the
-            // wall-clock cost is the slowest agent plus a small serial
-            // residue; the recorder still holds the full work done.
+        if (charged_batching_) {
+            const double nonllm_total = std::max(0.0, total - llm_total);
+            if (options_.pipeline.parallel_agents) {
+                const double slowest =
+                    std::min(nonllm_longest, nonllm_total);
+                clock_.advance(slowest + 0.15 * (nonllm_total - slowest));
+            } else {
+                clock_.advance(nonllm_total);
+            }
+            return;
+        }
+        if (options_.pipeline.parallel_agents) {
             clock_.advance(longest + 0.15 * (total - longest));
         } else {
             clock_.advance(total);
@@ -277,6 +369,9 @@ class Harness
     sim::SimClock clock_;
     stats::LatencyRecorder recorder_;
     llm::EngineSession llm_session_; ///< must outlive agents_ (handles)
+    /** True when `batch_llm_calls` charges real joint-batch latency to
+     * the clock: the ablation is on AND the session assembles batches. */
+    const bool charged_batching_;
     std::vector<std::unique_ptr<Agent>> agents_;
     /** Per-agent phase buffers (reused each computePhase). */
     std::vector<stats::LatencyRecorder> scratch_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <cmath>
+#include <limits>
 #include <map>
 #include <tuple>
 
@@ -229,6 +231,8 @@ EngineSession::flush()
 {
     for (auto &group : open_) {
         group.batched_s = jointCompletionTime(group);
+        group.sim_time_s = now_s_;
+        pending_charge_s_ += group.batched_s;
         log_.push_back(group);
     }
     if (service_ != nullptr && (!pending_usage_.empty() || !open_.empty()))
@@ -236,6 +240,23 @@ EngineSession::flush()
     pending_usage_.clear();
     open_.clear();
     ++phase_;
+}
+
+double
+EngineSession::phaseBaseline() const
+{
+    double baseline = 0.0;
+    for (const auto &group : open_)
+        baseline += group.baseline_s;
+    return baseline;
+}
+
+double
+EngineSession::takePendingCharge()
+{
+    const double charge = pending_charge_s_;
+    pending_charge_s_ = 0.0;
+    return charge;
 }
 
 void
@@ -367,20 +388,52 @@ foldBatchLog(std::span<const BatchRecord> log)
 BatchStats
 foldCrossEpisodeBatches(std::span<const std::vector<BatchRecord>> logs)
 {
+    return foldCrossEpisodeBatches(logs,
+                                   std::numeric_limits<double>::infinity());
+}
+
+BatchStats
+foldCrossEpisodeBatches(std::span<const std::vector<BatchRecord>> logs,
+                        double window_s)
+{
     // Merge per-episode batches keyed by (step, phase, backend): the same
     // pipeline stage of episodes advancing in lockstep shares one joint
     // inference. std::map keeps the fold order deterministic — backend
     // ids are stable profile hashes, so the key (and with it the float
     // summation order) never depends on registration order.
-    std::map<std::tuple<int, int, BackendId>, BatchRecord> merged;
+    //
+    // The admission window makes the merge latency-aware: a record joins
+    // an existing super-batch only when its arrival instant lies within
+    // `window_s` of the arrival that opened the group; otherwise it opens a new
+    // super-batch under the same key. With an infinite window every key
+    // collapses to one group — the lockstep fold — and any finite window
+    // is a partition refinement of it, so windowed savings never exceed
+    // the lockstep estimate (summed subgroup joint times >= the merged
+    // joint time, clamp included).
+    struct Cluster
+    {
+        BatchRecord super;
+        double anchor_s = 0.0; ///< arrival instant that opened the group
+    };
+    std::map<std::tuple<int, int, BackendId>, std::vector<Cluster>> merged;
     for (const auto &log : logs) {
         for (const auto &record : log) {
             const auto key = std::make_tuple(record.step, record.phase,
                                              record.backend);
-            auto [it, inserted] = merged.try_emplace(key, record);
-            if (inserted)
+            auto &clusters = merged[key];
+            Cluster *home = nullptr;
+            for (auto &cluster : clusters) {
+                if (std::abs(record.sim_time_s - cluster.anchor_s) <=
+                    window_s) {
+                    home = &cluster;
+                    break;
+                }
+            }
+            if (home == nullptr) {
+                clusters.push_back({record, record.sim_time_s});
                 continue;
-            BatchRecord &super = it->second;
+            }
+            BatchRecord &super = home->super;
             super.requests += record.requests;
             super.remote = super.remote || record.remote;
             super.rtt_mean_s = std::max(super.rtt_mean_s, record.rtt_mean_s);
@@ -392,10 +445,12 @@ foldCrossEpisodeBatches(std::span<const std::vector<BatchRecord>> logs)
     }
 
     BatchStats stats;
-    for (auto &[key, record] : merged) {
+    for (auto &[key, clusters] : merged) {
         (void)key;
-        record.batched_s = jointCompletionTime(record);
-        stats.add(record);
+        for (auto &cluster : clusters) {
+            cluster.super.batched_s = jointCompletionTime(cluster.super);
+            stats.add(cluster.super);
+        }
     }
     return stats;
 }

@@ -64,6 +64,11 @@ struct BatchRecord
     double max_decode_s = 0.0; ///< longest member decode time
     double baseline_s = 0.0; ///< sequential cost (sampled latency sum)
     double batched_s = 0.0;  ///< modeled joint completion time
+    /** Episode sim-clock time at which the batch's phase flushed (the
+     * batch's modeled arrival instant). Deterministic per seed; the
+     * latency-aware cross-episode fold merges only records whose
+     * arrival instants fall within one admission window. */
+    double sim_time_s = 0.0;
 };
 
 /** Aggregated batching outcome over any set of BatchRecords. */
@@ -215,8 +220,30 @@ class EngineSession
     /** Mark the start of a global episode step (closes open groups). */
     void beginStep(int step);
 
+    /** Episode sim-clock time stamped onto the BatchRecords of the next
+     * flush (their modeled arrival instant). The coordinator harness
+     * sets this right before every phase flush. */
+    void setNow(double now_s) { now_s_ = now_s; }
+
     /** Close every open batch group (coordinators call this per phase). */
     void flush();
+
+    /**
+     * Sampled sequential latency of every completion noted since the
+     * last flush (the summed `baseline_s` of the open groups): the
+     * LLM-attributable share of the current phase. 0 for a detached or
+     * non-batching session.
+     */
+    double phaseBaseline() const;
+
+    /**
+     * Joint completion time (`jointBatchTime`) accumulated by the
+     * groups flushed since the last take — what the phase's batches
+     * cost the episode clock when `batch_llm_calls` charges for real.
+     * Returns the accumulated sum and resets it; the harness claims it
+     * at every flush point so each batch is charged exactly once.
+     */
+    double takePendingCharge();
 
     /**
      * Re-issue the notes an agent deferred during a parallel phase turn,
@@ -250,6 +277,8 @@ class EngineSession
     LlmEngineService *service_ = nullptr;
     int step_ = 0;
     int phase_ = 0;
+    double now_s_ = 0.0;           ///< arrival stamp for the next flush
+    double pending_charge_s_ = 0.0; ///< flushed batched_s not yet claimed
     std::vector<BatchRecord> open_; ///< one open group per touched backend
     std::vector<BatchRecord> log_;
     /** Usage staged since the last flush, one slot per touched backend. */
@@ -370,6 +399,29 @@ BatchStats foldBatchLog(std::span<const BatchRecord> log);
  */
 BatchStats
 foldCrossEpisodeBatches(std::span<const std::vector<BatchRecord>> logs);
+
+/**
+ * Latency-aware variant of the cross-episode fold: episodes only start
+ * in lockstep — their clocks drift apart as steps diverge — so two
+ * same-(step, phase, backend) batches can really share one joint
+ * inference only if they arrive at the backend around the same time.
+ * Records merge only when their modeled arrival instants
+ * (`BatchRecord::sim_time_s`) fall within `window_s` seconds of the
+ * arrival that opened the group (a backend admission window anchored at
+ * the group's first-visited record; records are visited in
+ * episode-submission order, so the anchor is deterministic).
+ *
+ * `window_s = infinity` reproduces the lockstep fold above exactly;
+ * any finite window yields a partition refinement of the lockstep
+ * merge, so its modeled savings are <= the lockstep savings — a
+ * conservative estimate instead of a lockstep-optimistic one. The fold
+ * stays pure and deterministic at any worker count (records are
+ * visited in episode-submission order, clusters are keyed by the
+ * stable batch key).
+ */
+BatchStats
+foldCrossEpisodeBatches(std::span<const std::vector<BatchRecord>> logs,
+                        double window_s);
 
 } // namespace ebs::llm
 

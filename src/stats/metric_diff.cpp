@@ -311,12 +311,15 @@ metricDirection(const std::string &key)
     // Higher is better.
     if (key == "success_rate" || key == "speedup" ||
         key == "batch_occupancy" || key == "cross_episode_occupancy" ||
-        key == "latency_saved_pct" || key == "cross_episode_saved_pct")
+        key == "latency_saved_pct" || key == "cross_episode_saved_pct" ||
+        key == "batch_charge_saved_pct" ||
+        key == "cross_episode_windowed_occupancy" ||
+        key == "cross_episode_windowed_saved_pct")
         return MetricDirection::HigherIsBetter;
     // Lower is better: cost-like metrics bench_util.h emits.
     if (key == "s_per_step" || key == "runtime_min" ||
         key == "avg_steps" || key == "llm_calls_per_episode" ||
-        key == "tokens_per_episode")
+        key == "tokens_per_episode" || key == "batched_s_per_step")
         return MetricDirection::LowerIsBetter;
     // Calibration targets: these reproduce specific paper values
     // (LLM latency share ~0.70, memory ablation ~1.61x steps, ...), so

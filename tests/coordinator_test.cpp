@@ -1,3 +1,5 @@
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "core/coordinator.h"
@@ -208,6 +210,127 @@ TEST(Decentralized, ParallelAgentsShortenWallClock)
     EXPECT_LT(parallel.secondsPerStep(), sequential.secondsPerStep());
     // Work done (recorder totals) stays comparable; only makespan shrinks.
     EXPECT_LT(parallel.sim_seconds, parallel.latency.grandTotal());
+}
+
+TEST(Decentralized, ClockComposesBatchAndParallelDiscounts)
+{
+    // Regression pin for the advanceBy split: serial, batch-only,
+    // parallel-only, and both. The ablations never touch behavior —
+    // identical steps, responses, and recorder totals — only the clock.
+    AgentConfig config = goodConfig();
+    config.has_communication = true;
+
+    auto run = [&](bool parallel, bool batch) {
+        EpisodeOptions options;
+        options.seed = 35;
+        options.pipeline.parallel_agents = parallel;
+        options.pipeline.batch_llm_calls = batch;
+        envs::TransportEnv environment(env::Difficulty::Easy, 3,
+                                       sim::Rng(options.seed).fork(7));
+        return runDecentralized(environment, config, options);
+    };
+    const auto serial = run(false, false);
+    const auto batch_only = run(false, true);
+    const auto parallel_only = run(true, false);
+    const auto both = run(true, true);
+
+    for (const auto *r : {&batch_only, &parallel_only, &both}) {
+        EXPECT_EQ(r->steps, serial.steps);
+        EXPECT_EQ(r->success, serial.success);
+        EXPECT_EQ(r->llm.calls, serial.llm.calls);
+        EXPECT_EQ(r->llm.total_latency_s, serial.llm.total_latency_s);
+        EXPECT_EQ(r->latency.grandTotal(), serial.latency.grandTotal());
+    }
+
+    // Serial charges the full recorder total.
+    EXPECT_NEAR(serial.sim_seconds, serial.latency.grandTotal(),
+                1e-6 * serial.sim_seconds);
+
+    // Batch-only: non-LLM latency keeps its serial sum — the clock drops
+    // by exactly the joint-batch savings of the assembled batches, NOT by
+    // the parallel-pipelines concurrency discount (the old shared branch
+    // silently discounted motion/planning costs too).
+    double savings = 0.0;
+    for (const auto &record : batch_only.llm_batches)
+        savings += record.baseline_s - record.batched_s;
+    EXPECT_GT(savings, 0.0);
+    EXPECT_NEAR(batch_only.sim_seconds, serial.sim_seconds - savings,
+                1e-9 * serial.sim_seconds);
+
+    // Parallel-only keeps the max-over-agents rule on the full phase
+    // latency; combining both ablations must stack the non-LLM discount
+    // on top of the batch charge.
+    EXPECT_LT(parallel_only.sim_seconds, serial.sim_seconds);
+    EXPECT_LT(both.sim_seconds, batch_only.sim_seconds);
+    EXPECT_LT(both.sim_seconds, serial.sim_seconds);
+}
+
+TEST(Decentralized, ChargedBatchLatencyMatchesJointBatchTime)
+{
+    // Acceptance pin: a 2-agent episode with batch_llm_calls on charges
+    // the clock min(summed prefill + longest decode [+ one RTT],
+    // sequential sum) per (phase, backend) batch — recomputed here from
+    // each record's raw fields, and reconciled against the clock total.
+    AgentConfig config = goodConfig();
+    config.has_communication = true;
+    EpisodeOptions options;
+    options.seed = 37;
+    options.pipeline.batch_llm_calls = true;
+    envs::TransportEnv environment(env::Difficulty::Easy, 2,
+                                   sim::Rng(options.seed).fork(7));
+    const auto result = runDecentralized(environment, config, options);
+
+    ASSERT_FALSE(result.llm_batches.empty());
+    double baseline_total = 0.0;
+    double batched_total = 0.0;
+    bool saw_cross_agent = false;
+    for (const auto &record : result.llm_batches) {
+        double joint = record.prefill_s + record.max_decode_s;
+        if (record.remote)
+            joint += record.rtt_mean_s;
+        const double expected = record.requests <= 1
+                                    ? record.baseline_s
+                                    : std::min(joint, record.baseline_s);
+        EXPECT_EQ(record.batched_s, expected);
+        baseline_total += record.baseline_s;
+        batched_total += record.batched_s;
+        saw_cross_agent |= record.requests > 1;
+    }
+    EXPECT_TRUE(saw_cross_agent);
+
+    // Every sampled LLM latency flows through exactly one batch...
+    EXPECT_NEAR(baseline_total, result.llm.total_latency_s,
+                1e-9 * baseline_total);
+    // ...so the clock is the recorder total minus the joint-batch
+    // savings: s_per_step now reflects jointBatchTime end-to-end.
+    EXPECT_NEAR(result.sim_seconds,
+                result.latency.grandTotal() -
+                    (baseline_total - batched_total),
+                1e-9 * result.sim_seconds);
+}
+
+TEST(Hierarchical, ChargedBatchingPricesClusterPlansJointly)
+{
+    // The cluster leads' per-cluster joint plans are independent and
+    // flush as one cross-cluster batch; charging must price them at one
+    // jointBatchTime, shrinking the episode clock below the serial sum.
+    AgentConfig config = goodConfig();
+    config.has_communication = true;
+    auto run = [&](bool batch) {
+        EpisodeOptions options;
+        options.seed = 39;
+        options.pipeline.batch_llm_calls = batch;
+        envs::TransportEnv environment(env::Difficulty::Easy, 6,
+                                       sim::Rng(options.seed).fork(7));
+        return runHierarchical(environment, config, options,
+                               /*cluster_size=*/3);
+    };
+    const auto sequential = run(false);
+    const auto charged = run(true);
+    EXPECT_EQ(charged.steps, sequential.steps);
+    EXPECT_EQ(charged.latency.grandTotal(),
+              sequential.latency.grandTotal());
+    EXPECT_LT(charged.sim_seconds, sequential.sim_seconds);
 }
 
 TEST(Hierarchical, SolvesTransportWithClusters)

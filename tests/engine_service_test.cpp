@@ -9,6 +9,7 @@
  */
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -76,6 +77,116 @@ TEST(EngineService, BitIdenticalAcrossEnginePathsAndWorkerCounts)
     }
 }
 
+/** paradigmBatch with the charged-batching ablation switched on (and
+ * optionally parallel per-agent phases stacked on top). */
+std::vector<runner::EpisodeJob>
+chargedBatch(llm::LlmEngineService *service, bool parallel_agents = false)
+{
+    auto jobs = paradigmBatch(service);
+    for (auto &job : jobs) {
+        job.pipeline.batch_llm_calls = true;
+        job.pipeline.parallel_agents = parallel_agents;
+    }
+    return jobs;
+}
+
+TEST(EngineService, ChargedBatchingBitIdenticalAcrossWorkerCounts)
+{
+    // The acceptance sweep for the charged-batch path: with
+    // batch_llm_calls on (alone, and stacked with parallel_agents),
+    // results — including the now-batched sim_seconds — are bitwise
+    // identical at EBS_JOBS ∈ {1, 4, hw}.
+    for (const bool parallel : {false, true}) {
+        SCOPED_TRACE("parallel_agents=" + std::to_string(parallel));
+        llm::LlmEngineService reference_service;
+        const auto reference = runner::EpisodeRunner(1).run(
+            chargedBatch(&reference_service, parallel));
+
+        for (const int workers : {4, runner::EpisodeRunner::defaultJobs()}) {
+            llm::LlmEngineService service;
+            const auto routed = runner::EpisodeRunner(workers).run(
+                chargedBatch(&service, parallel));
+            ASSERT_EQ(routed.size(), reference.size());
+            for (std::size_t i = 0; i < reference.size(); ++i) {
+                SCOPED_TRACE("workers=" + std::to_string(workers) +
+                             " job " + std::to_string(i));
+                test::expectEpisodeIdentical(reference[i], routed[i]);
+            }
+        }
+    }
+}
+
+TEST(EngineService, ChargedBatchingOnlyMovesTheClock)
+{
+    // Charging swaps the clock's LLM cost model, nothing else: every
+    // behavioral field matches the uncharged run, and multi-agent
+    // workloads get strictly cheaper steps.
+    llm::LlmEngineService modeled_service;
+    const auto modeled =
+        runner::EpisodeRunner(1).run(paradigmBatch(&modeled_service));
+    llm::LlmEngineService charged_service;
+    const auto charged =
+        runner::EpisodeRunner(1).run(chargedBatch(&charged_service));
+
+    ASSERT_EQ(charged.size(), modeled.size());
+    bool saw_cheaper = false;
+    for (std::size_t i = 0; i < modeled.size(); ++i) {
+        SCOPED_TRACE("job " + std::to_string(i));
+        EXPECT_EQ(charged[i].success, modeled[i].success);
+        EXPECT_EQ(charged[i].steps, modeled[i].steps);
+        EXPECT_EQ(charged[i].llm.calls, modeled[i].llm.calls);
+        EXPECT_EQ(charged[i].llm.total_latency_s,
+                  modeled[i].llm.total_latency_s);
+        EXPECT_EQ(charged[i].latency.grandTotal(),
+                  modeled[i].latency.grandTotal());
+        EXPECT_LE(charged[i].sim_seconds,
+                  modeled[i].sim_seconds * (1.0 + 1e-12));
+        saw_cheaper |= charged[i].sim_seconds < modeled[i].sim_seconds;
+    }
+    EXPECT_TRUE(saw_cheaper);
+}
+
+TEST(EngineService, SizeOneBatchesChargeExactlySequentialLatency)
+{
+    // Single-agent workload: every phase batch has occupancy 1, so the
+    // jointBatchTime singleton rule must reproduce the sequential clock
+    // — batching cannot invent savings where nothing co-batches.
+    const auto &spec = workloads::workload("EmbodiedGPT");
+    auto jobs_for = [&](llm::LlmEngineService *service, bool charged) {
+        std::vector<runner::EpisodeJob> jobs;
+        for (int seed = 1; seed <= 3; ++seed) {
+            runner::EpisodeJob job;
+            job.workload = &spec;
+            job.config = spec.config;
+            job.difficulty = env::Difficulty::Easy;
+            job.seed = runner::episodeSeed(seed);
+            job.engine_service = service;
+            job.pipeline.batch_llm_calls = charged;
+            jobs.push_back(std::move(job));
+        }
+        return jobs;
+    };
+    llm::LlmEngineService off_service;
+    const auto off =
+        runner::EpisodeRunner(1).run(jobs_for(&off_service, false));
+    llm::LlmEngineService on_service;
+    const auto on =
+        runner::EpisodeRunner(1).run(jobs_for(&on_service, true));
+
+    ASSERT_EQ(on.size(), off.size());
+    for (std::size_t i = 0; i < on.size(); ++i) {
+        SCOPED_TRACE("job " + std::to_string(i));
+        EXPECT_EQ(on[i].steps, off[i].steps);
+        ASSERT_FALSE(on[i].llm_batches.empty());
+        for (const auto &record : on[i].llm_batches) {
+            EXPECT_EQ(record.requests, 1);
+            EXPECT_EQ(record.batched_s, record.baseline_s);
+        }
+        EXPECT_NEAR(on[i].sim_seconds, off[i].sim_seconds,
+                    1e-9 * off[i].sim_seconds);
+    }
+}
+
 TEST(EngineService, LegacyPathProducesNoBatchLog)
 {
     const auto legacy =
@@ -120,6 +231,7 @@ TEST(EngineService, BatchAssemblyIsDeterministicAcrossWorkerCounts)
             EXPECT_EQ(a[r].max_decode_s, b[r].max_decode_s);
             EXPECT_EQ(a[r].baseline_s, b[r].baseline_s);
             EXPECT_EQ(a[r].batched_s, b[r].batched_s);
+            EXPECT_EQ(a[r].sim_time_s, b[r].sim_time_s);
         }
     }
 
@@ -167,6 +279,83 @@ TEST(EngineService, MultiAgentWorkloadsBatchAcrossAgents)
     EXPECT_GT(folded.cross_agent_batches, 0);
     EXPECT_GT(folded.occupancy(), 1.0);
     EXPECT_LT(folded.batched_s, folded.baseline_s);
+}
+
+TEST(EngineService, ChargedBatchingIsInertOnTheLegacyPath)
+{
+    // Without an engine-service session there is nothing to batch, so
+    // the ablation must not touch the clock (the old code wrongly
+    // applied the parallel-pipelines discount here).
+    auto flagged = paradigmBatch(nullptr);
+    for (auto &job : flagged)
+        job.pipeline.batch_llm_calls = true;
+    const auto legacy = runner::EpisodeRunner(1).run(paradigmBatch(nullptr));
+    const auto inert = runner::EpisodeRunner(1).run(flagged);
+    ASSERT_EQ(inert.size(), legacy.size());
+    for (std::size_t i = 0; i < legacy.size(); ++i) {
+        SCOPED_TRACE("job " + std::to_string(i));
+        test::expectEpisodeIdentical(legacy[i], inert[i]);
+    }
+}
+
+TEST(EngineService, MergeWindowFoldIsConservative)
+{
+    llm::LlmEngineService service;
+    const auto episodes =
+        runner::EpisodeRunner(2).run(paradigmBatch(&service));
+
+    std::vector<std::vector<llm::BatchRecord>> logs;
+    llm::BatchStats per_episode;
+    for (const auto &episode : episodes) {
+        // Arrival stamps are populated and non-decreasing in log order
+        // (each flush stamps the episode clock, which only moves
+        // forward).
+        double last = 0.0;
+        for (const auto &record : episode.llm_batches) {
+            EXPECT_GE(record.sim_time_s, last);
+            last = record.sim_time_s;
+        }
+        logs.push_back(episode.llm_batches);
+        per_episode.merge(llm::foldBatchLog(episode.llm_batches));
+    }
+
+    const auto lockstep = llm::foldCrossEpisodeBatches(logs);
+
+    // An infinite window IS the lockstep fold, bitwise.
+    const auto infinite = llm::foldCrossEpisodeBatches(
+        logs, std::numeric_limits<double>::infinity());
+    EXPECT_EQ(infinite.batches, lockstep.batches);
+    EXPECT_EQ(infinite.requests, lockstep.requests);
+    EXPECT_EQ(infinite.baseline_s, lockstep.baseline_s);
+    EXPECT_EQ(infinite.batched_s, lockstep.batched_s);
+
+    // Any finite window refines the lockstep partition: no request is
+    // lost, batch count can only grow, and the modeled savings can only
+    // shrink — conservative instead of lockstep-optimistic.
+    bool saw_refinement = false;
+    for (const double window : {0.0, 15.0, 120.0}) {
+        SCOPED_TRACE("window=" + std::to_string(window));
+        const auto windowed = llm::foldCrossEpisodeBatches(logs, window);
+        EXPECT_EQ(windowed.requests, lockstep.requests);
+        EXPECT_GE(windowed.batches, lockstep.batches);
+        EXPECT_LE(windowed.batches, per_episode.batches);
+        EXPECT_NEAR(windowed.baseline_s, lockstep.baseline_s,
+                    1e-9 * lockstep.baseline_s);
+        EXPECT_LE(windowed.savedSeconds(),
+                  lockstep.savedSeconds() * (1.0 + 1e-9) + 1e-9);
+        saw_refinement |= windowed.batches > lockstep.batches;
+    }
+    EXPECT_TRUE(saw_refinement);
+
+    // Arrival stamps are seed-dependent from the very first phase (the
+    // sense latency precedes the first LLM flush), so a zero window
+    // merges nothing: it degenerates to the per-episode fold, savings
+    // included.
+    const auto zero = llm::foldCrossEpisodeBatches(logs, 0.0);
+    EXPECT_EQ(zero.batches, per_episode.batches);
+    EXPECT_EQ(zero.requests, per_episode.requests);
+    EXPECT_NEAR(zero.savedSeconds(), per_episode.savedSeconds(),
+                1e-9 * per_episode.savedSeconds());
 }
 
 TEST(EngineService, CrossEpisodeFoldMergesLockstepBatches)

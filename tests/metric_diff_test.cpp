@@ -285,7 +285,15 @@ TEST(MetricDiff, DirectionTable)
               MetricDirection::HigherIsBetter);
     EXPECT_EQ(metricDirection("cross_episode_saved_pct"),
               MetricDirection::HigherIsBetter);
+    EXPECT_EQ(metricDirection("batch_charge_saved_pct"),
+              MetricDirection::HigherIsBetter);
+    EXPECT_EQ(metricDirection("cross_episode_windowed_occupancy"),
+              MetricDirection::HigherIsBetter);
+    EXPECT_EQ(metricDirection("cross_episode_windowed_saved_pct"),
+              MetricDirection::HigherIsBetter);
     EXPECT_EQ(metricDirection("s_per_step"),
+              MetricDirection::LowerIsBetter);
+    EXPECT_EQ(metricDirection("batched_s_per_step"),
               MetricDirection::LowerIsBetter);
     EXPECT_EQ(metricDirection("tokens_per_episode"),
               MetricDirection::LowerIsBetter);
