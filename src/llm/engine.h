@@ -119,8 +119,13 @@ double jointBatchTime(int requests, double prefill_s, double max_decode_s,
  * unsynchronized reads/writes of the same counters — sharing one engine
  * across threads is a data race by construction. Cross-thread inference
  * goes through LlmEngineService (engine_service.h), whose per-backend
- * usage aggregation is mutex-guarded; per-episode sampling state stays in
- * episode-confined EngineHandles so no RNG is ever shared.
+ * usage aggregation is mutex-guarded — and compiler-checked: the service's
+ * shared state carries EBS_GUARDED_BY annotations (core/thread_annotations.h)
+ * enforced by the CI Clang `-Wthread-safety` build. LlmEngine itself
+ * deliberately carries no capability annotations: it owns no lock, and
+ * annotating it would misstate the contract — thread confinement here is
+ * guarded dynamically by the TSan job instead. Per-episode sampling state
+ * stays in episode-confined EngineHandles so no RNG is ever shared.
  */
 class LlmEngine
 {

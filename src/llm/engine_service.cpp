@@ -288,7 +288,7 @@ BackendId
 LlmEngineService::backendFor(const ModelProfile &profile)
 {
     const BackendId id = backendIdentity(profile);
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     auto [it, inserted] = backends_.try_emplace(id);
     if (inserted) {
         it->second.name = profile.name;
@@ -303,14 +303,14 @@ LlmEngineService::backendFor(const ModelProfile &profile)
 int
 LlmEngineService::backendCount() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     return static_cast<int>(backends_.size());
 }
 
 std::string
 LlmEngineService::backendName(BackendId backend) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     const auto it = backends_.find(backend);
     assert(it != backends_.end());
     return it != backends_.end() ? it->second.name : std::string();
@@ -319,7 +319,7 @@ LlmEngineService::backendName(BackendId backend) const
 LlmUsage
 LlmEngineService::backendUsage(BackendId backend) const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     const auto it = backends_.find(backend);
     assert(it != backends_.end());
     return it != backends_.end() ? it->second.usage : LlmUsage{};
@@ -328,7 +328,7 @@ LlmEngineService::backendUsage(BackendId backend) const
 LlmUsage
 LlmEngineService::totalUsage() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     LlmUsage total;
     for (const auto &[id, backend] : backends_)
         total += backend.usage;
@@ -338,14 +338,14 @@ LlmEngineService::totalUsage() const
 BatchStats
 LlmEngineService::stats() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     return stats_;
 }
 
 void
 LlmEngineService::reset()
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     for (auto &[id, backend] : backends_)
         backend.usage = LlmUsage{};
     stats_ = BatchStats{};
@@ -356,7 +356,7 @@ LlmEngineService::accountFlush(
     std::span<const std::pair<BackendId, LlmUsage>> usage,
     std::span<const BatchRecord> batches)
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     for (const auto &[backend, staged] : usage) {
         const auto it = backends_.find(backend);
         assert(it != backends_.end());

@@ -4,12 +4,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "core/sync.h"
+#include "core/thread_annotations.h"
 #include "llm/engine.h"
 #include "llm/model_profile.h"
 #include "sim/rng.h"
@@ -299,7 +300,10 @@ class EngineSession
  * drain one lock per coordinator phase (not per completion), keeping
  * the hot path contention-free. Everything stochastic stays in
  * episode-confined handles, so the service never serializes RNG state
- * and never perturbs a sampled stream.
+ * and never perturbs a sampled stream. The contract is compiler-checked:
+ * `backends_` and `stats_` carry EBS_GUARDED_BY(mu_), so the CI Clang
+ * `-Wthread-safety` build hard-errors on any drain or query path that
+ * touches them without the lock.
  *
  * Determinism contract: routing through the service (with batching on or
  * off, at any worker count) yields bit-identical EpisodeResults to the
@@ -327,10 +331,10 @@ class LlmEngineService
      * backend even under a reused name, so usage accounting never
      * silently merges differently-calibrated models.
      */
-    BackendId backendFor(const ModelProfile &profile);
+    BackendId backendFor(const ModelProfile &profile) EBS_EXCLUDES(mu_);
 
-    int backendCount() const;
-    std::string backendName(BackendId backend) const;
+    int backendCount() const EBS_EXCLUDES(mu_);
+    std::string backendName(BackendId backend) const EBS_EXCLUDES(mu_);
 
     /**
      * Fleet-wide usage of one backend (race-free snapshot). Sessions
@@ -338,16 +342,16 @@ class LlmEngineService
      * exact once an episode finishes — mid-phase reads may lag by the
      * calls staged since the last phase boundary.
      */
-    LlmUsage backendUsage(BackendId backend) const;
+    LlmUsage backendUsage(BackendId backend) const EBS_EXCLUDES(mu_);
 
     /** Fleet-wide usage summed over all backends (same freshness). */
-    LlmUsage totalUsage() const;
+    LlmUsage totalUsage() const EBS_EXCLUDES(mu_);
 
     /** Aggregate batching outcome across every session so far. */
-    BatchStats stats() const;
+    BatchStats stats() const EBS_EXCLUDES(mu_);
 
     /** Clear usage counters and batch tallies (backends persist). */
-    void reset();
+    void reset() EBS_EXCLUDES(mu_);
 
     const ServiceConfig &config() const { return config_; }
 
@@ -366,7 +370,7 @@ class LlmEngineService
      * batches — into the shared tallies under a single lock. */
     void
     accountFlush(std::span<const std::pair<BackendId, LlmUsage>> usage,
-                 std::span<const BatchRecord> batches);
+                 std::span<const BatchRecord> batches) EBS_EXCLUDES(mu_);
 
     struct Backend
     {
@@ -375,12 +379,13 @@ class LlmEngineService
         LlmUsage usage;
     };
 
-    mutable std::mutex mu_;
+    mutable core::Mutex mu_;
+    /** Set at construction, immutable after — safe to read lock-free. */
     ServiceConfig config_;
     /** Keyed (and therefore iterated) by stable id, so aggregate float
      * sums over backends accumulate in a scheduling-independent order. */
-    std::map<BackendId, Backend> backends_;
-    BatchStats stats_;
+    std::map<BackendId, Backend> backends_ EBS_GUARDED_BY(mu_);
+    BatchStats stats_ EBS_GUARDED_BY(mu_);
 };
 
 /** Fold one episode's batch log into aggregate stats. */

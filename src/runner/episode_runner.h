@@ -72,7 +72,11 @@ struct EpisodeJob
  * folds are deterministic. Episodes share no mutable state (all simulator
  * state is per-episode and every stochastic draw flows through the job's
  * seed), which makes the results bit-identical regardless of the worker
- * count.
+ * count. The runner therefore owns no lock and carries no capability
+ * annotations (core/thread_annotations.h): disjoint result slots need no
+ * mutex, and the cross-thread machinery it leans on — the FleetScheduler
+ * pool and the LlmEngineService tallies — is annotated and
+ * `-Wthread-safety`-checked at its own layer.
  *
  * `jobs` caps how many of this runner's episodes are in flight at once
  * (the scheduler's pool size always caps globally); for the default
