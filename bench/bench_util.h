@@ -2,7 +2,6 @@
 #define EBS_BENCH_BENCH_UTIL_H
 
 #include <cctype>
-#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -10,6 +9,7 @@
 #include <string>
 
 #include "llm/engine_service.h"
+#include "stats/host_clock.h"
 #include "runner/averaged.h"
 #include "runner/episode_runner.h"
 #include "runner/run_stats.h"
@@ -83,17 +83,17 @@ runAveraged(const workloads::WorkloadSpec &spec,
  * `parallel_agents` episodes fanning per-agent phases onto the fleet
  * scheduler. Host timings depend on EBS_JOBS and machine load, so they
  * must never reach stdout, which stays byte-identical across worker
- * counts (EBS_METRIC lines feed the regression gate).
+ * counts (EBS_METRIC lines feed the regression gate). Reads the host
+ * clock only through stats::hostNow(), the repo's single lint-sanctioned
+ * host-timing site.
  */
 template <typename Fn>
 inline double
 hostSeconds(Fn &&fn)
 {
-    const auto start = std::chrono::steady_clock::now();
+    const double start = stats::hostNow();
     fn();
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         start)
-        .count();
+    return stats::hostNow() - start;
 }
 
 /** Format a double as a JSON number; non-finite values become null so a

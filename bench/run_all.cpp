@@ -42,7 +42,6 @@
 
 #include <algorithm>
 #include <cerrno>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -50,7 +49,6 @@
 #include <fstream>
 #include <limits>
 #include <map>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -61,7 +59,9 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "core/sync.h"
 #include "sched/fleet_scheduler.h"
+#include "stats/host_clock.h"
 
 extern char **environ;
 
@@ -179,7 +179,7 @@ runSuite(const fs::path &binary, const fs::path &log_path,
 
     char *const argv[] = {const_cast<char *>(binary.c_str()), nullptr};
     pid_t pid = -1;
-    const auto start = std::chrono::steady_clock::now();
+    const double start = ebs::stats::hostNow();
     const int rc = ::posix_spawn(&pid, binary.c_str(), &actions, nullptr,
                                  argv, env.envp());
     posix_spawn_file_actions_destroy(&actions);
@@ -196,14 +196,13 @@ runSuite(const fs::path &binary, const fs::path &log_path,
                      std::strerror(errno));
         return result;
     }
-    const auto end = std::chrono::steady_clock::now();
+    const double end = ebs::stats::hostNow();
 
     result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status)
                        : WIFSIGNALED(status)
                            ? 128 + WTERMSIG(status)
                            : -1;
-    result.wall_seconds =
-        std::chrono::duration<double>(end - start).count();
+    result.wall_seconds = end - start;
     result.user_seconds = static_cast<double>(usage.ru_utime.tv_sec) +
                           usage.ru_utime.tv_usec / 1e6;
     result.sys_seconds = static_cast<double>(usage.ru_stime.tv_sec) +
@@ -584,7 +583,7 @@ main(int argc, char **argv)
 
     const ChildEnvironment child_env(smoke, child_jobs);
     std::vector<SuiteResult> results(binaries.size());
-    std::mutex print_mutex;
+    ebs::core::Mutex print_mutex;
 
     // Seed the submission order from the previous run's timeline
     // (longest suite first): the scheduler starts tasks in submission
@@ -611,7 +610,7 @@ main(int argc, char **argv)
         graph.add(
             [&, i, log_path] {
                 results[i] = runSuite(binaries[i], log_path, child_env);
-                std::lock_guard<std::mutex> lock(print_mutex);
+                ebs::core::MutexLock lock(print_mutex);
                 std::printf("[run_all] %-32s exit=%d wall=%.2fs rss=%ldKB\n",
                             results[i].name.c_str(), results[i].exit_code,
                             results[i].wall_seconds, results[i].max_rss_kb);

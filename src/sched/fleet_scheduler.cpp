@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "stats/host_clock.h"
+
 namespace ebs::sched {
 
 TaskGraph::TaskId
@@ -44,11 +46,11 @@ struct FleetScheduler::Execution
     std::exception_ptr error;
     /** Wakes the owning waiter: fires when one of this graph's tasks
      * finishes or becomes ready (so the waiter can help execute it). */
-    std::condition_variable owner_cv;
+    core::CondVar owner_cv;
 };
 
 FleetScheduler::FleetScheduler(int workers)
-    : epoch_(std::chrono::steady_clock::now())
+    : epoch_s_(stats::hostNow())
 {
     const int count = workers > 0 ? workers : defaultWorkers();
     pool_.reserve(static_cast<std::size_t>(count));
@@ -67,10 +69,10 @@ FleetScheduler::spawnWorker()
 FleetScheduler::~FleetScheduler()
 {
     {
-        std::lock_guard<std::mutex> lock(mu_);
+        core::MutexLock lock(mu_);
         stop_ = true;
     }
-    work_cv_.notify_all();
+    work_cv_.notifyAll();
     for (auto &thread : pool_)
         thread.join();
 }
@@ -82,23 +84,21 @@ FleetScheduler::threadsSpawned() const
     // future change tears workers down and respawns them per batch, the
     // pool size would look unchanged while this count grows — which is
     // exactly what the EpisodeRunner's reuse assertion must catch.
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     return spawned_;
 }
 
 long long
 FleetScheduler::tasksExecuted() const
 {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     return executed_;
 }
 
 double
 FleetScheduler::nowSeconds() const
 {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         epoch_)
-        .count();
+    return stats::hostNow() - epoch_s_;
 }
 
 int
@@ -172,9 +172,13 @@ FleetScheduler::finishLocked(Execution &exec, std::size_t task)
     }
 }
 
+// The body drops and re-takes the caller's scoped lock around the task
+// function — a hand-off Clang's analysis cannot express through a
+// by-reference MutexLock, so the body opts out; the EBS_REQUIRES(mu_)
+// contract in the header still checks every call site.
 void
-FleetScheduler::runClaim(std::unique_lock<std::mutex> &lock,
-                         const Claim &claim, int worker)
+FleetScheduler::runClaim(core::MutexLock &lock, const Claim &claim,
+                         int worker) EBS_NO_THREAD_SAFETY_ANALYSIS
 {
     Execution &exec = *claim.exec;
     const std::size_t task = claim.task;
@@ -213,14 +217,14 @@ FleetScheduler::runClaim(std::unique_lock<std::mutex> &lock,
     // each completion. Other graphs' claimability cannot change here.
     // The owner always learns about its graph's progress.
     if (exec.next_ready < exec.ready.size())
-        work_cv_.notify_all();
-    exec.owner_cv.notify_all();
+        work_cv_.notifyAll();
+    exec.owner_cv.notifyAll();
 }
 
 void
 FleetScheduler::workerLoop(int index)
 {
-    std::unique_lock<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     for (;;) {
         Claim claim;
         if (claimLocked(nullptr, claim)) {
@@ -229,7 +233,7 @@ FleetScheduler::workerLoop(int index)
         }
         if (stop_)
             return;
-        work_cv_.wait(lock);
+        work_cv_.wait(mu_, lock);
     }
 }
 
@@ -257,27 +261,28 @@ FleetScheduler::run(TaskGraph graph, int max_parallel)
             exec.ready.push_back(id);
     }
 
-    std::unique_lock<std::mutex> lock(mu_);
-    active_.push_back(&exec);
-    work_cv_.notify_all();
+    {
+        core::MutexLock lock(mu_);
+        active_.push_back(&exec);
+        work_cv_.notifyAll();
 
-    // Help-execute our own graph while it drains. Restricting helping to
-    // the awaited graph keeps the blocked stack bounded (an episode task
-    // never starts an unrelated episode in its own frames) and cannot
-    // deadlock: either this thread finds a ready task to run, or every
-    // remaining task is running on some other thread, which will finish
-    // it and signal owner_cv.
-    while (exec.done < count) {
-        Claim claim;
-        if (claimLocked(&exec, claim)) {
-            runClaim(lock, claim, /*worker=*/-1);
-            continue;
+        // Help-execute our own graph while it drains. Restricting
+        // helping to the awaited graph keeps the blocked stack bounded
+        // (an episode task never starts an unrelated episode in its own
+        // frames) and cannot deadlock: either this thread finds a ready
+        // task to run, or every remaining task is running on some other
+        // thread, which will finish it and signal owner_cv.
+        while (exec.done < count) {
+            Claim claim;
+            if (claimLocked(&exec, claim)) {
+                runClaim(lock, claim, /*worker=*/-1);
+                continue;
+            }
+            exec.owner_cv.wait(mu_, lock);
         }
-        exec.owner_cv.wait(lock);
-    }
 
-    active_.erase(std::find(active_.begin(), active_.end(), &exec));
-    lock.unlock();
+        active_.erase(std::find(active_.begin(), active_.end(), &exec));
+    }
 
     if (exec.error)
         std::rethrow_exception(exec.error);

@@ -1,14 +1,14 @@
 #ifndef EBS_SCHED_FLEET_SCHEDULER_H
 #define EBS_SCHED_FLEET_SCHEDULER_H
 
-#include <chrono>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "core/sync.h"
+#include "core/thread_annotations.h"
 
 namespace ebs::sched {
 
@@ -91,6 +91,14 @@ class TaskGraph
  * rethrown from run() after the graph drains; tasks that were not yet
  * started when the failure happened are skipped (TaskTiming::ran stays
  * false).
+ *
+ * Lock contract (compiler-checked): one mutex, `mu_`, guards every piece
+ * of cross-thread state — the active-execution list, the stop flag, and
+ * the lifetime counters — plus all fields of the per-graph Execution
+ * records while they are registered. The EBS_GUARDED_BY / EBS_REQUIRES
+ * annotations below make Clang's `-Wthread-safety` analysis enforce
+ * this: the CI static-analysis job fails the build on any unlocked
+ * access, so the contract cannot rot into a latent race.
  */
 class FleetScheduler
 {
@@ -111,10 +119,10 @@ class FleetScheduler
      * the persistent pool instead of respawning threads (the
      * EpisodeRunner asserts this around every run).
      */
-    long long threadsSpawned() const;
+    long long threadsSpawned() const EBS_EXCLUDES(mu_);
 
     /** Tasks executed (not skipped) over the scheduler's lifetime. */
-    long long tasksExecuted() const;
+    long long tasksExecuted() const EBS_EXCLUDES(mu_);
 
     /**
      * Execute every task of `graph`, honoring dependency edges, and
@@ -124,7 +132,8 @@ class FleetScheduler
      * globally. Blocking, help-executing, nestable; see class comment
      * for the failure contract.
      */
-    std::vector<TaskTiming> run(TaskGraph graph, int max_parallel = 0);
+    std::vector<TaskTiming> run(TaskGraph graph, int max_parallel = 0)
+        EBS_EXCLUDES(mu_);
 
     /**
      * Convenience fan-out: run `fn(0..count-1)` as an edge-free graph.
@@ -132,7 +141,8 @@ class FleetScheduler
      * per-agent phase compute.
      */
     void parallelFor(std::size_t count,
-                     const std::function<void(std::size_t)> &fn);
+                     const std::function<void(std::size_t)> &fn)
+        EBS_EXCLUDES(mu_);
 
     /** Seconds since this scheduler was constructed (timeline clock). */
     double nowSeconds() const;
@@ -163,31 +173,40 @@ class FleetScheduler
     };
 
     /** Pop a runnable task — from `only` when helping, from any active
-     * execution (oldest graph first) when a worker. Caller holds mu_. */
-    bool claimLocked(Execution *only, Claim &claim);
+     * execution (oldest graph first) when a worker. */
+    bool claimLocked(Execution *only, Claim &claim) EBS_REQUIRES(mu_);
 
-    /** Execute (or skip) a claimed task; releases/reacquires `lock`. */
-    void runClaim(std::unique_lock<std::mutex> &lock, const Claim &claim,
-                  int worker);
+    /** Execute (or skip) a claimed task. Enters and leaves with `lock`
+     * held, but drops it around the task body — lock juggling through a
+     * caller-owned scoped lock, which is why the definition opts out of
+     * the body analysis (callers are still REQUIRES-checked). */
+    void runClaim(core::MutexLock &lock, const Claim &claim, int worker)
+        EBS_REQUIRES(mu_);
 
-    /** Mark a task finished and release its dependents. Holds mu_. */
-    void finishLocked(Execution &exec, std::size_t task);
+    /** Mark a task finished and release its dependents. */
+    void finishLocked(Execution &exec, std::size_t task) EBS_REQUIRES(mu_);
 
     /** Create one pool thread (the only place a thread is ever made;
      * counts into threadsSpawned so a respawn regression trips the
      * runner's reuse assertion instead of passing silently). */
     void spawnWorker();
 
-    void workerLoop(int index);
+    void workerLoop(int index) EBS_EXCLUDES(mu_);
 
-    mutable std::mutex mu_;
-    std::condition_variable work_cv_; ///< wakes idle workers
-    std::vector<Execution *> active_; ///< registration order = priority
+    mutable core::Mutex mu_;
+    core::CondVar work_cv_; ///< wakes idle workers
+    /** Registration order = priority. */
+    std::vector<Execution *> active_ EBS_GUARDED_BY(mu_);
+    /** Populated under mu_ during construction, joined in the destructor,
+     * structurally constant in between — so sized reads (workers()) are
+     * safe lock-free and the field carries no capability. */
     std::vector<std::thread> pool_;
-    bool stop_ = false;
-    long long executed_ = 0;
-    long long spawned_ = 0; ///< thread-creation events, not pool size
-    std::chrono::steady_clock::time_point epoch_;
+    bool stop_ EBS_GUARDED_BY(mu_) = false;
+    long long executed_ EBS_GUARDED_BY(mu_) = 0;
+    /** Thread-creation events, not pool size. */
+    long long spawned_ EBS_GUARDED_BY(mu_) = 0;
+    /** stats::hostNow() at construction (timeline origin). */
+    double epoch_s_ = 0.0;
 };
 
 } // namespace ebs::sched
