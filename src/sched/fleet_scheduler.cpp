@@ -53,6 +53,11 @@ FleetScheduler::FleetScheduler(int workers)
     : epoch_s_(stats::hostNow())
 {
     const int count = workers > 0 ? workers : defaultWorkers();
+    // Construction is single-threaded, but spawnWorker() writes
+    // mu_-guarded counters and each new worker immediately contends on
+    // mu_ — holding the lock across the spawn loop keeps the annotated
+    // contract airtight (workers block until the pool is fully built).
+    core::MutexLock lock(mu_);
     pool_.reserve(static_cast<std::size_t>(count));
     for (int i = 0; i < count; ++i)
         spawnWorker();

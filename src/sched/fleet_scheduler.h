@@ -189,7 +189,7 @@ class FleetScheduler
     /** Create one pool thread (the only place a thread is ever made;
      * counts into threadsSpawned so a respawn regression trips the
      * runner's reuse assertion instead of passing silently). */
-    void spawnWorker();
+    void spawnWorker() EBS_REQUIRES(mu_);
 
     void workerLoop(int index) EBS_EXCLUDES(mu_);
 
