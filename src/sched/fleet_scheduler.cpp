@@ -111,6 +111,10 @@ FleetScheduler::defaultWorkers()
 {
     const unsigned hw = std::thread::hardware_concurrency();
     const int fallback = hw > 0 ? static_cast<int>(hw) : 1;
+    // getenv is not thread-safe against setenv, but nothing in the
+    // process mutates the environment after main() starts; the read is
+    // also memoized by every caller (static init of the shared pools).
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     if (const char *v = std::getenv("EBS_JOBS")) {
         char *end = nullptr;
         const long parsed = std::strtol(v, &end, 10);
