@@ -1,0 +1,4 @@
+// Fixture: malformed suppressions are themselves `lint-allow` findings.
+// EBS_LINT_ALLOW(no-such-rule): the rule name is unknown
+// EBS_LINT_ALLOW(raw-random) missing the colon and reason
+int answer() { return 42; }

@@ -1,0 +1,16 @@
+// Fixture: deterministic idioms — must produce zero findings, including
+// for mentions of std::unordered_map or rand() inside comments and
+// string literals (the lexer strips both before the rules run).
+#include <map>
+#include <string>
+#include <vector>
+
+const char *kBanList = "std::unordered_map rand srand steady_clock";
+
+double fold(const std::map<std::string, double> &by_name) {
+    double sum = 0.0;
+    for (const auto &[name, value] : by_name) {
+        sum += value; // ordered container: deterministic fold
+    }
+    return sum;
+}

@@ -1,0 +1,13 @@
+// Fixture: float-accum-unordered violation (the `+=` on line 10). The
+// container's own unordered-container hits are suppressed so the two
+// rules demonstrably trigger independently.
+#include <unordered_set> // EBS_LINT_ALLOW(unordered-container): fixture needs the header
+
+double total() {
+    double sum = 0.0;
+    // EBS_LINT_ALLOW(unordered-container): fixture isolates the accumulation rule
+    for (const int v : std::unordered_set<int>{1, 2, 3}) {
+        sum += v;
+    }
+    return sum;
+}

@@ -1,0 +1,9 @@
+// Fixture: host-clock violations.
+#include <chrono>
+#include <thread>
+
+double now() {
+    const auto t = std::chrono::steady_clock::now();
+    (void)std::this_thread::get_id();
+    return std::chrono::duration<double>(t.time_since_epoch()).count();
+}

@@ -1,0 +1,11 @@
+// Fixture: pointer-keyed-order violation. Only the pointer-KEYED map
+// (line 8) is a violation; a pointer-valued map keyed on a stable
+// string (line 9) is fine and must not be flagged.
+#include <map>
+#include <string>
+
+int countByNode(int *node) {
+    std::map<int *, int> by_node{{node, 1}};
+    std::map<std::string, int *> by_name{{"n", node}};
+    return static_cast<int>(by_node.size() + by_name.size());
+}

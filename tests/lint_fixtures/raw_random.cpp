@@ -1,0 +1,9 @@
+// Fixture: raw-random violations.
+#include <cstdlib>
+#include <random>
+
+double draw() {
+    std::random_device dev;
+    std::srand(dev());
+    return std::rand() / 2.0;
+}

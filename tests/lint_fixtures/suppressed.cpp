@@ -1,0 +1,18 @@
+// Fixture: one violation per rule, each suppressed (same-line and
+// next-line forms) — must lint clean.
+#include <unordered_map> // EBS_LINT_ALLOW(unordered-container): suppression demo, same-line form
+#include <chrono>
+#include <cstdlib>
+#include <map>
+
+double sample() {
+    // EBS_LINT_ALLOW(raw-random): suppression demo, next-line form
+    const int r = std::rand();
+    // EBS_LINT_ALLOW(host-clock): suppression demo
+    const auto t = std::chrono::steady_clock::now();
+    // EBS_LINT_ALLOW(pointer-keyed-order): suppression demo
+    std::map<double *, int> m;
+    const double elapsed =
+        std::chrono::duration<double>(t.time_since_epoch()).count();
+    return r + static_cast<double>(m.size()) + elapsed;
+}

@@ -1,0 +1,8 @@
+// Fixture: unordered-container violations (data for lint_test.cpp;
+// never compiled — tests/CMakeLists.txt only globs *_test.cpp).
+#include <unordered_map>
+
+int countBuckets() {
+    std::unordered_map<int, int> m;
+    return static_cast<int>(std::hash<int>{}(3) % (m.bucket_count() + 1));
+}

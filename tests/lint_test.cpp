@@ -1,0 +1,237 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ebs_lint/lint_core.h"
+
+/**
+ * Tests for tools/ebs_lint: every rule fires on its fixture at the
+ * exact (file, line, rule) expected, suppressed variants stay silent,
+ * malformed suppressions are themselves findings, and the real source
+ * tree lints clean (the same invariant the `ebs_lint_tree` ctest
+ * enforces through the CLI).
+ *
+ * Fixtures live in tests/lint_fixtures/ and are data, not code: the
+ * test CMake glob only compiles *_test.cpp, and lintTree() always
+ * excludes the fixture directory so the corpus can violate every rule
+ * without tripping the tree gate.
+ */
+
+namespace {
+
+using ebs::lint::Finding;
+using ebs::lint::lintFile;
+using ebs::lint::lintSource;
+using ebs::lint::lintTree;
+using ebs::lint::TreeOptions;
+
+std::string
+root(const std::string &relative)
+{
+    return std::string(EBS_SOURCE_ROOT) + "/" + relative;
+}
+
+std::string
+fixture(const std::string &name)
+{
+    return root("tests/lint_fixtures/" + name);
+}
+
+/** (line, rule) pairs of a finding list, for compact assertions. */
+std::vector<std::pair<int, std::string>>
+lineRules(const std::vector<Finding> &findings)
+{
+    std::vector<std::pair<int, std::string>> out;
+    for (const auto &f : findings)
+        out.emplace_back(f.line, f.rule);
+    return out;
+}
+
+std::string
+joined(const std::vector<Finding> &findings)
+{
+    std::string out;
+    for (const auto &f : findings)
+        out += ebs::lint::formatFinding(f) + "\n";
+    return out;
+}
+
+using LineRules = std::vector<std::pair<int, std::string>>;
+
+TEST(LintFormat, FileLineRuleDetail)
+{
+    const Finding f{"src/a.cpp", 12, "raw-random", "no dice"};
+    EXPECT_EQ(ebs::lint::formatFinding(f),
+              "src/a.cpp:12: raw-random: no dice");
+}
+
+TEST(LintFormat, RuleNamesAreSortedAndComplete)
+{
+    const std::vector<std::string> expected = {
+        "float-accum-unordered", "host-clock", "pointer-keyed-order",
+        "raw-random", "unordered-container"};
+    EXPECT_EQ(ebs::lint::ruleNames(), expected);
+}
+
+TEST(LintFixtures, UnorderedContainerAndStdHash)
+{
+    const auto findings = lintFile(fixture("unordered.cpp"));
+    EXPECT_EQ(lineRules(findings),
+              (LineRules{{3, "unordered-container"},
+                         {6, "unordered-container"},
+                         {7, "unordered-container"}}))
+        << joined(findings);
+    for (const auto &f : findings)
+        EXPECT_EQ(f.file, fixture("unordered.cpp"));
+}
+
+TEST(LintFixtures, RawRandom)
+{
+    const auto findings = lintFile(fixture("raw_random.cpp"));
+    EXPECT_EQ(lineRules(findings), (LineRules{{6, "raw-random"},
+                                              {7, "raw-random"},
+                                              {8, "raw-random"}}))
+        << joined(findings);
+}
+
+TEST(LintFixtures, HostClock)
+{
+    const auto findings = lintFile(fixture("host_clock.cpp"));
+    EXPECT_EQ(lineRules(findings),
+              (LineRules{{6, "host-clock"}, {7, "host-clock"}}))
+        << joined(findings);
+}
+
+TEST(LintFixtures, PointerKeyedMapOnly)
+{
+    // Line 8 keys a map on a pointer; line 9's map merely *holds*
+    // pointers behind a string key and must not be flagged.
+    const auto findings = lintFile(fixture("pointer_key.cpp"));
+    EXPECT_EQ(lineRules(findings),
+              (LineRules{{8, "pointer-keyed-order"}}))
+        << joined(findings);
+}
+
+TEST(LintFixtures, FloatAccumulationInUnorderedRangeFor)
+{
+    // The container hits on lines 4 and 9 are suppressed in the
+    // fixture; only the `+=` inside the range-for body remains.
+    const auto findings = lintFile(fixture("float_accum.cpp"));
+    EXPECT_EQ(lineRules(findings),
+              (LineRules{{10, "float-accum-unordered"}}))
+        << joined(findings);
+}
+
+TEST(LintFixtures, SuppressedVariantsAreClean)
+{
+    const auto findings = lintFile(fixture("suppressed.cpp"));
+    EXPECT_TRUE(findings.empty()) << joined(findings);
+}
+
+TEST(LintFixtures, MalformedAllowsAreFindings)
+{
+    const auto findings = lintFile(fixture("bad_allow.cpp"));
+    EXPECT_EQ(lineRules(findings),
+              (LineRules{{2, "lint-allow"}, {3, "lint-allow"}}))
+        << joined(findings);
+}
+
+TEST(LintFixtures, CleanFixtureIsClean)
+{
+    const auto findings = lintFile(fixture("clean.cpp"));
+    EXPECT_TRUE(findings.empty()) << joined(findings);
+}
+
+TEST(LintSource, StringsAndCommentsAreStripped)
+{
+    EXPECT_TRUE(lintSource("s.cpp",
+                           "const char *s = \"std::unordered_map\";\n")
+                    .empty());
+    EXPECT_TRUE(lintSource("s.cpp", "// calls rand() and srand()\n")
+                    .empty());
+    EXPECT_TRUE(lintSource("s.cpp",
+                           "/* steady_clock\n * system_clock */ int x;\n")
+                    .empty());
+}
+
+TEST(LintSource, SameLineAndNextLineSuppression)
+{
+    EXPECT_TRUE(
+        lintSource("s.cpp",
+                   "int r = rand(); // EBS_LINT_ALLOW(raw-random): demo\n")
+            .empty());
+    EXPECT_TRUE(
+        lintSource("s.cpp", "// EBS_LINT_ALLOW(raw-random): demo\n"
+                            "int r = rand();\n")
+            .empty());
+}
+
+TEST(LintSource, SuppressionDoesNotReachTwoLinesDown)
+{
+    const auto findings =
+        lintSource("s.cpp", "// EBS_LINT_ALLOW(raw-random): demo\n"
+                            "int a = 0;\n"
+                            "int r = rand();\n");
+    EXPECT_EQ(lineRules(findings), (LineRules{{3, "raw-random"}}))
+        << joined(findings);
+}
+
+TEST(LintSource, SuppressionIsPerRule)
+{
+    // An allow for one rule must not silence a different rule on the
+    // same line.
+    const auto findings = lintSource(
+        "s.cpp",
+        "int r = rand(); // EBS_LINT_ALLOW(host-clock): wrong rule\n");
+    EXPECT_EQ(lineRules(findings), (LineRules{{1, "raw-random"}}))
+        << joined(findings);
+}
+
+TEST(LintSource, DuplicateHitsOnOneLineCollapse)
+{
+    const auto findings =
+        lintSource("s.cpp", "int r = rand() + rand();\n");
+    EXPECT_EQ(lineRules(findings), (LineRules{{1, "raw-random"}}))
+        << joined(findings);
+}
+
+TEST(LintIo, UnreadableFileIsAFinding)
+{
+    const auto findings = lintFile(root("tests/no_such_file.cpp"));
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "lint-io");
+    EXPECT_EQ(findings[0].line, 0);
+}
+
+TEST(LintIo, MissingRootIsAFinding)
+{
+    const auto findings = lintTree({root("no_such_dir")});
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "lint-io");
+}
+
+TEST(LintTree, ExcludeSubstringSkipsRoot)
+{
+    TreeOptions options;
+    options.exclude_substrings.push_back("no_such_dir");
+    EXPECT_TRUE(lintTree({root("no_such_dir")}, options).empty());
+}
+
+TEST(LintTree, FixtureDirectoryIsAlwaysExcluded)
+{
+    // The fixture corpus violates every rule, yet linting tests/ (or
+    // the fixture directory itself) reports nothing from it.
+    EXPECT_TRUE(lintTree({root("tests/lint_fixtures")}).empty());
+}
+
+TEST(LintTree, ShippedTreeLintsClean)
+{
+    // The same gate the `ebs_lint_tree` ctest applies via the CLI: the
+    // real sources carry no unsuppressed determinism violations.
+    const auto findings =
+        lintTree({root("src"), root("bench"), root("tests")});
+    EXPECT_TRUE(findings.empty()) << joined(findings);
+}
+
+} // namespace

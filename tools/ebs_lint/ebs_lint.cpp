@@ -1,0 +1,84 @@
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ebs_lint/lint_core.h"
+
+/**
+ * ebs_lint CLI — the determinism checker's command-line face.
+ *
+ *     ebs_lint [--exclude SUBSTR]... ROOT [ROOT...]
+ *     ebs_lint --list-rules
+ *
+ * Findings go to stdout as "file:line: rule: detail" (one per line, the
+ * exact format lint_test.cpp pins down); the summary goes to stderr so a
+ * CI artifact of stdout is pure findings. Exit codes: 0 clean, 1 at
+ * least one finding, 2 usage error.
+ *
+ * The tier-1 ctest entry (`ebs_lint_tree`, tools/CMakeLists.txt) runs
+ * this over src/, bench/, and tests/.
+ */
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--exclude SUBSTR]... ROOT [ROOT...]\n"
+                 "       %s --list-rules\n"
+                 "Lints C++ sources (.h/.hpp/.cpp/.cc) under each ROOT "
+                 "for determinism-breaking constructs.\n"
+                 "Suppress a finding with: "
+                 "// EBS_LINT_ALLOW(<rule>): <reason>\n",
+                 argv0, argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> roots;
+    ebs::lint::TreeOptions options;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list-rules") {
+            for (const auto &rule : ebs::lint::ruleNames())
+                std::printf("%s\n", rule.c_str());
+            return 0;
+        }
+        if (arg == "--exclude") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: --exclude needs a value\n",
+                             argv[0]);
+                return usage(argv[0]);
+            }
+            options.exclude_substrings.push_back(argv[++i]);
+            continue;
+        }
+        if (arg == "--help" || arg == "-h")
+            return usage(argv[0]);
+        if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0],
+                         arg.c_str());
+            return usage(argv[0]);
+        }
+        roots.push_back(arg);
+    }
+    if (roots.empty())
+        return usage(argv[0]);
+
+    const auto findings = ebs::lint::lintTree(roots, options);
+    for (const auto &finding : findings)
+        std::printf("%s\n", ebs::lint::formatFinding(finding).c_str());
+
+    if (findings.empty()) {
+        std::fprintf(stderr, "ebs_lint: clean\n");
+        return 0;
+    }
+    std::fprintf(stderr, "ebs_lint: %zu finding(s)\n", findings.size());
+    return 1;
+}

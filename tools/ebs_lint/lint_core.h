@@ -1,0 +1,96 @@
+#ifndef EBS_TOOLS_EBS_LINT_LINT_CORE_H
+#define EBS_TOOLS_EBS_LINT_LINT_CORE_H
+
+#include <string>
+#include <vector>
+
+/**
+ * @file
+ * Core of `ebs_lint`: the project-specific determinism checker.
+ *
+ * The repo's headline guarantee is that paper metrics are bit-identical
+ * at any EBS_JOBS. The dynamic side of that guarantee (determinism
+ * gtests, the TSan CI job) only exercises the configurations it runs;
+ * this linter makes the underlying *coding invariants* static: it walks
+ * every source file token-wise (comments and string literals stripped)
+ * and flags the constructs that have historically broken determinism in
+ * serving simulators. Each rule names the invariant it protects:
+ *
+ *  - `unordered-container`: std::unordered_map/set and std::hash —
+ *    iteration order is unspecified and varies across libstdc++
+ *    versions and pointer layouts, so any fold over one is
+ *    machine-dependent. Result-bearing code uses std::map/std::set or
+ *    sorted vectors.
+ *  - `raw-random`: rand/srand/rand_r/drand48/std::random_device — draws
+ *    outside the seeded sim::Rng streams cannot be reproduced from an
+ *    episode seed.
+ *  - `host-clock`: steady_clock/system_clock/high_resolution_clock,
+ *    clock_gettime/gettimeofday/timespec_get, this_thread::get_id —
+ *    host time and thread identity leak scheduling into results. The
+ *    one sanctioned host-timing site is stats::hostNow()
+ *    (src/stats/host_clock.h), which carries the suppression.
+ *  - `pointer-keyed-order`: std::map/std::set/std::less keyed on a
+ *    pointer type — pointer order is allocation order, which changes
+ *    run to run; key on a stable id instead (cf. llm::BackendId).
+ *  - `float-accum-unordered`: compound accumulation (`+=`/`-=`) inside
+ *    a range-for over an unordered container — float addition is not
+ *    associative, so the sum depends on hash-bucket order even when the
+ *    element set is deterministic.
+ *
+ * Legitimate exceptions carry an inline suppression:
+ *     // EBS_LINT_ALLOW(<rule>): <reason>
+ * which silences `<rule>` on the comment's own line and on the next
+ * line. A malformed suppression (unknown rule, or no reason after the
+ * colon) is itself reported under the `lint-allow` rule, so the
+ * allowlist stays auditable.
+ */
+
+namespace ebs::lint {
+
+/** One rule violation at a source location. */
+struct Finding
+{
+    std::string file; ///< path as given to the linter
+    int line = 0;     ///< 1-based
+    std::string rule;
+    std::string detail;
+
+    bool operator==(const Finding &) const = default;
+};
+
+/** "file:line: rule: detail" — the exact CLI output format. */
+std::string formatFinding(const Finding &finding);
+
+/** The known rule names (sorted), for --list-rules and allow parsing. */
+const std::vector<std::string> &ruleNames();
+
+/**
+ * Lint one in-memory source. `path` is used only for Finding::file.
+ * Findings are ordered by line, then rule name; duplicates of the same
+ * (rule, line) are collapsed.
+ */
+std::vector<Finding> lintSource(const std::string &path,
+                                const std::string &content);
+
+/** Lint one file on disk (empty result plus a `lint-io` finding when
+ * unreadable, so a vanished file cannot pass silently). */
+std::vector<Finding> lintFile(const std::string &path);
+
+struct TreeOptions
+{
+    /** Path substrings to skip. "lint_fixtures" is always skipped —
+     * the fixture corpus exists to violate the rules. */
+    std::vector<std::string> exclude_substrings;
+};
+
+/**
+ * Recursively lint every C++ source (.h/.hpp/.cpp/.cc) under the given
+ * roots. Files are visited in sorted path order so output is stable.
+ * A root may also be a single file.
+ */
+std::vector<Finding> lintTree(const std::vector<std::string> &roots,
+                              const TreeOptions &options = {});
+
+} // namespace ebs::lint
+
+#endif // EBS_TOOLS_EBS_LINT_LINT_CORE_H
