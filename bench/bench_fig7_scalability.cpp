@@ -163,6 +163,101 @@ main(int argc, char **argv)
                     batched_table.render().c_str());
     }
 
+    // Speculative execute-phase ablation: the medium grid re-run with
+    // speculative_execute on. The paper metrics must stay bit-identical
+    // to the main grid (speculation commits in serial order), so the new
+    // EBS_METRIC keys reuse the main grid's case names and merge into the
+    // same rows; the guard below turns any drift into a hard failure
+    // instead of a silently-merged wrong value. A private service keeps
+    // the shared fleet summary scoped to the main grid's traffic.
+    llm::LlmEngineService spec_service;
+    std::vector<runner::RunVariant> spec_variants;
+    for (const char *name : systems) {
+        const auto &spec = workloads::workload(name);
+        for (const int n : agent_counts) {
+            runner::RunVariant v;
+            v.workload = &spec;
+            v.config = spec.config;
+            v.difficulty = env::Difficulty::Medium;
+            v.seeds = kSeeds;
+            v.n_agents = n;
+            v.pipeline.speculative_execute = true;
+            v.engine_service = &spec_service;
+            spec_variants.push_back(std::move(v));
+        }
+    }
+    const auto speculative = runner::runAveragedMany(
+        runner::EpisodeRunner::shared(), spec_variants);
+
+    std::printf("=== Fig. 7 ablation: speculative execute phase "
+                "(medium difficulty) ===\n\n");
+    std::size_t spec_idx = 0;
+    for (std::size_t s = 0; s < 3; ++s) {
+        const char *name = systems[s];
+        stats::Table spec_table({"agents", "exec speedup", "conflict rate",
+                                 "re-exec", "committed"});
+        for (std::size_t k = 0; k < 6; ++k) {
+            const auto &seq = results[s * 18 + 6 + k];
+            const auto &spc = speculative[spec_idx++];
+            if (spc.success_rate != seq.success_rate ||
+                spc.avg_steps != seq.avg_steps ||
+                spc.avg_step_latency_s != seq.avg_step_latency_s) {
+                std::fprintf(stderr,
+                             "fig7: speculative execute diverged from the "
+                             "serial schedule (%s, %d agents)\n",
+                             name, agent_counts[k]);
+                return 1;
+            }
+            bench::emitSpeculativeMetrics(std::string(name) + " agents=" +
+                                              std::to_string(
+                                                  agent_counts[k]),
+                                          spc);
+            spec_table.addRow(
+                {std::to_string(agent_counts[k]),
+                 stats::Table::num(spc.specExecSpeedup(), 2) + "x",
+                 stats::Table::pct(spc.specConflictRate(), 0),
+                 stats::Table::pct(spc.specReexecFraction(), 0),
+                 std::to_string(spc.spec_exec.committed)});
+        }
+        std::printf("--- %s ---\n%s\n", name, spec_table.render().c_str());
+    }
+
+    // Measured (host) execute-phase wall-clock at the largest team:
+    // serial episodes on a one-job runner so the whole fleet pool serves
+    // the speculative fan-out, serial vs speculative execute. Host wall
+    // depends on EBS_JOBS and machine load → stderr only.
+    {
+        runner::EpisodeRunner timing_runner(1,
+                                            &sched::FleetScheduler::shared());
+        llm::LlmEngineService timing_service;
+        const auto &timing_spec = workloads::workload("CoELA");
+        runner::RunVariant v;
+        v.workload = &timing_spec;
+        v.config = timing_spec.config;
+        v.difficulty = env::Difficulty::Medium;
+        v.seeds = kSeeds;
+        v.n_agents = 12;
+        v.engine_service = &timing_service;
+        const auto wall_start = stats::PhaseWallClock::shared().snapshot();
+        runner::runAveraged(timing_runner, v);
+        const auto wall_mid = stats::PhaseWallClock::shared().snapshot();
+        v.pipeline.speculative_execute = true;
+        const auto spec_run = runner::runAveraged(timing_runner, v);
+        const auto wall_end = stats::PhaseWallClock::shared().snapshot();
+        const double serial_exec_s =
+            wall_mid.execute_s - wall_start.execute_s;
+        const double spec_exec_s = wall_end.execute_s - wall_mid.execute_s;
+        std::fprintf(stderr,
+                     "fig7 execute-phase host wall @12 agents (%d workers): "
+                     "serial %.3fs, speculative %.3fs (%.2fx measured, "
+                     "%.2fx modeled)\n",
+                     sched::FleetScheduler::shared().workers(),
+                     serial_exec_s, spec_exec_s,
+                     spec_exec_s > 0.0 ? serial_exec_s / spec_exec_s : 0.0,
+                     spec_run.specExecSpeedup());
+    }
+
     bench::emitSharedServiceSummary("fig7 scalability fleet");
+    bench::emitPhaseWallSummary();
     return 0;
 }

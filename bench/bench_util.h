@@ -10,6 +10,7 @@
 
 #include "llm/engine_service.h"
 #include "stats/host_clock.h"
+#include "stats/phase_wall.h"
 #include "runner/averaged.h"
 #include "runner/episode_runner.h"
 #include "runner/run_stats.h"
@@ -221,6 +222,44 @@ emitSharedServiceSummary(const std::string &bench_case)
                 usage.calls, stats.batches, stats.cross_agent_batches,
                 stats.occupancy());
     emitScalarMetric(bench_case, "batch_occupancy", stats.occupancy());
+}
+
+/**
+ * Emit the speculative-execute metric triple for one case: the modeled
+ * execute-phase speedup (serial latency sum over the speculative
+ * critical path), the conflict rate among speculated turns, and the
+ * fraction of turns that ended up on the serial lane. All three derive
+ * from deterministic read/write-set arithmetic, so they are stdout-safe
+ * and gated by metricDirection() (speedup higher-is-better, the other
+ * two lower-is-better).
+ */
+inline void
+emitSpeculativeMetrics(const std::string &bench_case, const RunStats &r)
+{
+    emitScalarMetric(bench_case, "spec_exec_speedup", r.specExecSpeedup());
+    emitScalarMetric(bench_case, "spec_conflict_rate",
+                     r.specConflictRate());
+    emitScalarMetric(bench_case, "spec_reexec_fraction",
+                     r.specReexecFraction());
+}
+
+/**
+ * Report the process-wide compute/execute host wall-clock split to
+ * *stderr* as one `EBS_PHASE_WALL {json}` line. run_all scans each
+ * suite's captured log for the last such line and folds the split into
+ * the straggler summary and BENCH_timeline.json, making the execute-phase
+ * win (or loss) of speculation visible per suite. Host time varies with
+ * EBS_JOBS and machine load, so this must never reach stdout.
+ */
+inline void
+emitPhaseWallSummary()
+{
+    const auto wall = stats::PhaseWallClock::shared().snapshot();
+    std::fprintf(stderr,
+                 "EBS_PHASE_WALL {\"compute_s\":%s,\"execute_s\":%s,"
+                 "\"episodes\":%lld}\n",
+                 jsonNum(wall.compute_s, 3).c_str(),
+                 jsonNum(wall.execute_s, 3).c_str(), wall.episodes);
 }
 
 } // namespace ebs::bench

@@ -78,6 +78,14 @@ struct SuiteResult
     double sys_seconds = 0.0;
     long max_rss_kb = 0;
     std::vector<std::string> paper_metrics; ///< raw EBS_METRIC objects
+
+    /** Host compute/execute phase split reported by the suite's last
+     * `EBS_PHASE_WALL` stderr line (see bench_util.h); absent when the
+     * suite does not run episodes or predates the reporting. */
+    bool has_phase_wall = false;
+    double phase_compute_s = 0.0;
+    double phase_execute_s = 0.0;
+    long long phase_episodes = 0;
 };
 
 /**
@@ -104,6 +112,38 @@ collectMetricLines(const fs::path &log_path)
             metrics.push_back(std::move(payload));
     }
     return metrics;
+}
+
+/**
+ * Parse the *last* `EBS_PHASE_WALL {...}` line of a suite's captured
+ * output into the result's phase split (stderr shares the log file via
+ * dup2, so the line lands in the same capture as EBS_METRIC). The clock
+ * is process-wide and monotone, so the last line is the suite total.
+ */
+void
+readPhaseWall(const fs::path &log_path, SuiteResult &result)
+{
+    static const std::string kPrefix = "EBS_PHASE_WALL ";
+    std::ifstream log(log_path);
+    std::string line, last;
+    while (std::getline(log, line))
+        if (line.rfind(kPrefix, 0) == 0)
+            last = line.substr(kPrefix.size());
+    if (last.empty())
+        return;
+    const auto field = [&last](const char *key, double &out) {
+        const std::size_t at = last.find(key);
+        if (at == std::string::npos)
+            return false;
+        out = std::strtod(last.c_str() + at + std::strlen(key), nullptr);
+        return true;
+    };
+    double episodes = 0.0;
+    result.has_phase_wall =
+        field("\"compute_s\":", result.phase_compute_s) &&
+        field("\"execute_s\":", result.phase_execute_s) &&
+        field("\"episodes\":", episodes);
+    result.phase_episodes = static_cast<long long>(episodes);
 }
 
 /** Directory containing this executable (where the bench binaries live). */
@@ -209,6 +249,7 @@ runSuite(const fs::path &binary, const fs::path &log_path,
                          usage.ru_stime.tv_usec / 1e6;
     result.max_rss_kb = usage.ru_maxrss;
     result.paper_metrics = collectMetricLines(log_path);
+    readPhaseWall(log_path, result);
     return result;
 }
 
@@ -322,10 +363,17 @@ writeTimeline(const fs::path &path,
         std::fprintf(f,
                      "%s\n    {\"name\": \"%s\", \"start_s\": %.6f, "
                      "\"end_s\": %.6f, \"wall_seconds\": %.6f, "
-                     "\"exit_code\": %d}",
+                     "\"exit_code\": %d",
                      i > 0 ? "," : "", timings[i].label.c_str(),
                      timings[i].start_s, timings[i].end_s,
                      timings[i].duration(), result.exit_code);
+        if (result.has_phase_wall)
+            std::fprintf(f,
+                         ", \"phase_compute_s\": %.6f, "
+                         "\"phase_execute_s\": %.6f, \"episodes\": %lld",
+                         result.phase_compute_s, result.phase_execute_s,
+                         result.phase_episodes);
+        std::fprintf(f, "}");
     }
     std::fprintf(f, "\n  ]\n}\n");
     std::fclose(f);
@@ -640,6 +688,29 @@ main(int argc, char **argv)
                     summary.makespan_s > 0.0
                         ? 100.0 * straggler.duration() / summary.makespan_s
                         : 0.0);
+    }
+    // Per-episode compute/execute host split across the suites that
+    // report one (EBS_PHASE_WALL): makes the speculative execute-phase
+    // win visible at fleet level and in BENCH_timeline.json.
+    {
+        double compute_s = 0.0, execute_s = 0.0;
+        long long episodes = 0;
+        int reporting = 0;
+        for (const auto &r : results) {
+            if (!r.has_phase_wall)
+                continue;
+            compute_s += r.phase_compute_s;
+            execute_s += r.phase_execute_s;
+            episodes += r.phase_episodes;
+            ++reporting;
+        }
+        if (episodes > 0)
+            std::printf("[run_all] phase wall (%d suites, %lld episodes): "
+                        "compute %.2fs + execute %.2fs "
+                        "(%.1fms + %.1fms per episode)\n",
+                        reporting, episodes, compute_s, execute_s,
+                        1000.0 * compute_s / episodes,
+                        1000.0 * execute_s / episodes);
     }
     writeTimeline(timeline_path, timings, results, summary, order);
 

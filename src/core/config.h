@@ -138,6 +138,18 @@ struct PipelineOptions
      * serviceless path the switch is inert.
      */
     bool batch_llm_calls = false;
+
+    /**
+     * Run the execute phase optimistically: each agent executes against a
+     * private world snapshot with read/write-set logging, clean agents
+     * commit their buffered effects in index order, and conflicting
+     * agents re-execute serially against the committed world — so every
+     * result, counter, and clock value is bit-identical to the serial
+     * schedule at any worker count (workers only change host wall-clock).
+     * Inert for single-agent teams and for environments that report
+     * !speculativeExecuteSafe().
+     */
+    bool speculative_execute = false;
 };
 
 } // namespace ebs::core

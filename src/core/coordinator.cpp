@@ -5,6 +5,10 @@
 #include <memory>
 #include <vector>
 
+#include "env/spec.h"
+#include "stats/host_clock.h"
+#include "stats/phase_wall.h"
+
 namespace ebs::core {
 
 namespace {
@@ -30,6 +34,22 @@ namespace {
  *    whose agents exchange state mid-phase). These run serially in
  *    agent-index order against the live environment — the ordered
  *    commit step of the episode's step pipeline.
+ *
+ *  - executePhase(): envPhase for the execute stage specifically, with
+ *    an optimistic fast path (`speculative_execute`): agents run
+ *    against private world snapshots on scheduler threads while
+ *    read/write sets are logged, then commit serially in agent-index
+ *    order — an agent whose read set is disjoint from every
+ *    lower-indexed agent's write set keeps its speculative run (its
+ *    world writes and buffered accounting are applied in order), while
+ *    a conflicting, aborted, or non-speculable agent is rolled back and
+ *    re-executes serially against the committed world. Since a clean
+ *    agent's turn observed no state any predecessor changed, its run is
+ *    the serial run; everything else *is* the serial schedule — so
+ *    results are bit-identical to envPhase at any worker count, and the
+ *    conflict/commit tallies themselves are worker-count-independent
+ *    (the speculate/serialize decision depends only on the logs and the
+ *    commit order, never on thread timing).
  */
 class Harness
 {
@@ -147,6 +167,7 @@ class Harness
     void
     computePhase(Compute &&compute, Commit &&commit)
     {
+        const double host_begin = stats::hostNow();
         const std::size_t n = agents_.size();
         for (std::size_t i = 0; i < n; ++i) {
             scratch_[i].reset();
@@ -194,6 +215,8 @@ class Harness
         }
         flushLlm();
         advanceBy(total, longest, llm_total, nonllm_longest);
+        stats::PhaseWallClock::shared().addCompute(stats::hostNow() -
+                                                   host_begin);
     }
 
     /** computePhase() with no per-agent commit step. */
@@ -217,6 +240,7 @@ class Harness
     void
     envPhase(Fn &&turn)
     {
+        const double host_begin = stats::hostNow();
         double total = 0.0;
         double longest = 0.0;
         double llm_total = 0.0;
@@ -238,6 +262,187 @@ class Harness
         }
         flushLlm();
         advanceBy(total, longest, llm_total, nonllm_longest);
+        stats::PhaseWallClock::shared().addExecute(stats::hostNow() -
+                                                   host_begin);
+    }
+
+    /**
+     * True when the execute phase runs the speculative protocol. The gate
+     * is deliberately independent of worker count: a single-worker pool
+     * still speculates (inline), so every tally and stdout metric is
+     * identical across EBS_JOBS values — only host wall-clock moves.
+     */
+    bool
+    speculativeExecute() const
+    {
+        return options_.pipeline.speculative_execute &&
+               agents_.size() > 1 && env_.speculativeExecuteSafe();
+    }
+
+    /**
+     * Run the execute phase: envPhase semantics (turns observe the world
+     * as left by lower-indexed agents of the same step; clock advances
+     * identically), executed optimistically when speculativeExecute().
+     * See the class comment for the protocol and determinism argument.
+     */
+    template <typename Fn>
+    void
+    executePhase(Fn &&turn)
+    {
+        if (!speculativeExecute()) {
+            envPhase(std::forward<Fn>(turn));
+            return;
+        }
+        const double host_begin = stats::hostNow();
+        const std::size_t n = agents_.size();
+        ensureSpecSlots();
+
+        // --- Stage 1: speculate every eligible turn against a private
+        // copy of the phase-start world, logging its read/write sets and
+        // buffering its accounting (latency events, LLM notes, belief
+        // invalidations). Tasks are independent by construction — each
+        // touches its own agent, snapshot, and slots — so the fan-out
+        // needs no ordering and any interleaving yields the same logs.
+        auto speculate = [&](std::size_t i) {
+            Agent &a = *agents_[i];
+            spec_logs_[i].reset();
+            spec_invalidated_[i].clear();
+            spec_ran_[i] = 0;
+            exec_states_[i] = a.saveExecState();
+            // LLM-direct execution draws on shared engine-service state
+            // that cannot be rolled back after a discarded run; those
+            // agents take the serial lane below.
+            if (!a.config().has_execution)
+                return;
+            if (spec_worlds_[i] == nullptr)
+                spec_worlds_[i] =
+                    std::make_unique<env::World>(env_.world());
+            else
+                *spec_worlds_[i] = env_.world();
+            spec_worlds_[i]->setAccessLog(&spec_logs_[i]);
+            scratch_[i].reset();
+            notes_[i].entries.clear();
+            a.beginBufferedTurn(&scratch_[i], &notes_[i]);
+            a.deferBeliefInvalidations(&spec_invalidated_[i]);
+            try {
+                env::spec::SpeculationScope scope(&env_,
+                                                  spec_worlds_[i].get());
+                turn(a);
+                spec_ran_[i] = 1;
+            } catch (...) {
+                a.deferBeliefInvalidations(nullptr);
+                a.endBufferedTurn();
+                spec_worlds_[i]->setAccessLog(nullptr);
+                a.restoreExecState(exec_states_[i]);
+                throw;
+            }
+            a.deferBeliefInvalidations(nullptr);
+            a.endBufferedTurn();
+            spec_worlds_[i]->setAccessLog(nullptr);
+        };
+        if (scheduler_ != nullptr && scheduler_->workers() > 1) {
+            scheduler_->parallelFor(n, speculate);
+        } else {
+            for (std::size_t i = 0; i < n; ++i)
+                speculate(i);
+        }
+
+        // --- Stage 2: serial commit in agent-index order. Clean agents
+        // apply their buffered effects; everyone else rolls back and
+        // re-executes against the live (committed) world — which *is*
+        // the serial schedule for them.
+        double total = 0.0;
+        double longest = 0.0;
+        double llm_total = 0.0;
+        double nonllm_longest = 0.0;
+        double clean_longest = 0.0;
+        double serial_sum = 0.0;
+        std::vector<env::spec::AccessKey> committed_writes;
+        env::spec::AccessLog rerun_log;
+        for (std::size_t i = 0; i < n; ++i) {
+            Agent &a = *agents_[i];
+            ++spec_stats_.turns;
+            spec_logs_[i].finalize();
+            bool clean = false;
+            if (spec_ran_[i] != 0) {
+                ++spec_stats_.speculated;
+                if (spec_logs_[i].aborted())
+                    ++spec_stats_.aborted;
+                else if (env::spec::conflicts(spec_logs_[i].reads(),
+                                              committed_writes))
+                    ++spec_stats_.conflicts;
+                else
+                    clean = true;
+            }
+
+            double delta = 0.0;
+            double llm = 0.0;
+            if (clean) {
+                ++spec_stats_.committed;
+                // Replay the buffered accounting in index order — the
+                // same commit discipline computePhase uses, so recorder
+                // and session state are bit-identical to a serial phase.
+                const double before = recorder_.grandTotal();
+                for (const auto &event : scratch_[i].events())
+                    recorder_.record(event.kind, event.seconds);
+                llm_session_.replay(notes_[i]);
+                delta = recorder_.grandTotal() - before;
+                for (const auto &entry : notes_[i].entries)
+                    llm += entry.resp.latency_s;
+                for (const env::ObjectId id : spec_invalidated_[i])
+                    a.memory().invalidate(id);
+                commitWrites(i, committed_writes);
+                clean_longest = std::max(clean_longest, delta);
+            } else {
+                // Serial lane: roll the agent back and run its turn for
+                // real, with envPhase-identical accounting. Its writes
+                // are logged on the live world so later agents still
+                // validate against them.
+                a.restoreExecState(exec_states_[i]);
+                rerun_log.reset();
+                serial_pos_.clear();
+                for (const env::AgentBody &body : env_.world().bodies())
+                    serial_pos_.push_back(body.pos);
+                env_.world().setAccessLog(&rerun_log);
+                const double before = recorder_.grandTotal();
+                const double llm_before = llm_session_.phaseBaseline();
+                try {
+                    turn(a);
+                } catch (...) {
+                    env_.world().setAccessLog(nullptr);
+                    throw;
+                }
+                env_.world().setAccessLog(nullptr);
+                delta = recorder_.grandTotal() - before;
+                llm = llm_session_.phaseBaseline() - llm_before;
+                rerun_log.finalize();
+                env::spec::mergeKeys(committed_writes, rerun_log.writes());
+                occ_scratch_.clear();
+                const auto &bodies = env_.world().bodies();
+                for (std::size_t j = 0; j < bodies.size(); ++j) {
+                    if (bodies[j].pos == serial_pos_[j])
+                        continue;
+                    occ_scratch_.push_back(
+                        env::spec::cellKey(serial_pos_[j]));
+                    occ_scratch_.push_back(
+                        env::spec::cellKey(bodies[j].pos));
+                }
+                std::sort(occ_scratch_.begin(), occ_scratch_.end());
+                env::spec::mergeKeys(committed_writes, occ_scratch_);
+                serial_sum += delta;
+            }
+            total += delta;
+            longest = std::max(longest, delta);
+            llm_total += llm;
+            nonllm_longest =
+                std::max(nonllm_longest, std::max(0.0, delta - llm));
+        }
+        spec_stats_.exec_total_s += total;
+        spec_stats_.exec_critical_s += clean_longest + serial_sum;
+        flushLlm();
+        advanceBy(total, longest, llm_total, nonllm_longest);
+        stats::PhaseWallClock::shared().addExecute(stats::hostNow() -
+                                                   host_begin);
     }
 
     /** Run a single-actor phase (e.g., the central planner). Under
@@ -250,6 +455,7 @@ class Harness
     void
     soloPhase(Fn &&body)
     {
+        const double host_begin = stats::hostNow();
         const double before = recorder_.grandTotal();
         const double llm_before = llm_session_.phaseBaseline();
         body();
@@ -260,6 +466,8 @@ class Harness
         } else {
             clock_.advance(delta);
         }
+        stats::PhaseWallClock::shared().addCompute(stats::hostNow() -
+                                                   host_begin);
     }
 
     /** Finish bookkeeping for one global step; true when episode is over. */
@@ -294,6 +502,8 @@ class Harness
         result.messages_generated = messages_generated_;
         result.messages_useful = messages_useful_;
         result.token_series = std::move(token_series_);
+        result.spec_exec = spec_stats_;
+        stats::PhaseWallClock::shared().addEpisode();
         return result;
     }
 
@@ -362,6 +572,62 @@ class Harness
         }
     }
 
+    /** Size the per-agent speculation slots on first use, so episodes
+     * that never speculate pay nothing for the subsystem. */
+    void
+    ensureSpecSlots()
+    {
+        if (!spec_ran_.empty())
+            return;
+        const std::size_t n = agents_.size();
+        spec_worlds_.resize(n);
+        spec_logs_.resize(n);
+        exec_states_.resize(n);
+        spec_invalidated_.resize(n);
+        spec_ran_.resize(n, 0);
+    }
+
+    /**
+     * Apply a clean speculative turn's world writes — full-entity copies
+     * from its snapshot, in the log's sorted key order — to the live
+     * world, and fold its write keys plus the occupancy cells its body
+     * moves vacated/claimed into the phase's committed write set.
+     */
+    void
+    commitWrites(std::size_t i,
+                 std::vector<env::spec::AccessKey> &committed)
+    {
+        env::World &live = env_.world();
+        const env::World &snap = *spec_worlds_[i];
+        occ_scratch_.clear();
+        for (const env::spec::AccessKey key : spec_logs_[i].writes()) {
+            switch (env::spec::keyKind(key)) {
+              case env::spec::kKindObject: {
+                const env::ObjectId id = env::spec::keyId(key);
+                live.object(id) = snap.object(id);
+                break;
+              }
+              case env::spec::kKindAgent: {
+                const int id = env::spec::keyId(key);
+                const env::Vec2i before = live.agent(id).pos;
+                const env::Vec2i after = snap.agent(id).pos;
+                if (!(before == after)) {
+                    occ_scratch_.push_back(env::spec::cellKey(before));
+                    occ_scratch_.push_back(env::spec::cellKey(after));
+                }
+                live.agent(id) = snap.agent(id);
+                break;
+              }
+              default:
+                // Cell / all-objects keys never appear as log writes.
+                break;
+            }
+        }
+        env::spec::mergeKeys(committed, spec_logs_[i].writes());
+        std::sort(occ_scratch_.begin(), occ_scratch_.end());
+        env::spec::mergeKeys(committed, occ_scratch_);
+    }
+
     env::Environment &env_;
     EpisodeOptions options_;
     sched::FleetScheduler *scheduler_;
@@ -377,6 +643,18 @@ class Harness
     std::vector<stats::LatencyRecorder> scratch_;
     std::vector<llm::DeferredNotes> notes_;
     EpisodeResult partial_;
+    /** Speculative-execute slots, lazily sized by ensureSpecSlots().
+     * spec_worlds_ holds reusable snapshot buffers (copy-assigned from
+     * the live world each speculated phase, so allocations amortize). */
+    std::vector<std::unique_ptr<env::World>> spec_worlds_;
+    std::vector<env::spec::AccessLog> spec_logs_;
+    std::vector<Agent::ExecState> exec_states_;
+    std::vector<std::vector<env::ObjectId>> spec_invalidated_;
+    std::vector<char> spec_ran_;
+    /** Commit-loop scratch (reused across phases). */
+    std::vector<env::Vec2i> serial_pos_;
+    std::vector<env::spec::AccessKey> occ_scratch_;
+    SpeculativeExecStats spec_stats_;
     std::vector<StepTokens> token_series_;
     int steps_ = 0;
     int messages_generated_ = 0;
@@ -436,7 +714,8 @@ runSingleAgent(env::Environment &environment, const AgentConfig &config,
         }
 
         ExecResult exec;
-        harness.envPhase([&](Agent &a) { exec = a.execute(step, subgoal); });
+        harness.executePhase(
+            [&](Agent &a) { exec = a.execute(step, subgoal); });
         harness.computePhase([&](Agent &a) {
             a.reflect(step, subgoal, exec, plan_sound);
         });
@@ -553,7 +832,7 @@ runCentralized(env::Environment &environment, const AgentConfig &config,
         });
 
         std::vector<ExecResult> execs(static_cast<std::size_t>(n));
-        harness.envPhase([&](Agent &a) {
+        harness.executePhase([&](Agent &a) {
             execs[static_cast<std::size_t>(a.id())] =
                 a.execute(step, subgoals[static_cast<std::size_t>(a.id())]);
         });
@@ -684,7 +963,7 @@ runHierarchical(env::Environment &environment, const AgentConfig &config,
         });
 
         std::vector<ExecResult> execs(static_cast<std::size_t>(n));
-        harness.envPhase([&](Agent &a) {
+        harness.executePhase([&](Agent &a) {
             execs[static_cast<std::size_t>(a.id())] =
                 a.execute(step, subgoals[static_cast<std::size_t>(a.id())]);
         });
@@ -823,7 +1102,7 @@ runDecentralized(env::Environment &environment, const AgentConfig &config,
         }
 
         std::vector<ExecResult> execs(static_cast<std::size_t>(n));
-        harness.envPhase([&](Agent &a) {
+        harness.executePhase([&](Agent &a) {
             execs[static_cast<std::size_t>(a.id())] =
                 a.execute(step, subgoals[static_cast<std::size_t>(a.id())]);
         });

@@ -18,6 +18,27 @@ struct StepTokens
     int message_tokens = 0; ///< communication prompt + completion size
 };
 
+/**
+ * Execute-phase speculation tallies for one episode. Deterministic —
+ * conflicts are decided by read/write-set intersection against the same
+ * serial commit order regardless of worker count — so these are safe to
+ * fold into paper metrics. The two seconds fields price the phase's
+ * *modeled* critical path: exec_total_s is the serial sum of per-agent
+ * execute latency, exec_critical_s what the same phase costs when clean
+ * agents overlap (max over clean agents + sum over serially re-executed
+ * ones); their ratio is the modeled speculative speedup.
+ */
+struct SpeculativeExecStats
+{
+    long long turns = 0;      ///< agent execute turns in speculated phases
+    long long speculated = 0; ///< turns that ran against a snapshot
+    long long committed = 0;  ///< speculative turns committed clean
+    long long conflicts = 0;  ///< turns re-executed after a read/write clash
+    long long aborted = 0;    ///< turns re-executed after a snapshot abort
+    double exec_total_s = 0.0;
+    double exec_critical_s = 0.0;
+};
+
 /** Everything measured over one episode (one long-horizon task run). */
 struct EpisodeResult
 {
@@ -41,6 +62,10 @@ struct EpisodeResult
      * runner::foldEpisodes-style — reproduce at any EBS_JOBS.
      */
     std::vector<llm::BatchRecord> llm_batches;
+
+    /** Execute-phase speculation tallies (all zero when the episode ran
+     * with speculative_execute off). */
+    SpeculativeExecStats spec_exec;
 
     /** Average simulated seconds per step (0 when no steps ran). */
     double

@@ -1,0 +1,102 @@
+#include "env/spec.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ebs::env::spec {
+
+void
+AccessLog::finalize()
+{
+    std::sort(reads_.begin(), reads_.end());
+    reads_.erase(std::unique(reads_.begin(), reads_.end()), reads_.end());
+    std::sort(writes_.begin(), writes_.end());
+    writes_.erase(std::unique(writes_.begin(), writes_.end()),
+                  writes_.end());
+}
+
+void
+AccessLog::reset()
+{
+    reads_.clear();
+    writes_.clear();
+    aborted_ = false;
+    abort_reason_ = "";
+}
+
+bool
+conflicts(const std::vector<AccessKey> &reads,
+          const std::vector<AccessKey> &writes)
+{
+    if (reads.empty() || writes.empty())
+        return false;
+    // A whole-table scan read is invalidated by any object write. Object
+    // keys have kind 00, so they sort first; AllObjects sorts last.
+    if (reads.back() == allObjectsKey() && !writes.empty() &&
+        keyKind(writes.front()) == kKindObject)
+        return true;
+    auto r = reads.begin();
+    auto w = writes.begin();
+    while (r != reads.end() && w != writes.end()) {
+        if (*r < *w)
+            ++r;
+        else if (*w < *r)
+            ++w;
+        else
+            return true;
+    }
+    return false;
+}
+
+void
+mergeKeys(std::vector<AccessKey> &into, const std::vector<AccessKey> &extra)
+{
+    if (extra.empty())
+        return;
+    std::size_t const old = into.size();
+    into.insert(into.end(), extra.begin(), extra.end());
+    std::inplace_merge(into.begin(),
+                       into.begin() + static_cast<std::ptrdiff_t>(old),
+                       into.end());
+    into.erase(std::unique(into.begin(), into.end()), into.end());
+}
+
+namespace {
+
+/**
+ * The per-thread override slot. One thread runs at most one speculative
+ * turn at a time (the coordinator's fan-out tasks are each a whole
+ * turn), so a single {env, world} pair suffices — no stack needed.
+ */
+struct ThreadOverride
+{
+    const void *environment = nullptr;
+    World *snapshot = nullptr;
+};
+
+thread_local ThreadOverride t_override;
+
+} // namespace
+
+SpeculationScope::SpeculationScope(const void *environment, World *snapshot)
+{
+    assert(t_override.environment == nullptr &&
+           "speculative turns must not nest");
+    t_override.environment = environment;
+    t_override.snapshot = snapshot;
+}
+
+SpeculationScope::~SpeculationScope()
+{
+    t_override.environment = nullptr;
+    t_override.snapshot = nullptr;
+}
+
+World *
+activeSnapshot(const void *environment)
+{
+    return t_override.environment == environment ? t_override.snapshot
+                                                 : nullptr;
+}
+
+} // namespace ebs::env::spec

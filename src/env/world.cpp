@@ -9,9 +9,28 @@ World::World(GridMap grid)
 {
 }
 
+World::World(const World &other)
+    : grid_(other.grid_),
+      objects_(other.objects_),
+      agents_(other.agents_)
+{
+}
+
+World &
+World::operator=(const World &other)
+{
+    grid_ = other.grid_;
+    objects_ = other.objects_;
+    agents_ = other.agents_;
+    return *this;
+}
+
 ObjectId
 World::addObject(Object obj)
 {
+    // Structural growth cannot be expressed in the fixed-slot key space.
+    if (log_ != nullptr)
+        log_->abort("object added during speculation");
     obj.id = static_cast<ObjectId>(objects_.size());
     obj.room = grid_.room(obj.pos);
     objects_.push_back(std::move(obj));
@@ -22,6 +41,8 @@ int
 World::addAgent(const Vec2i &pos)
 {
     assert(grid_.walkable(pos));
+    if (log_ != nullptr)
+        log_->abort("agent added during speculation");
     AgentBody body;
     body.id = static_cast<int>(agents_.size());
     body.pos = pos;
@@ -33,6 +54,8 @@ const Object &
 World::object(ObjectId id) const
 {
     assert(id >= 0 && id < static_cast<ObjectId>(objects_.size()));
+    if (log_ != nullptr)
+        log_->read(spec::objectKey(id));
     return objects_[static_cast<std::size_t>(id)];
 }
 
@@ -40,6 +63,11 @@ Object &
 World::object(ObjectId id)
 {
     assert(id >= 0 && id < static_cast<ObjectId>(objects_.size()));
+    // A mutable fetch is logged as read+write: every World mutation path
+    // fetches its entity through here first, so any writer is also a
+    // reader and write/write overlaps surface as read/write conflicts.
+    if (log_ != nullptr)
+        log_->readWrite(spec::objectKey(id));
     return objects_[static_cast<std::size_t>(id)];
 }
 
@@ -47,6 +75,8 @@ const AgentBody &
 World::agent(int id) const
 {
     assert(id >= 0 && id < agentCount());
+    if (log_ != nullptr)
+        log_->read(spec::agentKey(id));
     return agents_[static_cast<std::size_t>(id)];
 }
 
@@ -54,12 +84,16 @@ AgentBody &
 World::agent(int id)
 {
     assert(id >= 0 && id < agentCount());
+    if (log_ != nullptr)
+        log_->readWrite(spec::agentKey(id));
     return agents_[static_cast<std::size_t>(id)];
 }
 
 std::vector<ObjectId>
 World::objectsInRoom(int room) const
 {
+    if (log_ != nullptr)
+        log_->read(spec::allObjectsKey());
     std::vector<ObjectId> out;
     for (const auto &obj : objects_)
         if (obj.loose() && obj.room == room)
@@ -70,6 +104,8 @@ World::objectsInRoom(int room) const
 std::vector<ObjectId>
 World::contents(ObjectId container) const
 {
+    if (log_ != nullptr)
+        log_->read(spec::allObjectsKey());
     std::vector<ObjectId> out;
     for (const auto &obj : objects_)
         if (obj.inside == container)
@@ -94,6 +130,11 @@ World::effectivePos(ObjectId id) const
 bool
 World::occupiedByOther(int agent_id, const Vec2i &cell) const
 {
+    // Logged as a read of the *cell's* occupancy, not of every agent:
+    // committers emit Occ writes for their net position delta, so this
+    // conflicts exactly with agents that vacated or claimed `cell`.
+    if (log_ != nullptr)
+        log_->read(spec::cellKey(cell));
     for (const auto &body : agents_)
         if (body.id != agent_id && body.pos == cell)
             return true;

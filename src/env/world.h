@@ -6,6 +6,7 @@
 #include "env/action.h"
 #include "env/grid.h"
 #include "env/object.h"
+#include "env/spec.h"
 
 namespace ebs::env {
 
@@ -29,8 +30,25 @@ class World
   public:
     explicit World(GridMap grid);
 
+    /** Copies transfer world *state* only — the destination keeps its own
+     * access-log attachment (a snapshot refreshed from the live world must
+     * not inherit, or clobber, a log pointer). */
+    World(const World &other);
+    World &operator=(const World &other);
+    World(World &&) = default;
+    World &operator=(World &&) = default;
+
     const GridMap &grid() const { return grid_; }
-    GridMap &grid() { return grid_; }
+
+    GridMap &
+    grid()
+    {
+        // Grid topology is construction-time state; a mutation during a
+        // speculative turn would be invisible to the read/write sets.
+        if (log_ != nullptr)
+            log_->abort("grid mutation during speculation");
+        return grid_;
+    }
 
     // --- construction ---
 
@@ -44,11 +62,27 @@ class World
 
     const Object &object(ObjectId id) const;
     Object &object(ObjectId id);
-    const std::vector<Object> &objects() const { return objects_; }
+
+    /** Whole-table scan: under an access log this reads *every* object
+     * (logged as one AllObjects key, which any object write invalidates). */
+    const std::vector<Object> &
+    objects() const
+    {
+        if (log_ != nullptr)
+            log_->read(spec::allObjectsKey());
+        return objects_;
+    }
 
     const AgentBody &agent(int id) const;
     AgentBody &agent(int id);
     int agentCount() const { return static_cast<int>(agents_.size()); }
+
+    /**
+     * Raw agent-body table, deliberately *not* access-logged: for callers
+     * (motion cost) that derive per-cell occupancy and log the precise
+     * Occ(cell) reads themselves instead of a read of every agent.
+     */
+    const std::vector<AgentBody> &bodies() const { return agents_; }
 
     /** Ids of loose objects currently in the given room. */
     std::vector<ObjectId> objectsInRoom(int room) const;
@@ -68,6 +102,17 @@ class World
     /** True if any agent other than `agent_id` stands on `cell`. */
     bool occupiedByOther(int agent_id, const Vec2i &cell) const;
 
+    /**
+     * Attach (or detach, with nullptr) a speculative-execution access
+     * log: every accessor call on this world is recorded into it until
+     * detached. The coordinator attaches one log per speculative turn to
+     * that turn's snapshot world, and a fresh log to the live world for
+     * serial re-runs (so re-run writes still feed later agents'
+     * validation).
+     */
+    void setAccessLog(spec::AccessLog *log) { log_ = log; }
+    spec::AccessLog *accessLog() const { return log_; }
+
   private:
     ActionResult doMoveStep(AgentBody &agent, const Primitive &prim);
     ActionResult doPick(AgentBody &agent, const Primitive &prim);
@@ -80,6 +125,10 @@ class World
     GridMap grid_;
     std::vector<Object> objects_;
     std::vector<AgentBody> agents_;
+    /** Active speculation access log; null outside speculative turns.
+     * Not copied: a snapshot world starts unlogged (copy-assignment of
+     * World would otherwise alias the source's log). */
+    spec::AccessLog *log_ = nullptr;
 };
 
 } // namespace ebs::env

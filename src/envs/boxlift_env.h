@@ -42,6 +42,11 @@ class BoxLiftEnv : public GridEnvironment
     env::ActionResult applyDomain(int agent_id,
                                   const env::Primitive &prim) override;
 
+    /** Lift is a genuine same-step cross-agent dependency (votes tallied
+     * in lift_votes_), so a speculative turn aborts on it and re-runs
+     * serially, observing earlier agents' committed votes. */
+    bool domainOpsSpeculationSafe() const override { return false; }
+
   private:
     env::ObjectId truck_ = env::kNoObject;
     std::vector<env::ObjectId> boxes_;

@@ -79,6 +79,11 @@ class CraftEnv : public GridEnvironment
     env::ActionResult applyDomain(int agent_id,
                                   const env::Primitive &prim) override;
 
+    /** Mine/Craft mutate per-agent inventories and the achieved set —
+     * env-local state a world snapshot cannot isolate — so a speculative
+     * turn aborts on the first domain primitive and re-runs serially. */
+    bool domainOpsSpeculationSafe() const override { return false; }
+
   private:
     env::ActionResult doMine(int agent_id, const env::Primitive &prim);
     env::ActionResult doCraft(int agent_id, const env::Primitive &prim);

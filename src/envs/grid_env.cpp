@@ -16,15 +16,26 @@ GridEnvironment::motionCost(const env::Vec2i &from, const env::Vec2i &to,
                             std::vector<env::Vec2i> *path) const
 {
     // Other agents' bodies are temporary obstacles; the requesting agent
-    // is identified by standing at `from`.
+    // is identified by standing at `from`. Positions come from the raw
+    // body table rather than logged agent reads — logging a read of every
+    // agent would conflict a path query with *any* mover. Instead A*
+    // reports the cells whose blocked status it consulted and those are
+    // logged as per-cell occupancy reads: the search result can only
+    // change if one of them changes.
+    const env::World &w = world();
     std::vector<env::Vec2i> blocked;
-    for (int i = 0; i < world_.agentCount(); ++i) {
-        const env::Vec2i pos = world_.agent(i).pos;
-        if (!(pos == from))
-            blocked.push_back(pos);
-    }
-    const auto result = plan::aStar(world_.grid(), from, to,
-                                    /*adjacent_ok=*/true, &blocked);
+    for (const env::AgentBody &body : w.bodies())
+        if (!(body.pos == from))
+            blocked.push_back(body.pos);
+    env::spec::AccessLog *log = w.accessLog();
+    std::vector<env::Vec2i> queried;
+    const auto result =
+        plan::aStar(w.grid(), from, to,
+                    /*adjacent_ok=*/true, &blocked,
+                    log != nullptr ? &queried : nullptr);
+    if (log != nullptr)
+        for (const env::Vec2i &cell : queried)
+            log->read(env::spec::cellKey(cell));
     if (!result)
         return -1.0;
     if (path != nullptr)

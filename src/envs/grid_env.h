@@ -21,6 +21,16 @@ class GridEnvironment : public env::Environment
     double motionCost(const env::Vec2i &from, const env::Vec2i &to,
                       std::vector<env::Vec2i> *path) const override;
 
+    /**
+     * The base applyDomain rejects every domain op without mutating
+     * anything, so hallucinated domain primitives are speculation-safe
+     * here. Subclasses whose domain rules mutate env-local state (craft
+     * inventories, lift votes) must override back to false; subclasses
+     * whose domain rules only mutate world() entities (kitchen) inherit
+     * true and stay speculable.
+     */
+    bool domainOpsSpeculationSafe() const override { return true; }
+
   protected:
     explicit GridEnvironment(env::GridMap grid);
 

@@ -90,24 +90,28 @@ KitchenEnv::servedCount() const
 env::ActionResult
 KitchenEnv::applyDomain(int agent_id, const env::Primitive &prim)
 {
-    const env::AgentBody &body = world_.agent(agent_id);
+    // Chop/Cook mutate only world() entities (ingredient state) — no
+    // env-local bookkeeping — so kitchen keeps GridEnvironment's
+    // domainOpsSpeculationSafe()==true and must route every access
+    // through world() for the speculative snapshot + log to see it.
+    const env::AgentBody &body = world().agent(agent_id);
     if (prim.op != env::PrimOp::Chop && prim.op != env::PrimOp::Cook)
         return GridEnvironment::applyDomain(agent_id, prim);
 
     if (prim.target == env::kNoObject)
         return env::ActionResult::failure("no ingredient given");
-    env::Object &ing = world_.object(prim.target);
+    env::Object &ing = world().object(prim.target);
     if (ing.cls != env::ObjectClass::Item)
         return env::ActionResult::failure("target is not an ingredient");
     const bool in_hand = ing.held_by == agent_id;
     const bool adjacent =
-        env::chebyshev(body.pos, world_.effectivePos(ing.id)) <= 1;
+        env::chebyshev(body.pos, world().effectivePos(ing.id)) <= 1;
     if (!in_hand && !adjacent)
         return env::ActionResult::failure("ingredient out of reach");
 
     const env::ObjectId station =
         prim.op == env::PrimOp::Chop ? board_ : stove_;
-    if (env::chebyshev(body.pos, world_.object(station).pos) > 1)
+    if (env::chebyshev(body.pos, world().object(station).pos) > 1)
         return env::ActionResult::failure(
             prim.op == env::PrimOp::Chop ? "not at the cutting board"
                                          : "not at the stove");

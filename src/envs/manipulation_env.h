@@ -33,6 +33,12 @@ class ManipulationEnv : public GridEnvironment
     double motionCost(const env::Vec2i &from, const env::Vec2i &to,
                       std::vector<env::Vec2i> *path) const override;
 
+    /** Motion pricing consumes the shared RRT stream (rrt_rng_,
+     * rrt_iterations_) in query order — racing it across threads, or
+     * replaying it after a discarded run, would diverge from serial — so
+     * this environment's execute phase always runs serially. */
+    bool speculativeExecuteSafe() const override { return false; }
+
     std::vector<env::Subgoal> usefulSubgoals(int agent_id) const override;
     std::vector<env::Subgoal> validSubgoals(int agent_id) const override;
 

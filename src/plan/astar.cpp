@@ -35,7 +35,8 @@ aStarLastExpanded()
 std::optional<GridPath>
 aStar(const env::GridMap &grid, const env::Vec2i &start,
       const env::Vec2i &goal, bool adjacent_ok,
-      const std::vector<env::Vec2i> *blocked)
+      const std::vector<env::Vec2i> *blocked,
+      std::vector<env::Vec2i> *queried)
 {
     last_expanded = 0;
     if (!grid.inBounds(start) || !grid.inBounds(goal))
@@ -44,6 +45,8 @@ aStar(const env::GridMap &grid, const env::Vec2i &start,
         return std::nullopt;
 
     auto is_blocked = [&](const env::Vec2i &p) {
+        if (queried != nullptr)
+            queried->push_back(p);
         if (blocked == nullptr)
             return false;
         for (const auto &b : *blocked)

@@ -30,6 +30,11 @@ struct GridPath
  *                    interacting with objects that sit on furniture.
  * @param blocked     extra temporarily-untraversable cells (other agents'
  *                    positions); may be null.
+ * @param queried     when non-null, collects every cell whose blocked
+ *                    status the search consulted (speculative execution
+ *                    logs these as occupancy reads: the search result can
+ *                    only change if one of *these* cells changes, so they
+ *                    are exactly the path query's occupancy read set).
  * @return nullopt when no path exists.
  */
 std::optional<GridPath> aStar(const env::GridMap &grid,
@@ -37,7 +42,8 @@ std::optional<GridPath> aStar(const env::GridMap &grid,
                               const env::Vec2i &goal,
                               bool adjacent_ok = false,
                               const std::vector<env::Vec2i> *blocked =
-                                  nullptr);
+                                  nullptr,
+                              std::vector<env::Vec2i> *queried = nullptr);
 
 /** Cells expanded by the most recent aStar call on this thread (for perf
  * tests and the microbench). */

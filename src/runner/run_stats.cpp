@@ -14,6 +14,34 @@ RunStats::tokensPerEpisode() const
     return episodes > 0 ? static_cast<double>(tokens) / episodes : 0.0;
 }
 
+double
+RunStats::specConflictRate() const
+{
+    return spec_exec.speculated > 0
+               ? static_cast<double>(spec_exec.conflicts +
+                                     spec_exec.aborted) /
+                     static_cast<double>(spec_exec.speculated)
+               : 0.0;
+}
+
+double
+RunStats::specReexecFraction() const
+{
+    return spec_exec.turns > 0
+               ? static_cast<double>(spec_exec.turns -
+                                     spec_exec.committed) /
+                     static_cast<double>(spec_exec.turns)
+               : 0.0;
+}
+
+double
+RunStats::specExecSpeedup() const
+{
+    return spec_exec.exec_critical_s > 0.0
+               ? spec_exec.exec_total_s / spec_exec.exec_critical_s
+               : 1.0;
+}
+
 RunStats
 foldEpisodes(std::span<const core::EpisodeResult> episodes)
 {
@@ -28,6 +56,13 @@ foldEpisodes(std::span<const core::EpisodeResult> episodes)
         out.msgs_useful += r.messages_useful;
         out.llm_calls += static_cast<long long>(r.llm.calls);
         out.tokens += r.llm.tokens_in + r.llm.tokens_out;
+        out.spec_exec.turns += r.spec_exec.turns;
+        out.spec_exec.speculated += r.spec_exec.speculated;
+        out.spec_exec.committed += r.spec_exec.committed;
+        out.spec_exec.conflicts += r.spec_exec.conflicts;
+        out.spec_exec.aborted += r.spec_exec.aborted;
+        out.spec_exec.exec_total_s += r.spec_exec.exec_total_s;
+        out.spec_exec.exec_critical_s += r.spec_exec.exec_critical_s;
     }
     out.episodes = static_cast<int>(episodes.size());
     if (out.episodes > 0) {

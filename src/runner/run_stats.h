@@ -31,11 +31,27 @@ struct RunStats
     long long llm_calls = 0;        ///< total across episodes
     long long tokens = 0;           ///< total (in + out) across episodes
 
+    /** Execute-phase speculation tallies summed across episodes (all
+     * zero when the variant ran with speculative_execute off). */
+    core::SpeculativeExecStats spec_exec;
+
     /** LLM calls averaged per episode (0 when nothing folded). */
     double llmCallsPerEpisode() const;
 
     /** Tokens (in + out) averaged per episode (0 when nothing folded). */
     double tokensPerEpisode() const;
+
+    /** Fraction of speculative turns that hit a read/write clash or a
+     * snapshot abort and re-executed serially (0 when none speculated). */
+    double specConflictRate() const;
+
+    /** Fraction of execute turns that ran on the serial lane — conflicts,
+     * aborts, and turns never speculated (0 when nothing speculated). */
+    double specReexecFraction() const;
+
+    /** Modeled execute-phase speedup: serial latency sum over the
+     * speculative critical path (1 when speculation never engaged). */
+    double specExecSpeedup() const;
 };
 
 /**

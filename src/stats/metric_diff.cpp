@@ -314,12 +314,14 @@ metricDirection(const std::string &key)
         key == "latency_saved_pct" || key == "cross_episode_saved_pct" ||
         key == "batch_charge_saved_pct" ||
         key == "cross_episode_windowed_occupancy" ||
-        key == "cross_episode_windowed_saved_pct")
+        key == "cross_episode_windowed_saved_pct" ||
+        key == "spec_exec_speedup")
         return MetricDirection::HigherIsBetter;
     // Lower is better: cost-like metrics bench_util.h emits.
     if (key == "s_per_step" || key == "runtime_min" ||
         key == "avg_steps" || key == "llm_calls_per_episode" ||
-        key == "tokens_per_episode" || key == "batched_s_per_step")
+        key == "tokens_per_episode" || key == "batched_s_per_step" ||
+        key == "spec_conflict_rate" || key == "spec_reexec_fraction")
         return MetricDirection::LowerIsBetter;
     // Calibration targets: these reproduce specific paper values
     // (LLM latency share ~0.70, memory ablation ~1.61x steps, ...), so

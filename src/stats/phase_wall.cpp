@@ -1,0 +1,12 @@
+#include "stats/phase_wall.h"
+
+namespace ebs::stats {
+
+PhaseWallClock &
+PhaseWallClock::shared()
+{
+    static PhaseWallClock instance;
+    return instance;
+}
+
+} // namespace ebs::stats

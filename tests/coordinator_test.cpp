@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include "core/coordinator.h"
+#include "envs/boxlift_env.h"
 #include "envs/boxnet_env.h"
 #include "envs/household_env.h"
 #include "envs/transport_env.h"
+#include "test_util.h"
 
 namespace ebs::core {
 namespace {
@@ -395,6 +397,77 @@ TEST(Decentralized, TokenSeriesCoversAllAgents)
     }
     EXPECT_TRUE(agent0);
     EXPECT_TRUE(agent1);
+}
+
+TEST(SpeculativeExecute, MatchesSerialAndCommitsCleanTurns)
+{
+    EpisodeOptions options;
+    options.seed = 91;
+    envs::HouseholdEnv env_serial(env::Difficulty::Medium, 4,
+                                  sim::Rng(options.seed).fork(2));
+    const auto serial = runDecentralized(env_serial, goodConfig(), options);
+
+    envs::HouseholdEnv env_spec(env::Difficulty::Medium, 4,
+                                sim::Rng(options.seed).fork(2));
+    options.pipeline.speculative_execute = true;
+    const auto spec = runDecentralized(env_spec, goodConfig(), options);
+
+    test::expectEpisodeIdentical(serial, spec);
+    const auto &tally = spec.spec_exec;
+    EXPECT_EQ(tally.turns, static_cast<long long>(serial.steps) * 4);
+    EXPECT_GT(tally.committed, 0);
+    EXPECT_EQ(tally.speculated,
+              tally.committed + tally.conflicts + tally.aborted);
+    // Clean commits overlap, so the modeled critical path can only shrink.
+    EXPECT_LE(tally.exec_critical_s, tally.exec_total_s + 1e-12);
+}
+
+TEST(SpeculativeExecute, FullyConflictingTeamDegradesToSerialSchedule)
+{
+    // BoxLift's Lift primitive is a same-step cross-agent dependency, so
+    // every speculative turn that reaches a box aborts its snapshot and
+    // re-executes serially. A team whose whole phase conflicts must still
+    // land on the serial schedule bit for bit, with the modeled critical
+    // path collapsing back toward the serial sum.
+    EpisodeOptions options;
+    options.seed = 57;
+    envs::BoxLiftEnv env_serial(env::Difficulty::Easy, 3,
+                                sim::Rng(options.seed).fork(2));
+    const auto serial = runDecentralized(env_serial, goodConfig(), options);
+
+    envs::BoxLiftEnv env_spec(env::Difficulty::Easy, 3,
+                              sim::Rng(options.seed).fork(2));
+    options.pipeline.speculative_execute = true;
+    const auto spec = runDecentralized(env_spec, goodConfig(), options);
+
+    test::expectEpisodeIdentical(serial, spec);
+    ASSERT_TRUE(spec.success);
+    EXPECT_GT(spec.spec_exec.aborted, 0); // lifts forced to the serial lane
+    EXPECT_EQ(spec.spec_exec.speculated,
+              spec.spec_exec.committed + spec.spec_exec.conflicts +
+                  spec.spec_exec.aborted);
+
+    // An llm-direct team skips speculation wholesale — the degenerate
+    // fully-conflicting case. The phase must run the serial schedule with
+    // zero speculative win and zero speculative loss.
+    EpisodeOptions direct = options;
+    direct.pipeline.speculative_execute = false;
+    AgentConfig config = goodConfig();
+    config.has_execution = false;
+    envs::BoxLiftEnv env_direct_serial(env::Difficulty::Easy, 3,
+                                       sim::Rng(options.seed).fork(2));
+    const auto direct_serial =
+        runDecentralized(env_direct_serial, config, direct);
+    direct.pipeline.speculative_execute = true;
+    envs::BoxLiftEnv env_direct_spec(env::Difficulty::Easy, 3,
+                                     sim::Rng(options.seed).fork(2));
+    const auto direct_spec =
+        runDecentralized(env_direct_spec, config, direct);
+    test::expectEpisodeIdentical(direct_serial, direct_spec);
+    EXPECT_EQ(direct_spec.spec_exec.speculated, 0);
+    EXPECT_EQ(direct_spec.spec_exec.committed, 0);
+    EXPECT_DOUBLE_EQ(direct_spec.spec_exec.exec_critical_s,
+                     direct_spec.spec_exec.exec_total_s);
 }
 
 } // namespace
