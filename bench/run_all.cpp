@@ -135,7 +135,16 @@ readPhaseWall(const fs::path &log_path, SuiteResult &result)
         const std::size_t at = last.find(key);
         if (at == std::string::npos)
             return false;
-        out = std::strtod(last.c_str() + at + std::strlen(key), nullptr);
+        // A key with a malformed value ("compute_s":oops) must report
+        // "absent", not silently 0.0: strtod has to consume at least one
+        // character and stop at a JSON delimiter.
+        const char *start = last.c_str() + at + std::strlen(key);
+        char *end = nullptr;
+        const double value = std::strtod(start, &end);
+        if (end == start ||
+            (*end != '\0' && *end != ',' && *end != '}' && *end != ' '))
+            return false;
+        out = value;
         return true;
     };
     double episodes = 0.0;
@@ -416,9 +425,18 @@ readTimelineDurations(const fs::path &path)
             pos = name_end;
             continue;
         }
-        const double wall =
-            std::strtod(text.c_str() + wall_at + kWall.size(), nullptr);
-        if (wall > 0.0)
+        // Skip entries whose wall_seconds doesn't parse as a clean
+        // number (strtod consuming nothing, or a non-JSON tail): a
+        // corrupt timeline entry should fall back to "unknown duration"
+        // rather than feed garbage into the schedule.
+        const char *wall_start = text.c_str() + wall_at + kWall.size();
+        char *wall_end = nullptr;
+        const double wall = std::strtod(wall_start, &wall_end);
+        const bool clean_tail =
+            wall_end != wall_start &&
+            (*wall_end == ',' || *wall_end == '}' || *wall_end == '\n' ||
+             *wall_end == '\r' || *wall_end == ' ' || *wall_end == '\0');
+        if (clean_tail && wall > 0.0)
             durations[name] = wall;
         pos = name_end;
     }

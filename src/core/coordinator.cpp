@@ -70,8 +70,13 @@ class Harness
           // assembles batches. Without one (legacy path, or a service
           // built with batching=false) the switch is inert — there is
           // nothing to batch, so every call stays at its sequential cost.
-          charged_batching_(options.pipeline.batch_llm_calls &&
-                            llm_session_.batching())
+          // A queueing session (finite-capacity backend serving,
+          // llm/backend_queue.h) always charges: the closed loop *is*
+          // the scheduled completion — joint batch time plus queueing +
+          // admission delay — landing on the clock at every flush.
+          charged_batching_(llm_session_.queueing() ||
+                            (options.pipeline.batch_llm_calls &&
+                             llm_session_.batching()))
     {
         const int n = env_.world().agentCount();
         for (int i = 0; i < n; ++i) {

@@ -6,7 +6,10 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <stdexcept>
 #include <tuple>
+
+#include "llm/backend_queue.h"
 
 namespace ebs::llm {
 
@@ -122,6 +125,7 @@ BatchStats::add(const BatchRecord &record)
     cross_agent_batches += record.requests > 1;
     baseline_s += record.baseline_s;
     batched_s += record.batched_s;
+    queue_delay_s += record.queue_delay_s;
 }
 
 void
@@ -132,6 +136,7 @@ BatchStats::merge(const BatchStats &other)
     cross_agent_batches += other.cross_agent_batches;
     baseline_s += other.baseline_s;
     batched_s += other.batched_s;
+    queue_delay_s += other.queue_delay_s;
 }
 
 // ---------------------------------------------------------------- handle
@@ -166,6 +171,19 @@ EngineHandle::complete(const LlmRequest &request)
 }
 
 // --------------------------------------------------------------- session
+
+EngineSession::EngineSession() = default;
+EngineSession::~EngineSession() = default;
+
+EngineSession::EngineSession(LlmEngineService *service) : service_(service)
+{
+    if (service_ != nullptr && service_->config().queue.enabled) {
+        const QueuePolicy &policy = service_->config().queue;
+        queue_ = std::make_unique<BackendQueueModel>(
+            policy.slots_override, policy.kv_budget_override,
+            policy.iteration_s);
+    }
+}
 
 EngineHandle
 EngineSession::handle(const ModelProfile &profile, sim::Rng stream)
@@ -210,6 +228,10 @@ EngineSession::note(BackendId backend, const ModelProfile &profile,
     group->max_decode_s = std::max(
         group->max_decode_s, resp.tokens_out / profile.decode_tok_per_s);
     group->baseline_s += resp.latency_s;
+    group->kv_tokens +=
+        static_cast<double>(resp.tokens_in + resp.tokens_out);
+    if (queue_ != nullptr)
+        queue_->ensureBackend(backend, profile);
 }
 
 void
@@ -232,7 +254,18 @@ EngineSession::flush()
     for (auto &group : open_) {
         group.batched_s = jointCompletionTime(group);
         group.sim_time_s = now_s_;
-        pending_charge_s_ += group.batched_s;
+        if (queue_ != nullptr) {
+            // Closed loop: the group arrives at the backend's finite
+            // queue at the phase's sim instant; whatever the scheduled
+            // completion adds beyond the open-loop joint time is
+            // charged to the episode alongside it. Groups are submitted
+            // in open-order (backend-first-touch within the phase), and
+            // the episode clock only moves forward, so the per-backend
+            // arrival sequence — and with it the whole admission
+            // schedule — is deterministic at any EBS_JOBS.
+            group.queue_delay_s = queue_->submit(group).queue_delay_s;
+        }
+        pending_charge_s_ += group.batched_s + group.queue_delay_s;
         log_.push_back(group);
     }
     if (service_ != nullptr && (!pending_usage_.empty() || !open_.empty()))
@@ -282,6 +315,17 @@ EngineSession::takeLog()
 
 LlmEngineService::LlmEngineService(ServiceConfig config) : config_(config)
 {
+    if (config_.queue.enabled) {
+        // The queue serves assembled batch groups; without batching
+        // there is nothing to submit and the "closed loop" would be
+        // silently open. Reject the inconsistent combination loudly.
+        if (!config_.batching)
+            throw std::invalid_argument(
+                "ServiceConfig: queue.enabled requires batching");
+        if (!(config_.queue.iteration_s > 0.0))
+            throw std::invalid_argument(
+                "ServiceConfig: queue.iteration_s must be > 0");
+    }
 }
 
 BackendId
@@ -314,6 +358,15 @@ LlmEngineService::backendName(BackendId backend) const
     const auto it = backends_.find(backend);
     assert(it != backends_.end());
     return it != backends_.end() ? it->second.name : std::string();
+}
+
+ModelProfile
+LlmEngineService::backendProfile(BackendId backend) const
+{
+    core::MutexLock lock(mu_);
+    const auto it = backends_.find(backend);
+    assert(it != backends_.end());
+    return it != backends_.end() ? it->second.profile : ModelProfile{};
 }
 
 LlmUsage
@@ -441,6 +494,8 @@ foldCrossEpisodeBatches(std::span<const std::vector<BatchRecord>> logs,
             super.max_decode_s =
                 std::max(super.max_decode_s, record.max_decode_s);
             super.baseline_s += record.baseline_s;
+            super.kv_tokens += record.kv_tokens;
+            super.queue_delay_s += record.queue_delay_s;
         }
     }
 

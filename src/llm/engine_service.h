@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <span>
 #include <string>
 #include <utility>
@@ -17,6 +18,7 @@
 
 namespace ebs::llm {
 
+class BackendQueueModel;
 class EngineSession;
 class LlmEngineService;
 
@@ -30,6 +32,26 @@ class LlmEngineService;
  */
 using BackendId = std::uint64_t;
 
+/**
+ * Closed-loop serving switches of an LlmEngineService: when enabled,
+ * every session simulates finite-capacity backends (see
+ * llm/backend_queue.h) and charges queueing + admission delay back to
+ * its episode's clock through the takePendingCharge path. Requires
+ * `ServiceConfig::batching` (the queue serves the assembled batch
+ * groups); the service constructor rejects the inconsistent combination.
+ */
+struct QueuePolicy
+{
+    bool enabled = false;
+    /** > 0 replaces the profile-derived slot count on every backend. */
+    int slots_override = 0;
+    /** > 0 replaces the profile-derived KV/memory token budget. */
+    double kv_budget_override = 0.0;
+    /** Iteration boundary granularity of continuous-batching admission
+     * (must be > 0 when enabled). */
+    double iteration_s = 0.25;
+};
+
 /** Build-time switches of an LlmEngineService. */
 struct ServiceConfig
 {
@@ -42,6 +64,10 @@ struct ServiceConfig
      * simulated result.
      */
     bool batching = true;
+
+    /** Finite-capacity backend serving model (off by default: the
+     * open-loop paths stay bit-identical to the pre-queue behavior). */
+    QueuePolicy queue;
 };
 
 /**
@@ -70,6 +96,12 @@ struct BatchRecord
      * latency-aware cross-episode fold merges only records whose
      * arrival instants fall within one admission window. */
     double sim_time_s = 0.0;
+    /** Summed (prompt + generated) tokens of the members: the group's
+     * KV-cache footprint while it executes on a finite backend. */
+    double kv_tokens = 0.0;
+    /** Queueing + admission delay the backend queue charged the episode
+     * for this group (0 on the open-loop, infinite-capacity path). */
+    double queue_delay_s = 0.0;
 };
 
 /** Aggregated batching outcome over any set of BatchRecords. */
@@ -80,6 +112,7 @@ struct BatchStats
     long long cross_agent_batches = 0; ///< batches with occupancy > 1
     double baseline_s = 0.0;
     double batched_s = 0.0;
+    double queue_delay_s = 0.0; ///< summed charged queueing delay
 
     /** Average completions per assembled batch (0 when empty). */
     double occupancy() const
@@ -94,6 +127,14 @@ struct BatchStats
     double savedFraction() const
     {
         return baseline_s > 0.0 ? savedSeconds() / baseline_s : 0.0;
+    }
+
+    /** Charged queueing delay as a fraction of total charged serving
+     * time (execution + queueing); 0 on the open-loop path. */
+    double queueDelayShare() const
+    {
+        const double served = batched_s + queue_delay_s;
+        return served > 0.0 ? queue_delay_s / served : 0.0;
     }
 
     void add(const BatchRecord &record);
@@ -197,7 +238,8 @@ class EngineHandle
 class EngineSession
 {
   public:
-    EngineSession() = default;
+    EngineSession();
+    ~EngineSession();
 
     /**
      * Sessions are pinned: every EngineHandle holds a raw pointer back
@@ -217,6 +259,20 @@ class EngineSession
 
     /** True when this session assembles batches. */
     bool batching() const;
+
+    /**
+     * True when this session simulates finite-capacity backends: each
+     * flushed batch group is submitted to its backend's discrete-event
+     * queue at the group's arrival instant (`setNow`), and the queueing
+     * + admission delay joins the pending charge so the coordinator's
+     * takePendingCharge path feeds contention back into the episode
+     * clock. Implies charged serving: the coordinator withholds sampled
+     * LLM latency and pays the queue-scheduled completion instead.
+     */
+    bool queueing() const { return queue_ != nullptr; }
+
+    /** The session's backend queues (nullptr when not queueing). */
+    const BackendQueueModel *queueModel() const { return queue_.get(); }
 
     /** Mark the start of a global episode step (closes open groups). */
     void beginStep(int step);
@@ -265,7 +321,7 @@ class EngineSession
     friend class EngineHandle;
     friend class LlmEngineService;
 
-    explicit EngineSession(LlmEngineService *service) : service_(service) {}
+    explicit EngineSession(LlmEngineService *service);
 
     /** Join `resp` to the open batch group of `backend`. */
     void note(BackendId backend, const ModelProfile &profile,
@@ -276,6 +332,9 @@ class EngineSession
     void noteUsage(BackendId backend, const LlmResponse &resp);
 
     LlmEngineService *service_ = nullptr;
+    /** Finite-capacity backend queues (closed-loop serving); null on
+     * the open-loop path. Episode-confined like the session itself. */
+    std::unique_ptr<BackendQueueModel> queue_;
     int step_ = 0;
     int phase_ = 0;
     double now_s_ = 0.0;           ///< arrival stamp for the next flush
@@ -335,6 +394,10 @@ class LlmEngineService
 
     int backendCount() const EBS_EXCLUDES(mu_);
     std::string backendName(BackendId backend) const EBS_EXCLUDES(mu_);
+
+    /** Registered profile of a backend (the id's preimage), so a bench
+     * replay can rebuild per-backend queue configs from record logs. */
+    ModelProfile backendProfile(BackendId backend) const EBS_EXCLUDES(mu_);
 
     /**
      * Fleet-wide usage of one backend (race-free snapshot). Sessions

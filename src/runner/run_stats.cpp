@@ -42,6 +42,18 @@ RunStats::specExecSpeedup() const
                : 1.0;
 }
 
+double
+RunStats::queueDelayShare() const
+{
+    return sim_seconds > 0.0 ? queue_delay_s / sim_seconds : 0.0;
+}
+
+double
+RunStats::queueDelayPerEpisode() const
+{
+    return episodes > 0 ? queue_delay_s / episodes : 0.0;
+}
+
 RunStats
 foldEpisodes(std::span<const core::EpisodeResult> episodes)
 {
@@ -50,6 +62,9 @@ foldEpisodes(std::span<const core::EpisodeResult> episodes)
         out.success_rate += r.success;
         out.avg_steps += r.steps;
         out.avg_runtime_min += r.sim_seconds / 60.0;
+        out.sim_seconds += r.sim_seconds;
+        for (const auto &batch : r.llm_batches)
+            out.queue_delay_s += batch.queue_delay_s;
         out.avg_step_latency_s += r.secondsPerStep();
         out.latency.merge(r.latency);
         out.msgs_generated += r.messages_generated;

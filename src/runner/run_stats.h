@@ -35,6 +35,13 @@ struct RunStats
      * zero when the variant ran with speculative_execute off). */
     core::SpeculativeExecStats spec_exec;
 
+    /** Charged backend queueing + admission delay summed across the
+     * episodes' batch logs (0 on the open-loop, infinite-capacity
+     * path), and the total simulated seconds those episodes spent —
+     * the pair behind queueDelayShare(). */
+    double queue_delay_s = 0.0;
+    double sim_seconds = 0.0;
+
     /** LLM calls averaged per episode (0 when nothing folded). */
     double llmCallsPerEpisode() const;
 
@@ -52,6 +59,13 @@ struct RunStats
     /** Modeled execute-phase speedup: serial latency sum over the
      * speculative critical path (1 when speculation never engaged). */
     double specExecSpeedup() const;
+
+    /** Charged queueing delay as a fraction of total simulated episode
+     * time (0 when the variant ran open-loop). */
+    double queueDelayShare() const;
+
+    /** Mean charged queueing delay per episode, in seconds. */
+    double queueDelayPerEpisode() const;
 };
 
 /**

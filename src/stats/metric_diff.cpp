@@ -11,9 +11,9 @@ namespace {
 
 /**
  * Minimal strict JSON reader covering the grammar run_all emits:
- * objects, arrays, strings (with \" and \\ escapes), numbers, true,
- * false, null. Values are materialized only where the caller asks;
- * everything else is validated and skipped.
+ * objects, arrays, strings (all standard escapes including \uXXXX with
+ * surrogate pairs), numbers, true, false, null. Values are materialized
+ * only where the caller asks; everything else is validated and skipped.
  */
 class JsonReader
 {
@@ -89,19 +89,36 @@ class JsonReader
                   case '/':
                     out += esc;
                     break;
+                  case 'b':
+                    out += '\b';
+                    break;
+                  case 'f':
+                    out += '\f';
+                    break;
                   case 'n':
                     out += '\n';
+                    break;
+                  case 'r':
+                    out += '\r';
                     break;
                   case 't':
                     out += '\t';
                     break;
-                  default:
-                    // Unhandled escapes (\uXXXX...) keep a placeholder;
-                    // metric names never use them.
-                    out += '?';
-                    if (esc == 'u')
-                        pos_ = std::min(pos_ + 4, text_.size());
+                  case 'u':
+                    // Decode \uXXXX (and surrogate pairs) to UTF-8.
+                    // Substituting a placeholder here would alias two
+                    // distinct metric keys ("kA" and "kB"
+                    // both becoming "k?") and make the diff compare the
+                    // wrong baseline value — so a malformed escape
+                    // fails the parse instead.
+                    appendUnicodeEscape(out);
+                    if (failed_)
+                        return out;
                     break;
+                  default:
+                    fail(std::string("invalid string escape '\\") + esc +
+                         "'");
+                    return out;
                 }
             } else {
                 out += c;
@@ -228,6 +245,80 @@ class JsonReader
     }
 
   private:
+    /** Read exactly four hex digits; returns false (and fails) on
+     * anything shorter or non-hex. */
+    bool
+    readHex4(unsigned &out)
+    {
+        if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+            return false;
+        }
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_ + static_cast<std::size_t>(i)];
+            unsigned digit = 0;
+            if (h >= '0' && h <= '9')
+                digit = static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+                digit = static_cast<unsigned>(h - 'a') + 10u;
+            else if (h >= 'A' && h <= 'F')
+                digit = static_cast<unsigned>(h - 'A') + 10u;
+            else {
+                fail("invalid hex digit in \\u escape");
+                return false;
+            }
+            out = (out << 4) | digit;
+        }
+        pos_ += 4;
+        return true;
+    }
+
+    /** Decode one \\uXXXX escape (cursor just past the 'u'), combining
+     * surrogate pairs, and append the code point as UTF-8. */
+    void
+    appendUnicodeEscape(std::string &out)
+    {
+        unsigned code = 0;
+        if (!readHex4(code))
+            return;
+        if (code >= 0xD800u && code <= 0xDBFFu) {
+            // High surrogate: a \uDC00-\uDFFF low surrogate must follow.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+                fail("unpaired high surrogate in \\u escape");
+                return;
+            }
+            pos_ += 2;
+            unsigned low = 0;
+            if (!readHex4(low))
+                return;
+            if (low < 0xDC00u || low > 0xDFFFu) {
+                fail("invalid low surrogate in \\u escape");
+                return;
+            }
+            code = 0x10000u + ((code - 0xD800u) << 10) + (low - 0xDC00u);
+        } else if (code >= 0xDC00u && code <= 0xDFFFu) {
+            fail("unpaired low surrogate in \\u escape");
+            return;
+        }
+        if (code < 0x80u) {
+            out += static_cast<char>(code);
+        } else if (code < 0x800u) {
+            out += static_cast<char>(0xC0u | (code >> 6));
+            out += static_cast<char>(0x80u | (code & 0x3Fu));
+        } else if (code < 0x10000u) {
+            out += static_cast<char>(0xE0u | (code >> 12));
+            out += static_cast<char>(0x80u | ((code >> 6) & 0x3Fu));
+            out += static_cast<char>(0x80u | (code & 0x3Fu));
+        } else {
+            out += static_cast<char>(0xF0u | (code >> 18));
+            out += static_cast<char>(0x80u | ((code >> 12) & 0x3Fu));
+            out += static_cast<char>(0x80u | ((code >> 6) & 0x3Fu));
+            out += static_cast<char>(0x80u | (code & 0x3Fu));
+        }
+    }
+
     void
     expectWord(const char *word)
     {
@@ -315,13 +406,16 @@ metricDirection(const std::string &key)
         key == "batch_charge_saved_pct" ||
         key == "cross_episode_windowed_occupancy" ||
         key == "cross_episode_windowed_saved_pct" ||
-        key == "spec_exec_speedup")
+        key == "spec_exec_speedup" || key == "backend_occupancy" ||
+        key == "max_sustainable_eps")
         return MetricDirection::HigherIsBetter;
     // Lower is better: cost-like metrics bench_util.h emits.
     if (key == "s_per_step" || key == "runtime_min" ||
         key == "avg_steps" || key == "llm_calls_per_episode" ||
         key == "tokens_per_episode" || key == "batched_s_per_step" ||
-        key == "spec_conflict_rate" || key == "spec_reexec_fraction")
+        key == "spec_conflict_rate" || key == "spec_reexec_fraction" ||
+        key == "queue_delay_share" || key == "p50_episode_latency_s" ||
+        key == "p99_episode_latency_s")
         return MetricDirection::LowerIsBetter;
     // Calibration targets: these reproduce specific paper values
     // (LLM latency share ~0.70, memory ablation ~1.61x steps, ...), so

@@ -63,7 +63,7 @@ TEST(EngineService, BitIdenticalAcrossEnginePathsAndWorkerCounts)
     for (const bool batching : {false, true}) {
         for (const int workers : worker_counts) {
             llm::LlmEngineService service(
-                llm::ServiceConfig{.batching = batching});
+                llm::ServiceConfig{.batching = batching, .queue = {}});
             const auto routed = runner::EpisodeRunner(workers).run(
                 paradigmBatch(&service));
             ASSERT_EQ(routed.size(), legacy.size());
@@ -194,7 +194,8 @@ TEST(EngineService, LegacyPathProducesNoBatchLog)
     for (const auto &episode : legacy)
         EXPECT_TRUE(episode.llm_batches.empty());
 
-    llm::LlmEngineService unbatched(llm::ServiceConfig{.batching = false});
+    llm::LlmEngineService unbatched(
+        llm::ServiceConfig{.batching = false, .queue = {}});
     const auto routed =
         runner::EpisodeRunner(1).run(paradigmBatch(&unbatched));
     for (const auto &episode : routed)

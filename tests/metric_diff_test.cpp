@@ -84,6 +84,73 @@ TEST(MetricDiffParse, EmptyDocumentHasNoEntries)
     EXPECT_TRUE(error.empty());
 }
 
+/** Wrap one paper_metrics object literal in the run_all envelope. */
+std::string
+wrapMetricObject(const std::string &object_json)
+{
+    return "{\"suites\":{\"bench_x\":{\"paper_metrics\":[" + object_json +
+           "]}}}";
+}
+
+TEST(MetricDiffParse, UnicodeEscapesDecodeInsteadOfAliasing)
+{
+    // Two keys differing only inside a \uXXXX escape used to both decode
+    // to "k?" and alias to one metric, comparing against the wrong
+    // baseline value. They must stay distinct (decoded to UTF-8).
+    std::string error;
+    const auto entries = parseBenchResults(
+        wrapMetricObject("{\"case\":\"alpha\","
+                         "\"k\\u00e9\":1.0,\"k\\u00e8\":2.0}"),
+        &error);
+    EXPECT_TRUE(error.empty()) << error;
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries[0].values.size(), 2u);
+    EXPECT_DOUBLE_EQ(entries[0].values.at("k\xC3\xA9"), 1.0);
+    EXPECT_DOUBLE_EQ(entries[0].values.at("k\xC3\xA8"), 2.0);
+
+    // ASCII, multi-byte, and surrogate-pair escapes all decode.
+    error.clear();
+    const auto decoded = parseBenchResults(
+        wrapMetricObject("{\"case\":\"A\\u0042\\u20ac"
+                         "\\ud83d\\ude00\",\"v\":1.0}"),
+        &error);
+    EXPECT_TRUE(error.empty()) << error;
+    ASSERT_EQ(decoded.size(), 1u);
+    EXPECT_EQ(decoded[0].case_name, "AB\xE2\x82\xAC\xF0\x9F\x98\x80");
+}
+
+TEST(MetricDiffParse, MalformedEscapesFailTheParse)
+{
+    const char *bad[] = {
+        "{\"case\":\"x\\u12\",\"v\":1}",       // truncated hex
+        "{\"case\":\"x\\u12zq\",\"v\":1}",     // non-hex digit
+        "{\"case\":\"x\\ud800\",\"v\":1}",     // unpaired high surrogate
+        "{\"case\":\"x\\ud800\\u0041\",\"v\":1}", // bad low surrogate
+        "{\"case\":\"x\\udc00\",\"v\":1}",     // unpaired low surrogate
+        "{\"case\":\"x\\q\",\"v\":1}",         // unknown escape
+    };
+    for (const char *object_json : bad) {
+        std::string error;
+        EXPECT_TRUE(
+            parseBenchResults(wrapMetricObject(object_json), &error)
+                .empty())
+            << object_json;
+        EXPECT_FALSE(error.empty()) << object_json;
+    }
+}
+
+TEST(MetricDiffParse, ControlCharacterEscapesDecode)
+{
+    std::string error;
+    const auto entries = parseBenchResults(
+        wrapMetricObject(
+            "{\"case\":\"a\\b\\f\\r\\n\\tb\\/c\",\"v\":1.0}"),
+        &error);
+    EXPECT_TRUE(error.empty()) << error;
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_EQ(entries[0].case_name, "a\b\f\r\n\tb/c");
+}
+
 TEST(MetricDiff, IdenticalFilesAreClean)
 {
     std::string error;
@@ -291,7 +358,17 @@ TEST(MetricDiff, DirectionTable)
               MetricDirection::HigherIsBetter);
     EXPECT_EQ(metricDirection("cross_episode_windowed_saved_pct"),
               MetricDirection::HigherIsBetter);
+    EXPECT_EQ(metricDirection("backend_occupancy"),
+              MetricDirection::HigherIsBetter);
+    EXPECT_EQ(metricDirection("max_sustainable_eps"),
+              MetricDirection::HigherIsBetter);
     EXPECT_EQ(metricDirection("s_per_step"),
+              MetricDirection::LowerIsBetter);
+    EXPECT_EQ(metricDirection("queue_delay_share"),
+              MetricDirection::LowerIsBetter);
+    EXPECT_EQ(metricDirection("p50_episode_latency_s"),
+              MetricDirection::LowerIsBetter);
+    EXPECT_EQ(metricDirection("p99_episode_latency_s"),
               MetricDirection::LowerIsBetter);
     EXPECT_EQ(metricDirection("batched_s_per_step"),
               MetricDirection::LowerIsBetter);
