@@ -49,6 +49,7 @@
 #include <fstream>
 #include <limits>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -60,6 +61,7 @@
 #include <unistd.h>
 
 #include "core/sync.h"
+#include "obs/trace.h"
 #include "sched/fleet_scheduler.h"
 #include "stats/host_clock.h"
 
@@ -119,6 +121,14 @@ collectMetricLines(const fs::path &log_path)
  * output into the result's phase split (stderr shares the log file via
  * dup2, so the line lands in the same capture as EBS_METRIC). The clock
  * is process-wide and monotone, so the last line is the suite total.
+ *
+ * Anchored on the *whole line*, not a substring scan: a candidate line
+ * must start with the prefix and the remainder must be exactly one flat
+ * balanced `{...}` object with nothing after it (modulo a trailing CR).
+ * stderr is unbuffered, so a child thread racing the summary write can
+ * fuse two lines into one ("EBS_PHASE_WALL {..}warning: ..."); the old
+ * substring scan would happily pull values out of the wreckage, while a
+ * fused or truncated line must simply not count.
  */
 void
 readPhaseWall(const fs::path &log_path, SuiteResult &result)
@@ -126,9 +136,19 @@ readPhaseWall(const fs::path &log_path, SuiteResult &result)
     static const std::string kPrefix = "EBS_PHASE_WALL ";
     std::ifstream log(log_path);
     std::string line, last;
-    while (std::getline(log, line))
-        if (line.rfind(kPrefix, 0) == 0)
-            last = line.substr(kPrefix.size());
+    while (std::getline(log, line)) {
+        if (line.rfind(kPrefix, 0) != 0)
+            continue;
+        std::string payload = line.substr(kPrefix.size());
+        if (!payload.empty() && payload.back() == '\r')
+            payload.pop_back();
+        const bool whole_flat_object =
+            payload.size() >= 2 && payload.front() == '{' &&
+            payload.find('{', 1) == std::string::npos &&
+            payload.find('}') == payload.size() - 1;
+        if (whole_flat_object)
+            last = std::move(payload);
+    }
     if (last.empty())
         return;
     const auto field = [&last](const char *key, double &out) {
@@ -186,22 +206,34 @@ isExecutableFile(const fs::path &p)
 class ChildEnvironment
 {
   public:
-    ChildEnvironment(bool smoke, int child_jobs)
+    /** `extra` entries ("KEY=value") are appended after the driver's
+     * own knobs — per-suite trace routing (EBS_TRACE_OUT and friends)
+     * travels through here. */
+    ChildEnvironment(bool smoke, int child_jobs,
+                     std::vector<std::string> extra = {})
     {
         for (char **e = environ; *e != nullptr; ++e) {
             const std::string entry(*e);
             if (entry.rfind("EBS_BENCH_SMOKE=", 0) == 0 ||
-                entry.rfind("EBS_JOBS=", 0) == 0)
+                entry.rfind("EBS_JOBS=", 0) == 0 ||
+                entry.rfind("EBS_TRACE_OUT=", 0) == 0 ||
+                entry.rfind("EBS_TRACE_NAME=", 0) == 0 ||
+                entry.rfind("EBS_TRACE_PID_BASE=", 0) == 0)
                 continue; // a stale value would silently override ours
             storage_.push_back(entry);
         }
         if (smoke)
             storage_.push_back("EBS_BENCH_SMOKE=1");
         storage_.push_back("EBS_JOBS=" + std::to_string(child_jobs));
+        for (auto &entry : extra)
+            storage_.push_back(std::move(entry));
         for (auto &entry : storage_)
             pointers_.push_back(entry.data());
         pointers_.push_back(nullptr);
     }
+
+    ChildEnvironment(const ChildEnvironment &) = delete;
+    ChildEnvironment &operator=(const ChildEnvironment &) = delete;
 
     char *const *envp() const { return pointers_.data(); }
 
@@ -372,10 +404,11 @@ writeTimeline(const fs::path &path,
         std::fprintf(f,
                      "%s\n    {\"name\": \"%s\", \"start_s\": %.6f, "
                      "\"end_s\": %.6f, \"wall_seconds\": %.6f, "
-                     "\"exit_code\": %d",
+                     "\"exit_code\": %d, \"max_rss_kb\": %ld",
                      i > 0 ? "," : "", timings[i].label.c_str(),
                      timings[i].start_s, timings[i].end_s,
-                     timings[i].duration(), result.exit_code);
+                     timings[i].duration(), result.exit_code,
+                     result.max_rss_kb);
         if (result.has_phase_wall)
             std::fprintf(f,
                          ", \"phase_compute_s\": %.6f, "
@@ -385,6 +418,81 @@ writeTimeline(const fs::path &path,
         std::fprintf(f, "}");
     }
     std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+}
+
+/**
+ * Merge the per-suite Chrome trace files the children exported (each
+ * suite ran with EBS_TRACE_OUT=<logs>/<suite>.trace.json and a disjoint
+ * EBS_TRACE_PID_BASE, see obs/trace.h) into one Perfetto-loadable
+ * BENCH_trace.json, and add run_all's own fleet-level view: one 'X'
+ * slice per suite on pid 1 (tid = the pool worker that babysat the
+ * child, -1 = the help-executing main thread). The writer emits one
+ * event per line between a fixed header and footer, so the merge is a
+ * pure line concatenation — no JSON parser in the driver.
+ */
+void
+writeMergedTrace(const fs::path &trace_path,
+                 const std::vector<fs::path> &suite_traces,
+                 const std::vector<ebs::sched::TaskTiming> &timings,
+                 const std::vector<SuiteResult> &results,
+                 const std::vector<std::size_t> &order)
+{
+    std::vector<std::string> lines;
+    lines.push_back("{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"ts\":0,"
+                    "\"name\":\"process_name\","
+                    "\"args\":{\"name\":\"run_all fleet\"}}");
+    // Suite slices in submission order: tasks of one worker are claimed
+    // in submission order, so each (pid 1, tid) track's timestamps come
+    // out nondecreasing — the invariant trace_summarize --validate pins.
+    for (std::size_t i = 0; i < timings.size(); ++i) {
+        const SuiteResult &result = results[order[i]];
+        char buf[512];
+        std::snprintf(buf, sizeof buf,
+                      "{\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,"
+                      "\"dur\":%.3f,\"cat\":\"suite\",\"name\":\"%s\","
+                      "\"args\":{\"exit_code\":%d,\"max_rss_kb\":%ld}}",
+                      timings[i].worker, timings[i].start_s * 1e6,
+                      timings[i].duration() * 1e6,
+                      timings[i].label.c_str(), result.exit_code,
+                      result.max_rss_kb);
+        lines.push_back(buf);
+    }
+    for (const fs::path &child : suite_traces) {
+        std::ifstream in(child);
+        if (!in) {
+            std::fprintf(stderr,
+                         "run_all: no trace from %s (suite crashed before "
+                         "its atexit exporter?)\n",
+                         child.c_str());
+            continue;
+        }
+        std::string line;
+        while (std::getline(in, line)) {
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            // Keep only event lines: skip the header/footer brackets.
+            if (line.empty() || line[0] != '{' ||
+                line.rfind("{ \"traceEvents\"", 0) == 0)
+                continue;
+            if (line.back() == ',')
+                line.pop_back();
+            lines.push_back(std::move(line));
+        }
+    }
+
+    std::FILE *f = std::fopen(trace_path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "run_all: cannot write %s: %s\n",
+                     trace_path.c_str(), std::strerror(errno));
+        return;
+    }
+    std::fputs("{ \"traceEvents\": [\n", f);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        std::fputs(lines[i].c_str(), f);
+        std::fputs(i + 1 < lines.size() ? ",\n" : "\n", f);
+    }
+    std::fputs("] }\n", f);
     std::fclose(f);
 }
 
@@ -534,6 +642,7 @@ main(int argc, char **argv)
     fs::path out_path = "BENCH_results.json";
     fs::path log_dir = "BENCH_logs";
     fs::path timeline_path = "BENCH_timeline.json";
+    fs::path trace_path = "BENCH_trace.json";
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -549,6 +658,8 @@ main(int argc, char **argv)
             log_dir = argv[++i];
         } else if (arg == "--timeline" && i + 1 < argc) {
             timeline_path = argv[++i];
+        } else if (arg == "--trace-out" && i + 1 < argc) {
+            trace_path = argv[++i];
         } else if (arg == "--filter" && i + 1 < argc) {
             filter = argv[++i];
         } else if (arg == "--suites" && i + 1 < argc) {
@@ -570,7 +681,8 @@ main(int argc, char **argv)
             std::fprintf(stderr,
                          "usage: run_all [--smoke] [--list] [--serial] "
                          "[--out PATH] [--logs DIR] [--timeline PATH] "
-                         "[--filter STR] [--suites a,b,c] [--jobs N]\n");
+                         "[--trace-out PATH] [--filter STR] "
+                         "[--suites a,b,c] [--jobs N]\n");
             return arg == "--help" || arg == "-h" ? 0 : 2;
         }
     }
@@ -647,7 +759,31 @@ main(int argc, char **argv)
                 n_suites, budget, concurrent, child_jobs,
                 serial ? ", --serial" : "");
 
-    const ChildEnvironment child_env(smoke, child_jobs);
+    // Tracing (EBS_TRACE truthy in the driver's own environment): each
+    // child exports its trace to a per-suite file in the log dir, under
+    // a disjoint pid block, and the driver merges them after the fleet
+    // drains. Off (the default): the EBS_TRACE_* knobs are stripped from
+    // every child and no trace machinery runs anywhere.
+    const bool tracing = ebs::obs::traceEnabled();
+    std::vector<fs::path> suite_traces;
+    std::vector<std::unique_ptr<ChildEnvironment>> child_envs;
+    child_envs.reserve(binaries.size());
+    for (std::size_t i = 0; i < binaries.size(); ++i) {
+        std::vector<std::string> extra;
+        if (tracing) {
+            const std::string suite = binaries[i].filename().string();
+            const fs::path child_trace =
+                log_dir / (suite + ".trace.json");
+            suite_traces.push_back(child_trace);
+            extra.push_back("EBS_TRACE_OUT=" + child_trace.string());
+            extra.push_back("EBS_TRACE_NAME=" + suite);
+            extra.push_back("EBS_TRACE_PID_BASE=" +
+                            std::to_string(10 + 10 * i));
+        }
+        child_envs.push_back(std::make_unique<ChildEnvironment>(
+            smoke, child_jobs, std::move(extra)));
+    }
+
     std::vector<SuiteResult> results(binaries.size());
     ebs::core::Mutex print_mutex;
 
@@ -675,7 +811,8 @@ main(int argc, char **argv)
             log_dir / (binary.filename().string() + ".log");
         graph.add(
             [&, i, log_path] {
-                results[i] = runSuite(binaries[i], log_path, child_env);
+                results[i] = runSuite(binaries[i], log_path,
+                                      *child_envs[i]);
                 ebs::core::MutexLock lock(print_mutex);
                 std::printf("[run_all] %-32s exit=%d wall=%.2fs rss=%ldKB\n",
                             results[i].name.c_str(), results[i].exit_code,
@@ -707,6 +844,18 @@ main(int argc, char **argv)
                         ? 100.0 * straggler.duration() / summary.makespan_s
                         : 0.0);
     }
+    // Memory high-water mark of the fleet: each suite is its own
+    // process, so the per-suite getrusage peaks are independent and the
+    // fleet peak is the max (suites also carry their own value in
+    // BENCH_results.json and BENCH_timeline.json).
+    if (!results.empty()) {
+        std::size_t peak = 0;
+        for (std::size_t i = 1; i < results.size(); ++i)
+            if (results[i].max_rss_kb > results[peak].max_rss_kb)
+                peak = i;
+        std::printf("[run_all] peak rss: %s (%ld KB)\n",
+                    results[peak].name.c_str(), results[peak].max_rss_kb);
+    }
     // Per-episode compute/execute host split across the suites that
     // report one (EBS_PHASE_WALL): makes the speculative execute-phase
     // win visible at fleet level and in BENCH_timeline.json.
@@ -731,6 +880,12 @@ main(int argc, char **argv)
                         1000.0 * execute_s / episodes);
     }
     writeTimeline(timeline_path, timings, results, summary, order);
+    if (tracing) {
+        writeMergedTrace(trace_path, suite_traces, timings, results,
+                         order);
+        std::printf("[run_all] wrote %s (merged %zu suite traces)\n",
+                    trace_path.c_str(), suite_traces.size());
+    }
 
     writeJson(out_path, results, smoke);
     std::printf("[run_all] wrote %s (%zu suites, %d failed)\n",

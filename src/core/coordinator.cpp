@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "env/spec.h"
+#include "obs/trace.h"
 #include "stats/host_clock.h"
 #include "stats/phase_wall.h"
 
@@ -78,6 +79,11 @@ class Harness
                             (options.pipeline.batch_llm_calls &&
                              llm_session_.batching()))
     {
+        // Dual-clock tracing: a null trace (the EBS_TRACE=0 default)
+        // keeps every emission point below a single pointer check.
+        trace_ = options.trace;
+        if (trace_ != nullptr)
+            llm_session_.traceTo(trace_);
         const int n = env_.world().agentCount();
         for (int i = 0; i < n; ++i) {
             agents_.push_back(std::make_unique<Agent>(
@@ -170,9 +176,11 @@ class Harness
      */
     template <typename Compute, typename Commit>
     void
-    computePhase(Compute &&compute, Commit &&commit)
+    computePhase(const char *name, Compute &&compute, Commit &&commit)
     {
         const double host_begin = stats::hostNow();
+        if (trace_ != nullptr)
+            trace_->beginSpan("phase", name, clock_.now(), host_begin);
         const std::size_t n = agents_.size();
         for (std::size_t i = 0; i < n; ++i) {
             scratch_[i].reset();
@@ -220,16 +228,18 @@ class Harness
         }
         flushLlm();
         advanceBy(total, longest, llm_total, nonllm_longest);
-        stats::PhaseWallClock::shared().addCompute(stats::hostNow() -
-                                                   host_begin);
+        const double host_end = stats::hostNow();
+        if (trace_ != nullptr)
+            trace_->endSpan(clock_.now(), host_end);
+        stats::PhaseWallClock::shared().addCompute(host_end - host_begin);
     }
 
     /** computePhase() with no per-agent commit step. */
     template <typename Compute>
     void
-    computePhase(Compute &&compute)
+    computePhase(const char *name, Compute &&compute)
     {
-        computePhase(std::forward<Compute>(compute), [](Agent &) {});
+        computePhase(name, std::forward<Compute>(compute), [](Agent &) {});
     }
 
     /**
@@ -243,9 +253,11 @@ class Harness
      */
     template <typename Fn>
     void
-    envPhase(Fn &&turn)
+    envPhase(const char *name, Fn &&turn)
     {
         const double host_begin = stats::hostNow();
+        if (trace_ != nullptr)
+            trace_->beginSpan("phase", name, clock_.now(), host_begin);
         double total = 0.0;
         double longest = 0.0;
         double llm_total = 0.0;
@@ -267,8 +279,10 @@ class Harness
         }
         flushLlm();
         advanceBy(total, longest, llm_total, nonllm_longest);
-        stats::PhaseWallClock::shared().addExecute(stats::hostNow() -
-                                                   host_begin);
+        const double host_end = stats::hostNow();
+        if (trace_ != nullptr)
+            trace_->endSpan(clock_.now(), host_end);
+        stats::PhaseWallClock::shared().addExecute(host_end - host_begin);
     }
 
     /**
@@ -292,13 +306,15 @@ class Harness
      */
     template <typename Fn>
     void
-    executePhase(Fn &&turn)
+    executePhase(const char *name, Fn &&turn)
     {
         if (!speculativeExecute()) {
-            envPhase(std::forward<Fn>(turn));
+            envPhase(name, std::forward<Fn>(turn));
             return;
         }
         const double host_begin = stats::hostNow();
+        if (trace_ != nullptr)
+            trace_->beginSpan("phase", name, clock_.now(), host_begin);
         const std::size_t n = agents_.size();
         ensureSpecSlots();
 
@@ -436,6 +452,20 @@ class Harness
                 env::spec::mergeKeys(committed_writes, occ_scratch_);
                 serial_sum += delta;
             }
+            if (trace_ != nullptr) {
+                // Commit-vs-reexec outcome of this agent's turn — decided
+                // deterministically by the logs and the commit order, so
+                // the instant stream is EBS_JOBS-independent like the
+                // tallies it mirrors.
+                const char *outcome =
+                    spec_ran_[i] == 0 ? "spec.serial"
+                    : clean           ? "spec.commit"
+                    : spec_logs_[i].aborted() ? "spec.abort"
+                                              : "spec.conflict";
+                trace_->instant("spec", outcome, clock_.now(),
+                                static_cast<int>(i),
+                                {{"latency_s", delta}});
+            }
             total += delta;
             longest = std::max(longest, delta);
             llm_total += llm;
@@ -446,8 +476,10 @@ class Harness
         spec_stats_.exec_critical_s += clean_longest + serial_sum;
         flushLlm();
         advanceBy(total, longest, llm_total, nonllm_longest);
-        stats::PhaseWallClock::shared().addExecute(stats::hostNow() -
-                                                   host_begin);
+        const double host_end = stats::hostNow();
+        if (trace_ != nullptr)
+            trace_->endSpan(clock_.now(), host_end);
+        stats::PhaseWallClock::shared().addExecute(host_end - host_begin);
     }
 
     /** Run a single-actor phase (e.g., the central planner). Under
@@ -458,9 +490,11 @@ class Harness
      * rather than a serial sum. */
     template <typename Fn>
     void
-    soloPhase(Fn &&body)
+    soloPhase(const char *name, Fn &&body)
     {
         const double host_begin = stats::hostNow();
+        if (trace_ != nullptr)
+            trace_->beginSpan("phase", name, clock_.now(), host_begin);
         const double before = recorder_.grandTotal();
         const double llm_before = llm_session_.phaseBaseline();
         body();
@@ -471,14 +505,18 @@ class Harness
         } else {
             clock_.advance(delta);
         }
-        stats::PhaseWallClock::shared().addCompute(stats::hostNow() -
-                                                   host_begin);
+        const double host_end = stats::hostNow();
+        if (trace_ != nullptr)
+            trace_->endSpan(clock_.now(), host_end);
+        stats::PhaseWallClock::shared().addCompute(host_end - host_begin);
     }
 
     /** Finish bookkeeping for one global step; true when episode is over. */
     bool
     stepDone(EpisodeResult &result, int step)
     {
+        if (trace_ != nullptr)
+            trace_->endSpan(clock_.now()); // the step bracket (setSteps)
         result.steps = step + 1;
         result.final_progress = env_.task().progress(env_.world());
         return env_.task().satisfied(env_.world());
@@ -508,6 +546,7 @@ class Harness
         result.messages_useful = messages_useful_;
         result.token_series = std::move(token_series_);
         result.spec_exec = spec_stats_;
+        fillMetrics(result);
         stats::PhaseWallClock::shared().addEpisode();
         return result;
     }
@@ -517,6 +556,11 @@ class Harness
     {
         steps_ = steps;
         llm_session_.beginStep(steps - 1);
+        // The step bracket is sim-only (no host stamp is taken here);
+        // stepDone() closes it.
+        if (trace_ != nullptr)
+            trace_->beginSpan("step", "step " + std::to_string(steps - 1),
+                              clock_.now());
     }
     void countMessage(bool useful)
     {
@@ -574,6 +618,44 @@ class Harness
             clock_.advance(longest + 0.15 * (total - longest));
         } else {
             clock_.advance(total);
+        }
+    }
+
+    /**
+     * Populate the episode's typed metrics registry from the tallies
+     * the rest of finish() assembled. Always on (a handful of map
+     * inserts per episode, nowhere near a hot path); every source value
+     * is already worker-count-independent, so the registry folds
+     * through runner::RunStats like the existing tallies.
+     */
+    void
+    fillMetrics(EpisodeResult &result) const
+    {
+        obs::MetricSet &m = result.metrics;
+        m.add("episode.count");
+        m.add("episode.steps", result.steps);
+        m.add("episode.success", result.success ? 1 : 0);
+        m.add("episode.messages", result.messages_generated);
+        m.add("episode.messages_useful", result.messages_useful);
+        m.add("llm.calls", static_cast<long long>(result.llm.calls));
+        m.add("spec.turns", spec_stats_.turns);
+        m.add("spec.speculated", spec_stats_.speculated);
+        m.add("spec.committed", spec_stats_.committed);
+        m.add("spec.conflicts", spec_stats_.conflicts);
+        m.add("spec.aborted", spec_stats_.aborted);
+        m.gaugeMax("episode.max_sim_seconds", result.sim_seconds);
+        static constexpr double kOccupancyBounds[] = {1, 2, 4, 8, 16, 32};
+        static constexpr double kDelayBounds[] = {0.1, 0.5, 2.0, 10.0,
+                                                  60.0};
+        for (const auto &batch : result.llm_batches) {
+            m.add("llm.batches");
+            m.add("llm.batched_requests", batch.requests);
+            m.observe("llm.batch_occupancy", batch.requests,
+                      kOccupancyBounds);
+            m.gaugeMax("llm.max_batch_kv_tokens", batch.kv_tokens);
+            if (llm_session_.queueing())
+                m.observe("llm.queue_delay_s", batch.queue_delay_s,
+                          kDelayBounds);
         }
     }
 
@@ -635,6 +717,8 @@ class Harness
 
     env::Environment &env_;
     EpisodeOptions options_;
+    /** Episode trace log (null = tracing off; see EpisodeOptions). */
+    obs::EpisodeTraceLog *trace_ = nullptr;
     sched::FleetScheduler *scheduler_;
     sim::Rng master_rng_;
     sim::SimClock clock_;
@@ -693,7 +777,7 @@ runSingleAgent(env::Environment &environment, const AgentConfig &config,
         environment.beginStep();
         harness.setSteps(step + 1);
 
-        harness.computePhase([&](Agent &a) { a.sense(step); });
+        harness.computePhase("sense", [&](Agent &a) { a.sense(step); });
 
         env::Subgoal subgoal;
         bool plan_sound = true;
@@ -710,7 +794,7 @@ runSingleAgent(env::Environment &environment, const AgentConfig &config,
             context.compression = options.pipeline.context_compression;
             PlanDecision decision;
             harness.computePhase(
-                [&](Agent &a) { decision = a.plan(step, context); });
+                "plan", [&](Agent &a) { decision = a.plan(step, context); });
             subgoal = decision.subgoal;
             plan_sound = decision.from_oracle;
             harness.recordTokens(step, 0, decision.prompt_tokens, 0);
@@ -720,8 +804,8 @@ runSingleAgent(env::Environment &environment, const AgentConfig &config,
 
         ExecResult exec;
         harness.executePhase(
-            [&](Agent &a) { exec = a.execute(step, subgoal); });
-        harness.computePhase([&](Agent &a) {
+            "execute", [&](Agent &a) { exec = a.execute(step, subgoal); });
+        harness.computePhase("reflect", [&](Agent &a) {
             a.reflect(step, subgoal, exec, plan_sound);
         });
         if (!exec.success)
@@ -760,13 +844,13 @@ runCentralized(env::Environment &environment, const AgentConfig &config,
         environment.beginStep();
         harness.setSteps(step + 1);
 
-        harness.computePhase([&](Agent &a) { a.sense(step); });
+        harness.computePhase("sense", [&](Agent &a) { a.sense(step); });
 
         // Central joint plan: prompt covers every agent's state plus the
         // accumulated feedback dialogue.
         bool good = false;
         int central_tokens = 0;
-        harness.soloPhase([&] {
+        harness.soloPhase("plan.central", [&] {
             llm::LlmRequest request;
             request.kind = llm::CallKind::Planning;
             request.tokens_in = config.lat.plan_prompt_base +
@@ -792,7 +876,7 @@ runCentralized(env::Environment &environment, const AgentConfig &config,
 
         // Instruction broadcast (one message generation for the team).
         if (config.has_communication) {
-            harness.soloPhase([&] {
+            harness.soloPhase("comm.broadcast", [&] {
                 llm::LlmRequest request;
                 request.kind = llm::CallKind::Communication;
                 request.tokens_in = config.lat.comm_prompt_base + 30 * n;
@@ -829,7 +913,7 @@ runCentralized(env::Environment &environment, const AgentConfig &config,
 
         std::vector<env::Subgoal> subgoals(static_cast<std::size_t>(n));
         std::vector<char> sound(static_cast<std::size_t>(n), 1);
-        harness.computePhase([&](Agent &a) {
+        harness.computePhase("plan.apply", [&](Agent &a) {
             const auto idx = static_cast<std::size_t>(a.id());
             sound[idx] = pre_good[idx];
             subgoals[idx] = a.chooseSubgoal(pre_good[idx] != 0,
@@ -837,11 +921,11 @@ runCentralized(env::Environment &environment, const AgentConfig &config,
         });
 
         std::vector<ExecResult> execs(static_cast<std::size_t>(n));
-        harness.executePhase([&](Agent &a) {
+        harness.executePhase("execute", [&](Agent &a) {
             execs[static_cast<std::size_t>(a.id())] =
                 a.execute(step, subgoals[static_cast<std::size_t>(a.id())]);
         });
-        harness.computePhase([&](Agent &a) {
+        harness.computePhase("reflect", [&](Agent &a) {
             const auto &exec = execs[static_cast<std::size_t>(a.id())];
             a.reflect(step, subgoals[static_cast<std::size_t>(a.id())],
                       exec, sound[static_cast<std::size_t>(a.id())] != 0);
@@ -887,7 +971,7 @@ runHierarchical(env::Environment &environment, const AgentConfig &config,
         environment.beginStep();
         harness.setSteps(step + 1);
 
-        harness.computePhase([&](Agent &a) { a.sense(step); });
+        harness.computePhase("sense", [&](Agent &a) { a.sense(step); });
 
         // Cross-cluster coordination: one message per cluster lead,
         // broadcast to the other leads (bounded, not quadratic in n).
@@ -897,6 +981,7 @@ runHierarchical(env::Environment &environment, const AgentConfig &config,
             std::vector<Message> outbox;
             std::vector<Message> generated(static_cast<std::size_t>(n));
             harness.computePhase(
+                "comm.leads",
                 [&](Agent &a) {
                     if (a.id() % k != 0)
                         return; // only cluster leads speak
@@ -921,7 +1006,7 @@ runHierarchical(env::Environment &environment, const AgentConfig &config,
         std::vector<char> cluster_good(static_cast<std::size_t>(clusters));
         for (int c = 0; c < clusters; ++c) {
             const int members = std::min(k, n - c * k);
-            harness.soloPhase([&] {
+            harness.soloPhase("plan.cluster", [&] {
                 llm::LlmRequest request;
                 request.kind = llm::CallKind::Planning;
                 request.tokens_in = config.lat.plan_prompt_base +
@@ -960,7 +1045,7 @@ runHierarchical(env::Environment &environment, const AgentConfig &config,
 
         std::vector<env::Subgoal> subgoals(static_cast<std::size_t>(n));
         std::vector<char> sound(static_cast<std::size_t>(n), 1);
-        harness.computePhase([&](Agent &a) {
+        harness.computePhase("plan.apply", [&](Agent &a) {
             const auto idx = static_cast<std::size_t>(a.id());
             sound[idx] = pre_good[idx];
             subgoals[idx] = a.chooseSubgoal(pre_good[idx] != 0,
@@ -968,11 +1053,11 @@ runHierarchical(env::Environment &environment, const AgentConfig &config,
         });
 
         std::vector<ExecResult> execs(static_cast<std::size_t>(n));
-        harness.executePhase([&](Agent &a) {
+        harness.executePhase("execute", [&](Agent &a) {
             execs[static_cast<std::size_t>(a.id())] =
                 a.execute(step, subgoals[static_cast<std::size_t>(a.id())]);
         });
-        harness.computePhase([&](Agent &a) {
+        harness.computePhase("reflect", [&](Agent &a) {
             const auto idx = static_cast<std::size_t>(a.id());
             a.reflect(step, subgoals[idx], execs[idx], sound[idx] != 0);
         });
@@ -1004,7 +1089,7 @@ runDecentralized(env::Environment &environment, const AgentConfig &config,
         environment.beginStep();
         harness.setSteps(step + 1);
 
-        harness.computePhase([&](Agent &a) { a.sense(step); });
+        harness.computePhase("sense", [&](Agent &a) { a.sense(step); });
 
         // Dialogue: in the default pipeline, every agent pre-generates a
         // message every step (the paper's observed inefficiency), in
@@ -1016,6 +1101,7 @@ runDecentralized(env::Environment &environment, const AgentConfig &config,
             for (int round = 0; round < rounds; ++round) {
                 std::vector<Message> outbox(static_cast<std::size_t>(n));
                 harness.computePhase(
+                    "comm.dialogue",
                     [&](Agent &a) {
                         outbox[static_cast<std::size_t>(a.id())] =
                             a.generateMessage(step, n);
@@ -1042,7 +1128,7 @@ runDecentralized(env::Environment &environment, const AgentConfig &config,
             // broadcast immediately, and later agents plan *with* that
             // message in memory — a genuine cross-agent dependency chain,
             // so this phase stays serial in agent-index order.
-            harness.envPhase([&](Agent &a) {
+            harness.envPhase("plan.comm", [&](Agent &a) {
                 const auto idx = static_cast<std::size_t>(a.id());
                 if (guided_left[idx] > 0) {
                     // Plan-guided multi-step execution (Rec. 7): follow
@@ -1077,6 +1163,7 @@ runDecentralized(env::Environment &environment, const AgentConfig &config,
             std::vector<int> prompt_tokens(static_cast<std::size_t>(n),
                                            -1); // -1 = guided, no call
             harness.computePhase(
+                "plan",
                 [&](Agent &a) {
                     const auto idx = static_cast<std::size_t>(a.id());
                     if (guided_left[idx] > 0) {
@@ -1107,11 +1194,11 @@ runDecentralized(env::Environment &environment, const AgentConfig &config,
         }
 
         std::vector<ExecResult> execs(static_cast<std::size_t>(n));
-        harness.executePhase([&](Agent &a) {
+        harness.executePhase("execute", [&](Agent &a) {
             execs[static_cast<std::size_t>(a.id())] =
                 a.execute(step, subgoals[static_cast<std::size_t>(a.id())]);
         });
-        harness.computePhase([&](Agent &a) {
+        harness.computePhase("reflect", [&](Agent &a) {
             const auto idx = static_cast<std::size_t>(a.id());
             a.reflect(step, subgoals[idx], execs[idx], sound[idx] != 0);
             if (!execs[idx].success)

@@ -8,6 +8,10 @@
 #include "llm/engine_service.h"
 #include "sched/fleet_scheduler.h"
 
+namespace ebs::obs {
+class EpisodeTraceLog;
+} // namespace ebs::obs
+
 namespace ebs::core {
 
 /** Options controlling one episode run. */
@@ -38,6 +42,17 @@ struct EpisodeOptions
      * agent-index-ordered commit step.
      */
     sched::FleetScheduler *scheduler = &sched::FleetScheduler::shared();
+
+    /**
+     * Episode-confined trace log the harness records dual-clock phase
+     * spans, LLM batch/queue instants, and speculative commit outcomes
+     * into (see obs/trace.h). nullptr — the default, and always the
+     * case when EBS_TRACE is off — reduces every emission point to one
+     * null check. Owned by the caller (runner::runEpisode creates one
+     * per episode when tracing is enabled and adopts it into
+     * obs::Tracer::shared() afterwards).
+     */
+    obs::EpisodeTraceLog *trace = nullptr;
 };
 
 /**

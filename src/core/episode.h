@@ -5,6 +5,7 @@
 
 #include "llm/engine.h"
 #include "llm/engine_service.h"
+#include "obs/metrics.h"
 #include "stats/latency_recorder.h"
 
 namespace ebs::core {
@@ -66,6 +67,11 @@ struct EpisodeResult
     /** Execute-phase speculation tallies (all zero when the episode ran
      * with speculative_execute off). */
     SpeculativeExecStats spec_exec;
+
+    /** Typed per-episode metrics (counters/gauges/histograms), populated
+     * at episode finish from the tallies above and folded through
+     * runner::RunStats. Deterministic like everything else here. */
+    obs::MetricSet metrics;
 
     /** Average simulated seconds per step (0 when no steps ran). */
     double

@@ -10,6 +10,7 @@
 #include <tuple>
 
 #include "llm/backend_queue.h"
+#include "obs/trace.h"
 
 namespace ebs::llm {
 
@@ -254,6 +255,7 @@ EngineSession::flush()
     for (auto &group : open_) {
         group.batched_s = jointCompletionTime(group);
         group.sim_time_s = now_s_;
+        QueueAdmission admission;
         if (queue_ != nullptr) {
             // Closed loop: the group arrives at the backend's finite
             // queue at the phase's sim instant; whatever the scheduled
@@ -263,9 +265,35 @@ EngineSession::flush()
             // the episode clock only moves forward, so the per-backend
             // arrival sequence — and with it the whole admission
             // schedule — is deterministic at any EBS_JOBS.
-            group.queue_delay_s = queue_->submit(group).queue_delay_s;
+            admission = queue_->submit(group);
+            group.queue_delay_s = admission.queue_delay_s;
         }
         pending_charge_s_ += group.batched_s + group.queue_delay_s;
+        if (trace_ != nullptr) {
+            const std::string backend = service_ != nullptr
+                                            ? service_->backendName(
+                                                  group.backend)
+                                            : std::string("detached");
+            trace_->instant(
+                "llm", "batch " + backend, now_s_, -1,
+                {{"requests", static_cast<double>(group.requests)},
+                 {"kv_tokens", group.kv_tokens},
+                 {"baseline_s", group.baseline_s},
+                 {"batched_s", group.batched_s},
+                 {"step", static_cast<double>(group.step)}});
+            if (queue_ != nullptr) {
+                const BackendQueue *bq = queue_->queue(group.backend);
+                const QueueStats &qs = bq->stats();
+                trace_->instant(
+                    "queue", "admit " + backend, now_s_, -1,
+                    {{"admit_s", admission.admit_s},
+                     {"complete_s", admission.complete_s},
+                     {"queue_delay_s", admission.queue_delay_s},
+                     {"peak_running",
+                      static_cast<double>(qs.peak_running)},
+                     {"occupancy", qs.occupancy(bq->config().slots)}});
+            }
+        }
         log_.push_back(group);
     }
     if (service_ != nullptr && (!pending_usage_.empty() || !open_.empty()))

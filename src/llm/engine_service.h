@@ -16,6 +16,10 @@
 #include "llm/model_profile.h"
 #include "sim/rng.h"
 
+namespace ebs::obs {
+class EpisodeTraceLog;
+} // namespace ebs::obs
+
 namespace ebs::llm {
 
 class BackendQueueModel;
@@ -309,6 +313,15 @@ class EngineSession
      */
     void replay(const DeferredNotes &notes);
 
+    /**
+     * Route flush-time trace instants (batch assembly, queue admission)
+     * into an episode trace log (see obs/trace.h). nullptr — the default
+     * — keeps flush() emission-free; the coordinator harness wires its
+     * episode's log through here when tracing is enabled. The log must
+     * outlive the session's last flush.
+     */
+    void traceTo(obs::EpisodeTraceLog *trace) { trace_ = trace; }
+
     /** Batches assembled so far (flushed groups only). */
     const std::vector<BatchRecord> &log() const { return log_; }
 
@@ -332,6 +345,9 @@ class EngineSession
     void noteUsage(BackendId backend, const LlmResponse &resp);
 
     LlmEngineService *service_ = nullptr;
+    /** Episode trace log for flush-time instants; null (the default)
+     * when tracing is off. Not owned. */
+    obs::EpisodeTraceLog *trace_ = nullptr;
     /** Finite-capacity backend queues (closed-loop serving); null on
      * the open-loop path. Episode-confined like the session itself. */
     std::unique_ptr<BackendQueueModel> queue_;

@@ -1,0 +1,73 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace ebs::obs {
+
+void
+MetricSet::add(const std::string &name, long long delta)
+{
+    counters_[name] += delta;
+}
+
+void
+MetricSet::gaugeMax(const std::string &name, double value)
+{
+    auto [it, inserted] = gauges_.emplace(name, value);
+    if (!inserted)
+        it->second = std::max(it->second, value);
+}
+
+void
+MetricSet::observe(const std::string &name, double value,
+                   std::span<const double> upper_bounds)
+{
+    Histogram &hist = histograms_[name];
+    if (hist.counts.empty()) {
+        hist.bounds.assign(upper_bounds.begin(), upper_bounds.end());
+        hist.counts.assign(hist.bounds.size() + 1, 0);
+    }
+    std::size_t bucket = hist.bounds.size(); // overflow by default
+    for (std::size_t i = 0; i < hist.bounds.size(); ++i) {
+        if (value <= hist.bounds[i]) {
+            bucket = i;
+            break;
+        }
+    }
+    ++hist.counts[bucket];
+    ++hist.total;
+    hist.sum += value;
+}
+
+void
+MetricSet::merge(const MetricSet &other)
+{
+    for (const auto &[name, value] : other.counters_)
+        counters_[name] += value;
+    for (const auto &[name, value] : other.gauges_)
+        gaugeMax(name, value);
+    for (const auto &[name, theirs] : other.histograms_) {
+        Histogram &hist = histograms_[name];
+        if (hist.counts.empty()) {
+            hist = theirs;
+            continue;
+        }
+        if (hist.bounds == theirs.bounds) {
+            for (std::size_t i = 0; i < hist.counts.size(); ++i)
+                hist.counts[i] += theirs.counts[i];
+        } else {
+            hist.counts.back() += theirs.total;
+        }
+        hist.total += theirs.total;
+        hist.sum += theirs.sum;
+    }
+}
+
+long long
+MetricSet::counter(const std::string &name) const
+{
+    const auto it = counters_.find(name);
+    return it != counters_.end() ? it->second : 0;
+}
+
+} // namespace ebs::obs

@@ -1,0 +1,82 @@
+#ifndef EBS_OBS_METRICS_H
+#define EBS_OBS_METRICS_H
+
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ebs::obs {
+
+/**
+ * Typed metrics registry of one episode (or one fold of episodes):
+ * counters (summed on merge), gauges (max on merge), and fixed-bound
+ * histograms. Deterministic by construction — std::map keys give a
+ * stable iteration order, and every value is populated from episode
+ * tallies that are themselves bit-identical at any EBS_JOBS — so a
+ * MetricSet folds through runner::RunStats exactly like the existing
+ * tallies: a pure post-join merge in submission order.
+ *
+ * This is bookkeeping, not tracing: it is always on (the per-episode
+ * cost is a handful of map inserts at episode finish), never printed to
+ * bench stdout, and carries no host-time values.
+ */
+class MetricSet
+{
+  public:
+    struct Histogram
+    {
+        /** Upper bucket bounds (inclusive), fixed at first observe;
+         * counts has bounds.size() + 1 slots (last = overflow). */
+        std::vector<double> bounds;
+        std::vector<long long> counts;
+        long long total = 0;
+        double sum = 0.0;
+    };
+
+    /** Add `delta` to a counter (created at zero on first touch). */
+    void add(const std::string &name, long long delta = 1);
+
+    /** Raise a gauge to at least `value` (max-merge semantics). */
+    void gaugeMax(const std::string &name, double value);
+
+    /**
+     * Record one observation into a fixed-bound histogram. The first
+     * observe of a name fixes its bounds; later observes must pass the
+     * same bounds (call sites use shared constants per metric name).
+     */
+    void observe(const std::string &name, double value,
+                 std::span<const double> upper_bounds);
+
+    /** Fold another set in: counters add, gauges max, histograms add
+     * bucket-wise. A histogram whose bounds disagree (never happens for
+     * in-tree metric names, which use one shared constant each) folds
+     * its counts into the overflow bucket so no observation is lost. */
+    void merge(const MetricSet &other);
+
+    bool empty() const
+    {
+        return counters_.empty() && gauges_.empty() && histograms_.empty();
+    }
+
+    long long counter(const std::string &name) const;
+
+    const std::map<std::string, long long> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, double> &gauges() const { return gauges_; }
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return histograms_;
+    }
+
+  private:
+    std::map<std::string, long long> counters_;
+    std::map<std::string, double> gauges_;
+    std::map<std::string, Histogram> histograms_;
+};
+
+} // namespace ebs::obs
+
+#endif // EBS_OBS_METRICS_H

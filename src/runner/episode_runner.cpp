@@ -3,6 +3,10 @@
 #include <cassert>
 #include <stdexcept>
 #include <string>
+#include <utility>
+
+#include "obs/trace.h"
+#include "stats/host_clock.h"
 
 namespace ebs::runner {
 
@@ -27,7 +31,8 @@ EpisodeRunner::shared()
 }
 
 core::EpisodeResult
-runEpisode(const EpisodeJob &job, sched::FleetScheduler *scheduler)
+runEpisode(const EpisodeJob &job, sched::FleetScheduler *scheduler,
+           std::uint64_t trace_episode)
 {
     core::EpisodeOptions options;
     options.seed = job.seed;
@@ -38,24 +43,57 @@ runEpisode(const EpisodeJob &job, sched::FleetScheduler *scheduler)
                         : scheduler != nullptr
                             ? scheduler
                             : &sched::FleetScheduler::shared();
-    if (job.custom)
-        return job.custom(options);
-    if (job.workload == nullptr)
-        throw std::invalid_argument(
-            "EpisodeJob has neither a workload nor a custom entry point");
-    return job.workload->runWithConfig(job.config, job.difficulty, options,
-                                       job.n_agents);
+
+    const auto dispatch = [&job](const core::EpisodeOptions &opts) {
+        if (job.custom)
+            return job.custom(opts);
+        if (job.workload == nullptr)
+            throw std::invalid_argument(
+                "EpisodeJob has neither a workload nor a custom entry "
+                "point");
+        return job.workload->runWithConfig(job.config, job.difficulty,
+                                           opts, job.n_agents);
+    };
+
+    if (!obs::traceEnabled())
+        return dispatch(options);
+
+    // Traced episode: bracket the whole run in an "episode" span (sim
+    // time starts at 0 by definition of the episode clock) and adopt the
+    // log once done. The id either came from the runner batch (stable
+    // across EBS_JOBS) or is minted as a solo id here.
+    obs::Tracer &tracer = obs::Tracer::shared();
+    obs::EpisodeTraceLog log(trace_episode != 0 ? trace_episode
+                                                : tracer.nextSoloId());
+    options.trace = &log;
+    std::string label =
+        job.workload != nullptr ? job.workload->name : "custom";
+    label += "#" + std::to_string(job.seed);
+    log.beginSpan("episode", std::move(label), 0.0, stats::hostNow());
+    core::EpisodeResult result = dispatch(options);
+    log.closeOpenSpans(result.sim_seconds, stats::hostNow());
+    tracer.adopt(std::move(log));
+    return result;
 }
 
 std::vector<core::EpisodeResult>
 EpisodeRunner::run(const std::vector<EpisodeJob> &batch) const
 {
     std::vector<core::EpisodeResult> results(batch.size());
+
+    // One episode-id base per batch, minted before any job runs: episode
+    // ids become (batch ordinal, submission index) pairs, a pure function
+    // of submission order — which is what keeps the sim-time trace
+    // stream byte-identical at any EBS_JOBS. 0 when tracing is off.
+    const std::uint64_t trace_base =
+        obs::traceEnabled() ? obs::Tracer::shared().nextBatchBase() : 0;
+
     if (jobs_ <= 1 || batch.size() <= 1) {
         // EBS_JOBS=1 (or a singleton batch) stays entirely on the calling
         // thread: the pre-runner serial behavior, exactly.
         for (std::size_t i = 0; i < batch.size(); ++i)
-            results[i] = runEpisode(batch[i], scheduler_);
+            results[i] = runEpisode(batch[i], scheduler_,
+                                    trace_base == 0 ? 0 : trace_base + i);
         return results;
     }
 
@@ -66,8 +104,10 @@ EpisodeRunner::run(const std::vector<EpisodeJob> &batch) const
             job.workload != nullptr ? job.workload->name : "custom";
         label += "#" + std::to_string(job.seed);
         graph.add(
-            [this, &results, &job, i] {
-                results[i] = runEpisode(job, scheduler_);
+            [this, &results, &job, i, trace_base] {
+                results[i] = runEpisode(job, scheduler_,
+                                        trace_base == 0 ? 0
+                                                        : trace_base + i);
             },
             std::move(label));
     }

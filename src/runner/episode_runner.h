@@ -125,9 +125,17 @@ class EpisodeRunner
  * Nested per-agent phases run on the job's scheduler when set, else on
  * `scheduler` (the runner passes its own), else on
  * FleetScheduler::shared().
+ *
+ * When tracing is enabled (obs::traceEnabled()) the episode runs with an
+ * EpisodeTraceLog wired through EpisodeOptions::trace and adopts it into
+ * obs::Tracer::shared() afterwards. `trace_episode` is the episode id for
+ * that log; 0 (the default, and always the case when tracing is off)
+ * mints a solo id — EpisodeRunner batches pass deterministic
+ * batch-derived ids instead so trace streams reproduce at any EBS_JOBS.
  */
 core::EpisodeResult runEpisode(const EpisodeJob &job,
-                               sched::FleetScheduler *scheduler = nullptr);
+                               sched::FleetScheduler *scheduler = nullptr,
+                               std::uint64_t trace_episode = 0);
 
 } // namespace ebs::runner
 

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.h"
 #include "stats/host_clock.h"
 
 namespace ebs::sched {
@@ -212,6 +213,17 @@ FleetScheduler::runClaim(core::MutexLock &lock, const Claim &claim,
     timing.ran = !skip;
     if (!skip)
         ++executed_;
+    if (!skip && obs::traceEnabled()) {
+        // Host-timeline task span. Recorded while mu_ is held (relocked
+        // above), so run()'s post-join reads of the per-thread trace
+        // buffers are ordered after every recording (happens-before via
+        // the scheduler mutex). Timings are epoch-relative; the tracer
+        // stores absolute hostNow() stamps.
+        const std::string &label = exec.graph.nodes_[task].label;
+        obs::Tracer::shared().hostTask(
+            "sched", label.empty() ? std::string("task") : label,
+            epoch_s_ + timing.start_s, epoch_s_ + timing.end_s, worker);
+    }
     if (error) {
         exec.failed = true;
         if (!exec.error)

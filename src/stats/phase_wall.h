@@ -57,6 +57,18 @@ class PhaseWallClock
         return {compute_s_, execute_s_, episodes_};
     }
 
+    /** Zero every bucket — tests bracket a measured section with
+     * reset()/snapshot(); benches never reset (the stderr summary is
+     * cumulative per process). */
+    void
+    reset() EBS_EXCLUDES(mu_)
+    {
+        core::MutexLock lock(mu_);
+        compute_s_ = 0.0;
+        execute_s_ = 0.0;
+        episodes_ = 0;
+    }
+
     /** The process-wide instance every Harness reports into. */
     static PhaseWallClock &shared();
 

@@ -1,0 +1,13 @@
+// Fixture: obs-layer host stamps. The tracing subsystem (src/obs/)
+// must receive absolute host times from its callers — who read them at
+// the one sanctioned stats::hostNow() site — and never touch a clock
+// itself. The direct read below is the shape the host-clock rule pins.
+#include <chrono>
+
+double traceStampWrong() {
+    const auto t = std::chrono::system_clock::now();
+    return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+// The sanctioned shape: the host stamp travels in as an argument.
+double traceStampRight(double host_now_s) { return host_now_s; }

@@ -1,3 +1,5 @@
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -100,6 +102,15 @@ TEST(LintFixtures, HostClock)
     const auto findings = lintFile(fixture("host_clock.cpp"));
     EXPECT_EQ(lineRules(findings),
               (LineRules{{6, "host-clock"}, {7, "host-clock"}}))
+        << joined(findings);
+}
+
+TEST(LintFixtures, ObsHostStamps)
+{
+    // The obs-layer shape: reading a clock inside a trace sink is the
+    // violation; receiving the stamp as an argument is clean.
+    const auto findings = lintFile(fixture("obs_stamp.cpp"));
+    EXPECT_EQ(lineRules(findings), (LineRules{{8, "host-clock"}}))
         << joined(findings);
 }
 
@@ -223,6 +234,24 @@ TEST(LintTree, FixtureDirectoryIsAlwaysExcluded)
     // The fixture corpus violates every rule, yet linting tests/ (or
     // the fixture directory itself) reports nothing from it.
     EXPECT_TRUE(lintTree({root("tests/lint_fixtures")}).empty());
+}
+
+TEST(LintTree, ObsSubsystemNeedsNoAllows)
+{
+    // src/obs receives host stamps from its callers, so it must lint
+    // clean with zero suppressions of its own — the one sanctioned
+    // host-clock allow line stays in stats/host_clock.h.
+    EXPECT_TRUE(lintTree({root("src/obs")}).empty());
+    for (const char *name :
+         {"src/obs/trace.h", "src/obs/trace.cpp", "src/obs/metrics.h",
+          "src/obs/metrics.cpp"}) {
+        std::ifstream in(root(name));
+        ASSERT_TRUE(in.good()) << name;
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        EXPECT_EQ(buffer.str().find("EBS_LINT_ALLOW"), std::string::npos)
+            << name << " must not carry lint suppressions";
+    }
 }
 
 TEST(LintTree, ShippedTreeLintsClean)

@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "stats/aggregate.h"
 #include "stats/csv.h"
 #include "stats/histogram.h"
 #include "stats/latency_recorder.h"
+#include "stats/phase_wall.h"
 #include "stats/table.h"
 
 namespace ebs::stats {
@@ -160,6 +163,60 @@ TEST(LatencyRecorder, MergeAndReset)
     EXPECT_DOUBLE_EQ(a.total(ModuleKind::Sensing), 4.0);
     a.reset();
     EXPECT_DOUBLE_EQ(a.grandTotal(), 0.0);
+}
+
+TEST(PhaseWallClock, BucketsAndResetAreExact)
+{
+    // A private instance, not shared(): the process-wide one is fed by
+    // any episode the other tests run, so exact-equality asserts would
+    // race. reset()/snapshot() bracket a measured section.
+    PhaseWallClock clock;
+    clock.addCompute(0.25);
+    clock.addCompute(0.25);
+    clock.addExecute(0.5);
+    clock.addEpisode();
+    const auto snap = clock.snapshot();
+    EXPECT_EQ(snap.compute_s, 0.5); // 0.25 sums are exact in binary
+    EXPECT_EQ(snap.execute_s, 0.5);
+    EXPECT_EQ(snap.episodes, 1);
+
+    clock.reset();
+    const auto zeroed = clock.snapshot();
+    EXPECT_EQ(zeroed.compute_s, 0.0);
+    EXPECT_EQ(zeroed.execute_s, 0.0);
+    EXPECT_EQ(zeroed.episodes, 0);
+
+    // The buckets keep accumulating after a reset (benches never reset;
+    // tests may bracket repeatedly).
+    clock.addExecute(0.25);
+    EXPECT_EQ(clock.snapshot().execute_s, 0.25);
+}
+
+TEST(PhaseWallClock, ConcurrentAddsNeverDropABucket)
+{
+    // Hammer one instance from several threads with exactly
+    // representable increments: the mutex-guarded tallies must come out
+    // exact (a lost update would show as a missing multiple of 0.25).
+    PhaseWallClock clock;
+    constexpr int kThreads = 8;
+    constexpr int kAddsPerThread = 1000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&clock] {
+            for (int i = 0; i < kAddsPerThread; ++i) {
+                clock.addCompute(0.25);
+                clock.addExecute(0.25);
+            }
+            clock.addEpisode();
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    const auto snap = clock.snapshot();
+    EXPECT_EQ(snap.compute_s, 0.25 * kThreads * kAddsPerThread);
+    EXPECT_EQ(snap.execute_s, 0.25 * kThreads * kAddsPerThread);
+    EXPECT_EQ(snap.episodes, kThreads);
 }
 
 TEST(ModuleKind, NamesAndIteration)

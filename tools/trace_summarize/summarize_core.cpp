@@ -1,0 +1,610 @@
+#include "trace_summarize/summarize_core.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ebs::tracetool {
+
+namespace {
+
+/**
+ * Minimal recursive-descent JSON reader. General enough for any JSON,
+ * but the caller only keeps the fields an event object carries; unknown
+ * keys and value shapes are parsed (so malformed text is still caught)
+ * and discarded.
+ */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    bool
+    parse(std::vector<Event> &events, std::string &error)
+    {
+        skipWs();
+        if (!parseTopLevel(events)) {
+            error = error_.empty() ? fail("malformed JSON") : error_;
+            return false;
+        }
+        skipWs();
+        if (pos_ != text_.size()) {
+            error = fail("trailing content after the top-level object");
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    std::string
+    fail(const std::string &what)
+    {
+        if (error_.empty())
+            error_ = "offset " + std::to_string(pos_) + ": " + what;
+        return error_;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool
+    consume(char expected)
+    {
+        skipWs();
+        if (pos_ >= text_.size() || text_[pos_] != expected) {
+            fail(std::string("expected '") + expected + "'");
+            return false;
+        }
+        ++pos_;
+        return true;
+    }
+
+    bool
+    peekIs(char c)
+    {
+        skipWs();
+        return pos_ < text_.size() && text_[pos_] == c;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    break;
+                const char esc = text_[pos_++];
+                switch (esc) {
+                case '"': out.push_back('"'); break;
+                case '\\': out.push_back('\\'); break;
+                case '/': out.push_back('/'); break;
+                case 'b': out.push_back('\b'); break;
+                case 'f': out.push_back('\f'); break;
+                case 'n': out.push_back('\n'); break;
+                case 'r': out.push_back('\r'); break;
+                case 't': out.push_back('\t'); break;
+                case 'u': {
+                    if (pos_ + 4 > text_.size()) {
+                        fail("truncated \\u escape");
+                        return false;
+                    }
+                    // Decode into a single byte when it fits (the writer
+                    // only emits \u00xx control escapes); wider code
+                    // points degrade to '?' — the tool never needs them.
+                    unsigned value = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text_[pos_++];
+                        value <<= 4U;
+                        if (h >= '0' && h <= '9')
+                            value |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            value |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            value |= static_cast<unsigned>(h - 'A' + 10);
+                        else {
+                            fail("bad \\u escape digit");
+                            return false;
+                        }
+                    }
+                    out.push_back(value < 0x80 ? static_cast<char>(value)
+                                               : '?');
+                    break;
+                }
+                default: fail("unknown escape"); return false;
+                }
+                continue;
+            }
+            out.push_back(c);
+        }
+        fail("unterminated string");
+        return false;
+    }
+
+    bool
+    parseNumber(double &out)
+    {
+        skipWs();
+        const char *start = text_.c_str() + pos_;
+        char *end = nullptr;
+        out = std::strtod(start, &end);
+        if (end == start) {
+            fail("expected a number");
+            return false;
+        }
+        pos_ += static_cast<std::size_t>(end - start);
+        return true;
+    }
+
+    /** Parse and discard any JSON value. */
+    bool
+    skipValue()
+    {
+        skipWs();
+        if (pos_ >= text_.size()) {
+            fail("unexpected end of input");
+            return false;
+        }
+        const char c = text_[pos_];
+        if (c == '"') {
+            std::string ignored;
+            return parseString(ignored);
+        }
+        if (c == '{') {
+            ++pos_;
+            if (peekIs('}')) {
+                ++pos_;
+                return true;
+            }
+            for (;;) {
+                std::string key;
+                if (!parseString(key) || !consume(':') || !skipValue())
+                    return false;
+                if (peekIs(',')) {
+                    ++pos_;
+                    continue;
+                }
+                return consume('}');
+            }
+        }
+        if (c == '[') {
+            ++pos_;
+            if (peekIs(']')) {
+                ++pos_;
+                return true;
+            }
+            for (;;) {
+                if (!skipValue())
+                    return false;
+                if (peekIs(',')) {
+                    ++pos_;
+                    continue;
+                }
+                return consume(']');
+            }
+        }
+        if (text_.compare(pos_, 4, "true") == 0) {
+            pos_ += 4;
+            return true;
+        }
+        if (text_.compare(pos_, 5, "false") == 0) {
+            pos_ += 5;
+            return true;
+        }
+        if (text_.compare(pos_, 4, "null") == 0) {
+            pos_ += 4;
+            return true;
+        }
+        double ignored = 0.0;
+        return parseNumber(ignored);
+    }
+
+    bool
+    parseArgs(Event &event)
+    {
+        if (!consume('{'))
+            return false;
+        if (peekIs('}')) {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            std::string key;
+            if (!parseString(key) || !consume(':'))
+                return false;
+            skipWs();
+            if (pos_ < text_.size() && text_[pos_] == '"') {
+                std::string value;
+                if (!parseString(value))
+                    return false;
+                event.str_args.emplace_back(std::move(key),
+                                            std::move(value));
+            } else if (pos_ < text_.size() &&
+                       (text_[pos_] == '-' ||
+                        (text_[pos_] >= '0' && text_[pos_] <= '9'))) {
+                double value = 0.0;
+                if (!parseNumber(value))
+                    return false;
+                event.num_args.emplace_back(std::move(key), value);
+            } else {
+                if (!skipValue())
+                    return false;
+            }
+            if (peekIs(',')) {
+                ++pos_;
+                continue;
+            }
+            return consume('}');
+        }
+    }
+
+    bool
+    parseEvent(Event &event)
+    {
+        if (!consume('{'))
+            return false;
+        if (peekIs('}')) {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            std::string key;
+            if (!parseString(key) || !consume(':'))
+                return false;
+            if (key == "name" || key == "cat" || key == "ph" ||
+                key == "s") {
+                std::string value;
+                if (!parseString(value))
+                    return false;
+                if (key == "name")
+                    event.name = std::move(value);
+                else if (key == "cat")
+                    event.cat = std::move(value);
+                else if (key == "ph")
+                    event.ph = value.empty() ? '?' : value[0];
+            } else if (key == "ts" || key == "dur" || key == "pid" ||
+                       key == "tid") {
+                double value = 0.0;
+                if (!parseNumber(value))
+                    return false;
+                if (key == "ts") {
+                    event.ts_us = value;
+                    event.has_ts = true;
+                } else if (key == "dur") {
+                    event.dur_us = value;
+                    event.has_dur = true;
+                } else if (key == "pid") {
+                    event.pid = static_cast<long long>(value);
+                } else {
+                    event.tid = static_cast<long long>(value);
+                }
+            } else if (key == "args") {
+                if (!parseArgs(event))
+                    return false;
+            } else {
+                if (!skipValue())
+                    return false;
+            }
+            if (peekIs(',')) {
+                ++pos_;
+                continue;
+            }
+            return consume('}');
+        }
+    }
+
+    bool
+    parseTopLevel(std::vector<Event> &events)
+    {
+        if (!consume('{'))
+            return false;
+        bool saw_events = false;
+        if (peekIs('}')) {
+            fail("top-level object has no \"traceEvents\" array");
+            return false;
+        }
+        for (;;) {
+            std::string key;
+            if (!parseString(key) || !consume(':'))
+                return false;
+            if (key == "traceEvents") {
+                saw_events = true;
+                if (!consume('['))
+                    return false;
+                if (peekIs(']')) {
+                    ++pos_;
+                } else {
+                    for (;;) {
+                        Event event;
+                        if (!parseEvent(event))
+                            return false;
+                        events.push_back(std::move(event));
+                        if (peekIs(',')) {
+                            ++pos_;
+                            continue;
+                        }
+                        if (!consume(']'))
+                            return false;
+                        break;
+                    }
+                }
+            } else {
+                if (!skipValue())
+                    return false;
+            }
+            if (peekIs(',')) {
+                ++pos_;
+                continue;
+            }
+            if (!consume('}'))
+                return false;
+            break;
+        }
+        if (!saw_events) {
+            fail("top-level object has no \"traceEvents\" array");
+            return false;
+        }
+        return true;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    std::string error_;
+};
+
+std::string
+trackLabel(long long pid, long long tid)
+{
+    return "pid=" + std::to_string(pid) + " tid=" + std::to_string(tid);
+}
+
+void
+appendSeconds(std::string &out, double us)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.6f", us / 1e6);
+    out += buf;
+}
+
+} // namespace
+
+ParseResult
+parseTraceText(const std::string &text)
+{
+    ParseResult result;
+    Parser parser(text);
+    result.ok = parser.parse(result.events, result.error);
+    if (!result.ok)
+        result.events.clear();
+    return result;
+}
+
+ParseResult
+parseTraceFile(const std::string &path)
+{
+    ParseResult result;
+    std::FILE *file = std::fopen(path.c_str(), "rb");
+    if (file == nullptr) {
+        result.error = path + ": cannot open";
+        return result;
+    }
+    std::string text;
+    char buf[1 << 16];
+    std::size_t got = 0;
+    while ((got = std::fread(buf, 1, sizeof buf, file)) > 0)
+        text.append(buf, got);
+    const bool read_ok = std::ferror(file) == 0;
+    std::fclose(file);
+    if (!read_ok) {
+        result.error = path + ": read error";
+        return result;
+    }
+    result = parseTraceText(text);
+    if (!result.ok)
+        result.error = path + ": " + result.error;
+    return result;
+}
+
+std::vector<std::string>
+validate(const std::vector<Event> &events)
+{
+    std::vector<std::string> issues;
+    struct Track
+    {
+        bool has_last = false;
+        double last_ts_us = 0.0;
+        std::vector<std::string> open; ///< B/E name stack
+    };
+    std::map<std::pair<long long, long long>, Track> tracks;
+
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const Event &event = events[i];
+        if (event.ph == 'M')
+            continue; // metadata carries no timeline
+        Track &track = tracks[{event.pid, event.tid}];
+        if (event.has_ts) {
+            if (track.has_last && event.ts_us < track.last_ts_us) {
+                issues.push_back(
+                    trackLabel(event.pid, event.tid) +
+                    ": ts goes backwards at event #" + std::to_string(i) +
+                    " (\"" + event.name + "\")");
+            }
+            track.has_last = true;
+            track.last_ts_us = event.ts_us;
+        } else {
+            issues.push_back(trackLabel(event.pid, event.tid) +
+                             ": event #" + std::to_string(i) + " (\"" +
+                             event.name + "\") has no ts");
+        }
+        if (event.ph == 'B') {
+            track.open.push_back(event.name);
+        } else if (event.ph == 'E') {
+            if (track.open.empty()) {
+                issues.push_back(trackLabel(event.pid, event.tid) +
+                                 ": E without an open B at event #" +
+                                 std::to_string(i));
+            } else {
+                track.open.pop_back();
+            }
+        } else if (event.ph == 'X') {
+            if (event.has_dur && event.dur_us < 0.0) {
+                issues.push_back(trackLabel(event.pid, event.tid) +
+                                 ": X with negative dur at event #" +
+                                 std::to_string(i) + " (\"" + event.name +
+                                 "\")");
+            }
+        }
+    }
+
+    for (const auto &[key, track] : tracks) {
+        for (const auto &name : track.open)
+            issues.push_back(trackLabel(key.first, key.second) +
+                             ": span \"" + name +
+                             "\" is still open at end of trace");
+    }
+    return issues;
+}
+
+std::string
+summarize(const std::vector<Event> &events)
+{
+    // Process labels from process_name metadata, for readable headings.
+    std::map<long long, std::string> process_names;
+    for (const Event &event : events) {
+        if (event.ph == 'M' && event.name == "process_name") {
+            for (const auto &[key, value] : event.str_args)
+                if (key == "name")
+                    process_names[event.pid] = value;
+        }
+    }
+    const auto processLabel = [&process_names](long long pid) {
+        const auto it = process_names.find(pid);
+        const std::string name =
+            it != process_names.end() ? it->second : "pid " +
+                                                         std::to_string(pid);
+        return name;
+    };
+
+    struct SpanStats
+    {
+        long long count = 0;
+        double total_us = 0.0;
+    };
+    struct InstantStats
+    {
+        long long count = 0;
+        std::map<std::string, double> arg_sums;
+    };
+
+    // B/E spans roll up by (process label, full stack path): the
+    // flame-style view. Self time is total minus children, which the
+    // path ordering below makes easy to eyeball; the tool prints totals.
+    std::map<std::pair<std::string, std::string>, SpanStats> spans;
+    std::map<std::pair<std::string, std::string>, SpanStats> complete;
+    std::map<std::pair<std::string, std::string>, InstantStats> instants;
+
+    struct OpenSpan
+    {
+        std::string path;
+        double begin_us = 0.0;
+    };
+    std::map<std::pair<long long, long long>, std::vector<OpenSpan>> stacks;
+
+    for (const Event &event : events) {
+        if (event.ph == 'M')
+            continue;
+        const std::string process = processLabel(event.pid);
+        auto &stack = stacks[{event.pid, event.tid}];
+        if (event.ph == 'B') {
+            // Collapse per-episode labels ("CMAS#8919") and per-step
+            // brackets ("step 12") to their category so phases aggregate
+            // across episodes and steps — the flame view; Perfetto keeps
+            // the labeled detail.
+            const std::string &component =
+                event.cat == "episode" || event.cat == "step"
+                    ? event.cat
+                    : event.name;
+            std::string path =
+                stack.empty() ? component
+                              : stack.back().path + ";" + component;
+            stack.push_back({std::move(path), event.ts_us});
+        } else if (event.ph == 'E') {
+            if (stack.empty())
+                continue; // validate() reports this; keep rolling up
+            SpanStats &stats = spans[{process, stack.back().path}];
+            ++stats.count;
+            stats.total_us += event.ts_us - stack.back().begin_us;
+            stack.pop_back();
+        } else if (event.ph == 'X') {
+            SpanStats &stats = complete[{process, event.name}];
+            ++stats.count;
+            stats.total_us += event.dur_us;
+        } else if (event.ph == 'i') {
+            InstantStats &stats =
+                instants[{process, event.cat + ";" + event.name}];
+            ++stats.count;
+            for (const auto &[key, value] : event.num_args)
+                stats.arg_sums[key] += value;
+        }
+    }
+
+    std::string out;
+    std::string last_process;
+    std::string last_section;
+    const auto heading = [&out, &last_process,
+                          &last_section](const std::string &process,
+                                         const char *section) {
+        if (process != last_process) {
+            out += "== " + process + " ==\n";
+            last_process = process;
+            last_section.clear();
+        }
+        if (section != last_section) {
+            out += std::string("  [") + section + "]\n";
+            last_section = section;
+        }
+    };
+
+    for (const auto &[key, stats] : spans) {
+        heading(key.first, "spans");
+        out += "    " + std::to_string(stats.count) + "x  total_s=";
+        appendSeconds(out, stats.total_us);
+        out += "  " + key.second + "\n";
+    }
+    for (const auto &[key, stats] : complete) {
+        heading(key.first, "tasks");
+        out += "    " + std::to_string(stats.count) + "x  total_s=";
+        appendSeconds(out, stats.total_us);
+        out += "  " + key.second + "\n";
+    }
+    for (const auto &[key, stats] : instants) {
+        heading(key.first, "instants");
+        out += "    " + std::to_string(stats.count) + "x  " + key.second;
+        for (const auto &[arg, sum] : stats.arg_sums) {
+            char buf[64];
+            std::snprintf(buf, sizeof buf, "%.6g", sum);
+            out += "  sum(" + arg + ")=" + buf;
+        }
+        out += "\n";
+    }
+    if (out.empty())
+        out = "(no events)\n";
+    return out;
+}
+
+} // namespace ebs::tracetool

@@ -1,0 +1,90 @@
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trace_summarize/summarize_core.h"
+
+/**
+ * trace_summarize CLI — inspect the Chrome trace-event JSON the obs
+ * subsystem exports (obs::Tracer::writeChromeJson; run_all merges
+ * per-suite files into BENCH_trace.json).
+ *
+ *     trace_summarize FILE            flame-style per-phase rollup
+ *     trace_summarize FILE --validate check writer invariants only
+ *
+ * --validate verifies the file parses as trace JSON, every (pid, tid)
+ * track's timestamps are nondecreasing in array order, and begin/end
+ * events balance — the invariants Perfetto relies on. Violations go to
+ * stderr, one per line. Exit codes: 0 valid, 1 violations or parse
+ * failure, 2 usage error.
+ */
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s FILE [--validate]\n"
+                 "Summarize (or, with --validate, check) a Chrome "
+                 "trace-event JSON file\nwritten by the obs subsystem "
+                 "(BENCH_trace.json).\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string path;
+    bool validate_only = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--validate") {
+            validate_only = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0],
+                         arg.c_str());
+            return usage(argv[0]);
+        } else if (path.empty()) {
+            path = arg;
+        } else {
+            std::fprintf(stderr, "%s: more than one FILE\n", argv[0]);
+            return usage(argv[0]);
+        }
+    }
+    if (path.empty())
+        return usage(argv[0]);
+
+    const ebs::tracetool::ParseResult parsed =
+        ebs::tracetool::parseTraceFile(path);
+    if (!parsed.ok) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], parsed.error.c_str());
+        return 1;
+    }
+
+    const std::vector<std::string> issues =
+        ebs::tracetool::validate(parsed.events);
+    if (validate_only) {
+        for (const auto &issue : issues)
+            std::fprintf(stderr, "%s\n", issue.c_str());
+        if (!issues.empty()) {
+            std::fprintf(stderr, "%s: %zu invariant violation(s)\n",
+                         path.c_str(), issues.size());
+            return 1;
+        }
+        std::printf("%s: OK (%zu events)\n", path.c_str(),
+                    parsed.events.size());
+        return 0;
+    }
+
+    // Rollup mode still surfaces violations (to stderr) but proceeds:
+    // a slightly off trace is still worth eyeballing.
+    for (const auto &issue : issues)
+        std::fprintf(stderr, "%s\n", issue.c_str());
+    const std::string rollup = ebs::tracetool::summarize(parsed.events);
+    std::fputs(rollup.c_str(), stdout);
+    return 0;
+}
