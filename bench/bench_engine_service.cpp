@@ -41,18 +41,16 @@
  */
 
 #include <algorithm>
-#include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <map>
 #include <string>
 #include <vector>
 
-#include "bench_util.h"
 #include "llm/backend_queue.h"
 #include "llm/engine_service.h"
 #include "stats/aggregate.h"
 #include "stats/table.h"
+#include "suite.h"
 
 namespace {
 
@@ -171,59 +169,69 @@ replayAtRate(double level, double rate_eps, double horizon_s,
     return point;
 }
 
-/** Parse the one CLI flag: --window <seconds> (or --window=<seconds>)
- * replaces the per-workload derived admission window. Returns 0 when
- * absent; exits with usage on malformed input. */
-double
-parseWindowOverride(int argc, char **argv)
+/**
+ * Parse the one CLI flag: --window <seconds> (or --window=<seconds>)
+ * replaces the per-workload derived admission window. Leaves *out at 0
+ * when absent; returns false (after printing usage to the suite's
+ * stderr sink) on malformed input — the suite exits 2, where the
+ * standalone binary used to call std::exit(2).
+ */
+bool
+parseWindowOverride(ebs::bench::SuiteContext &ctx, double *out)
 {
-    const auto parse = [](const char *text) {
+    *out = 0.0;
+    const auto &args = ctx.args();
+    const auto parse = [&](const std::string &text) {
         char *end = nullptr;
-        const double v = std::strtod(text, &end);
-        if (end == text || *end != '\0' || !(v > 0.0)) {
-            std::fprintf(stderr,
-                         "bench_engine_service: --window expects a "
-                         "positive number of simulated seconds, got "
-                         "'%s'\n",
-                         text);
-            std::exit(2);
+        const double v = std::strtod(text.c_str(), &end);
+        if (end == text.c_str() || *end != '\0' || !(v > 0.0)) {
+            ctx.eprintf("bench_engine_service: --window expects a "
+                        "positive number of simulated seconds, got "
+                        "'%s'\n",
+                        text.c_str());
+            return -1.0;
         }
         return v;
     };
-    for (int i = 1; i < argc; ++i) {
-        const char *arg = argv[i];
-        if (std::strncmp(arg, "--window=", 9) == 0)
-            return parse(arg + 9);
-        if (std::strcmp(arg, "--window") == 0) {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "bench_engine_service: --window "
-                                     "requires a value\n");
-                std::exit(2);
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        double v = 0.0;
+        if (arg.rfind("--window=", 0) == 0) {
+            v = parse(arg.substr(9));
+        } else if (arg == "--window") {
+            if (i + 1 >= args.size()) {
+                ctx.eprintf("bench_engine_service: --window requires a "
+                            "value\n");
+                return false;
             }
-            return parse(argv[i + 1]);
+            v = parse(args[i + 1]);
+        } else {
+            continue;
         }
+        if (v < 0.0)
+            return false;
+        *out = v;
+        return true;
     }
-    return 0.0;
+    return true;
 }
 
-} // namespace
-
 int
-main(int argc, char **argv)
+run(ebs::bench::SuiteContext &ctx)
 {
-    using namespace ebs;
-    const double window_override = parseWindowOverride(argc, argv);
-    const int kSeeds = bench::seedCount(12);
+    double window_override = 0.0;
+    if (!parseWindowOverride(ctx, &window_override))
+        return 2;
+    const int kSeeds = ctx.seedCount(12);
     const auto difficulty = env::Difficulty::Medium;
-    const auto &shared_runner = runner::EpisodeRunner::shared();
 
-    std::printf("=== Shared LLM engine service: cross-agent batching and "
-                "closed-loop serving ===\n\n");
+    ctx.printf("=== Shared LLM engine service: cross-agent batching and "
+               "closed-loop serving ===\n\n");
     // Seed count is part of the deterministic configuration; the runner
     // thread count is host state and must stay off the gated stdout so
     // the output is byte-identical at any EBS_JOBS.
-    std::printf("%d seeds per workload\n\n", kSeeds);
-    std::fprintf(stderr, "%d runner threads\n", shared_runner.jobs());
+    ctx.printf("%d seeds per workload\n\n", kSeeds);
+    ctx.eprintf("%d runner threads\n", ctx.runner().jobs());
 
     const char *names[] = {"EmbodiedGPT", "CoELA", "MindAgent", "CMAS",
                            "DMAS"};
@@ -258,7 +266,7 @@ main(int argc, char **argv)
             job.engine_service = &service;
             jobs.push_back(std::move(job));
         }
-        const auto episodes = shared_runner.run(jobs);
+        const auto episodes = ctx.run(jobs);
         const auto run_stats = runner::foldEpisodes(episodes);
 
         // The charged ablation: same seeds, same responses, but the
@@ -270,7 +278,7 @@ main(int argc, char **argv)
             job.engine_service = &charged_service;
             job.pipeline.batch_llm_calls = true;
         }
-        const auto charged_episodes = shared_runner.run(charged_jobs);
+        const auto charged_episodes = ctx.run(std::move(charged_jobs));
         const auto charged_stats = runner::foldEpisodes(charged_episodes);
 
         // The queued (closed-loop) ablation: finite-capacity backends
@@ -284,7 +292,7 @@ main(int argc, char **argv)
             job.engine_service = &queued_service;
             job.pipeline.batch_llm_calls = true;
         }
-        const auto queued_episodes = shared_runner.run(queued_jobs);
+        const auto queued_episodes = ctx.run(std::move(queued_jobs));
         const auto queued_stats = runner::foldEpisodes(queued_episodes);
 
         // Within-episode (cross-agent) batching: fold per-episode logs.
@@ -314,12 +322,12 @@ main(int argc, char **argv)
         const double derived_window_s = 2.0 * mean_gap_s;
         const double window_s =
             window_override > 0.0 ? window_override : derived_window_s;
-        std::printf("%s admission window: %lld batches over %.1f sim-s "
-                    "-> mean gap %.2f s; window = %s%.2f s\n",
-                    spec.name.c_str(), per_episode.batches,
-                    run_stats.sim_seconds, mean_gap_s,
-                    window_override > 0.0 ? "override " : "2 x gap = ",
-                    window_s);
+        ctx.printf("%s admission window: %lld batches over %.1f sim-s "
+                   "-> mean gap %.2f s; window = %s%.2f s\n",
+                   spec.name.c_str(), per_episode.batches,
+                   run_stats.sim_seconds, mean_gap_s,
+                   window_override > 0.0 ? "override " : "2 x gap = ",
+                   window_s);
 
         // Cross-episode merge of the fan-out's concurrent seeds:
         // lockstep (same step+phase merge unconditionally) and windowed
@@ -329,7 +337,7 @@ main(int argc, char **argv)
             llm::foldCrossEpisodeBatches(logs, window_s);
 
         const double n = episodes.empty() ? 1.0 : double(episodes.size());
-        const double charge_saved = bench::emitChargedMetrics(
+        const double charge_saved = ctx.emitChargedMetrics(
             "engine-service " + spec.name, run_stats.avg_step_latency_s,
             charged_stats.avg_step_latency_s);
         table.addRow(
@@ -347,27 +355,27 @@ main(int argc, char **argv)
              stats::Table::pct(charge_saved, 0),
              stats::Table::pct(queued_stats.queueDelayShare(), 1)});
 
-        bench::emitMetric("engine-service " + spec.name, run_stats);
-        bench::emitScalarMetric("engine-service " + spec.name,
-                                "batch_occupancy", per_episode.occupancy());
-        bench::emitScalarMetric("engine-service " + spec.name,
-                                "cross_episode_occupancy",
-                                cross.occupancy());
-        bench::emitScalarMetric("engine-service " + spec.name,
-                                "latency_saved_pct",
-                                100.0 * per_episode.savedFraction());
-        bench::emitScalarMetric("engine-service " + spec.name,
-                                "cross_episode_saved_pct",
-                                100.0 * cross.savedFraction());
-        bench::emitScalarMetric("engine-service " + spec.name,
-                                "cross_episode_windowed_occupancy",
-                                windowed.occupancy());
-        bench::emitScalarMetric("engine-service " + spec.name,
-                                "cross_episode_windowed_saved_pct",
-                                100.0 * windowed.savedFraction());
-        bench::emitScalarMetric("engine-service " + spec.name,
-                                "queue_delay_share",
-                                queued_stats.queueDelayShare());
+        ctx.emitMetric("engine-service " + spec.name, run_stats);
+        ctx.emitScalarMetric("engine-service " + spec.name,
+                             "batch_occupancy", per_episode.occupancy());
+        ctx.emitScalarMetric("engine-service " + spec.name,
+                             "cross_episode_occupancy",
+                             cross.occupancy());
+        ctx.emitScalarMetric("engine-service " + spec.name,
+                             "latency_saved_pct",
+                             100.0 * per_episode.savedFraction());
+        ctx.emitScalarMetric("engine-service " + spec.name,
+                             "cross_episode_saved_pct",
+                             100.0 * cross.savedFraction());
+        ctx.emitScalarMetric("engine-service " + spec.name,
+                             "cross_episode_windowed_occupancy",
+                             windowed.occupancy());
+        ctx.emitScalarMetric("engine-service " + spec.name,
+                             "cross_episode_windowed_saved_pct",
+                             100.0 * windowed.savedFraction());
+        ctx.emitScalarMetric("engine-service " + spec.name,
+                             "queue_delay_share",
+                             queued_stats.queueDelayShare());
 
         // The service's own tally must agree with the per-episode fold —
         // a cheap standing check that the mutex-guarded accounting loses
@@ -375,12 +383,11 @@ main(int argc, char **argv)
         const auto svc = service.stats();
         if (svc.batches != per_episode.batches ||
             svc.requests != per_episode.requests) {
-            std::fprintf(stderr,
-                         "engine service tally mismatch on %s: "
-                         "%lld/%lld batches, %lld/%lld requests\n",
-                         spec.name.c_str(), svc.batches,
-                         per_episode.batches, svc.requests,
-                         per_episode.requests);
+            ctx.eprintf("engine service tally mismatch on %s: "
+                        "%lld/%lld batches, %lld/%lld requests\n",
+                        spec.name.c_str(), svc.batches,
+                        per_episode.batches, svc.requests,
+                        per_episode.requests);
             return 1;
         }
 
@@ -391,9 +398,8 @@ main(int argc, char **argv)
                 charged_episodes[i].success != episodes[i].success ||
                 charged_episodes[i].sim_seconds >
                     episodes[i].sim_seconds * (1.0 + 1e-12)) {
-                std::fprintf(stderr,
-                             "charged batching perturbed %s episode %zu\n",
-                             spec.name.c_str(), i);
+                ctx.eprintf("charged batching perturbed %s episode %zu\n",
+                            spec.name.c_str(), i);
                 return 1;
             }
         }
@@ -406,9 +412,8 @@ main(int argc, char **argv)
                 queued_episodes[i].success != episodes[i].success ||
                 queued_episodes[i].sim_seconds <
                     charged_episodes[i].sim_seconds * (1.0 - 1e-12)) {
-                std::fprintf(stderr,
-                             "queued serving perturbed %s episode %zu\n",
-                             spec.name.c_str(), i);
+                ctx.eprintf("queued serving perturbed %s episode %zu\n",
+                            spec.name.c_str(), i);
                 return 1;
             }
         }
@@ -424,8 +429,8 @@ main(int argc, char **argv)
         }
     }
 
-    std::printf("\n%s\n", table.render().c_str());
-    std::printf(
+    ctx.printf("\n%s\n", table.render().c_str());
+    ctx.printf(
         "occupancy      completions per assembled batch (same step+phase,\n"
         "               same backend, across the team's agents)\n"
         "x-ep occ       occupancy when the concurrently running episodes\n"
@@ -468,7 +473,7 @@ main(int argc, char **argv)
         }
     }
     if (lambda_star <= 0.0) {
-        std::fprintf(stderr, "no backend traffic to sweep\n");
+        ctx.eprintf("no backend traffic to sweep\n");
         return 1;
     }
     // Sustained-load horizon: arrivals keep coming for several times
@@ -480,17 +485,17 @@ main(int argc, char **argv)
         max_sim_s = std::max(max_sim_s, s);
     const double horizon_s = 3.0 * max_sim_s;
 
-    std::printf("=== Offered-load sweep: %zu pooled episodes tiled over "
-                "a %.0f sim-s horizon vs finite-capacity backends "
-                "===\n\n",
-                pooled_sim_s.size(), horizon_s);
-    std::printf("bottleneck backend sustains %.4f episodes/s "
-                "(%.0f busy slot-s per episode over %d slots); tenant t "
-                "arrives at t / rate and replays pooled episode t mod "
-                "%zu\n\n",
-                lambda_star, busy_per_episode[bottleneck],
-                llm::defaultQueueConfig(profiles[bottleneck]).slots,
-                pooled_sim_s.size());
+    ctx.printf("=== Offered-load sweep: %zu pooled episodes tiled over "
+               "a %.0f sim-s horizon vs finite-capacity backends "
+               "===\n\n",
+               pooled_sim_s.size(), horizon_s);
+    ctx.printf("bottleneck backend sustains %.4f episodes/s "
+               "(%.0f busy slot-s per episode over %d slots); tenant t "
+               "arrives at t / rate and replays pooled episode t mod "
+               "%zu\n\n",
+               lambda_star, busy_per_episode[bottleneck],
+               llm::defaultQueueConfig(profiles[bottleneck]).slots,
+               pooled_sim_s.size());
 
     const double levels[] = {0.5, 1.0, 2.0, 4.0};
     stats::Table sweep_table({"offered load", "episodes/s", "tenants",
@@ -518,27 +523,27 @@ main(int argc, char **argv)
                             stats::Table::pct(p.occupancy, 1)});
         const std::string bench_case =
             "engine-service serving " + std::string(level_label);
-        bench::emitScalarMetric(bench_case, "p50_episode_latency_s",
-                                p.p50_latency_s);
-        bench::emitScalarMetric(bench_case, "p99_episode_latency_s",
-                                p.p99_latency_s);
-        bench::emitScalarMetric(bench_case, "queue_delay_share",
-                                p.delay_share);
-        bench::emitScalarMetric(bench_case, "backend_occupancy",
-                                p.occupancy);
+        ctx.emitScalarMetric(bench_case, "p50_episode_latency_s",
+                             p.p50_latency_s);
+        ctx.emitScalarMetric(bench_case, "p99_episode_latency_s",
+                             p.p99_latency_s);
+        ctx.emitScalarMetric(bench_case, "queue_delay_share",
+                             p.delay_share);
+        ctx.emitScalarMetric(bench_case, "backend_occupancy",
+                             p.occupancy);
         if (i > 0 && p.mean_delay_s <= points[i - 1].mean_delay_s)
             monotone = false;
     }
-    std::printf("%s\n", sweep_table.render().c_str());
-    std::printf("delay/ep        charged queueing + admission delay per\n"
-                "                tenant episode (simulated s)\n"
-                "p50/p99 ep lat  episode latency percentile (simulated s):\n"
-                "                base episode time + charged queueing and\n"
-                "                admission delay at that arrival rate\n"
-                "q-delay share   summed queueing delay over summed episode\n"
-                "                latency\n"
-                "occupancy       busy slot-seconds over available\n"
-                "                slot-seconds across backends\n");
+    ctx.printf("%s\n", sweep_table.render().c_str());
+    ctx.printf("delay/ep        charged queueing + admission delay per\n"
+               "                tenant episode (simulated s)\n"
+               "p50/p99 ep lat  episode latency percentile (simulated s):\n"
+               "                base episode time + charged queueing and\n"
+               "                admission delay at that arrival rate\n"
+               "q-delay share   summed queueing delay over summed episode\n"
+               "                latency\n"
+               "occupancy       busy slot-seconds over available\n"
+               "                slot-seconds across backends\n");
 
     // Max sustainable throughput: the highest swept rate at which the
     // queue stays subcritical (delay share below half); at least the
@@ -549,22 +554,35 @@ main(int argc, char **argv)
             max_sustainable = p.rate_eps;
     if (max_sustainable == 0.0)
         max_sustainable = points.front().rate_eps;
-    bench::emitScalarMetric("engine-service serving", "max_sustainable_eps",
-                            max_sustainable);
-    std::printf("max sustainable rate (delay share < 50%%): %.4f "
-                "episodes/s\n",
-                max_sustainable);
+    ctx.emitScalarMetric("engine-service serving", "max_sustainable_eps",
+                         max_sustainable);
+    ctx.printf("max sustainable rate (delay share < 50%%): %.4f "
+               "episodes/s\n",
+               max_sustainable);
 
     // Queueing delay must grow strictly with offered load — the
     // closed-loop model's defining property. A flat or shrinking delay
     // means the queue is not actually contended.
     if (!monotone) {
-        std::fprintf(stderr, "charged queueing delay per episode is not "
-                             "strictly increasing in offered load:");
-        for (const auto &p : points)
-            std::fprintf(stderr, " %.2fx=%.3fs", p.level, p.mean_delay_s);
-        std::fprintf(stderr, "\n");
+        std::string detail;
+        for (const auto &p : points) {
+            char buf[48];
+            std::snprintf(buf, sizeof(buf), " %.2fx=%.3fs", p.level,
+                          p.mean_delay_s);
+            detail += buf;
+        }
+        ctx.eprintf("charged queueing delay per episode is not "
+                    "strictly increasing in offered load:%s\n",
+                    detail.c_str());
         return 1;
     }
     return 0;
 }
+
+} // namespace
+
+EBS_BENCH_SUITE("bench_engine_service",
+                "Rec. 1 at system scope: cross-agent batching, charged "
+                "and closed-loop queued ablations, and a multi-tenant "
+                "offered-load sweep",
+                run);

@@ -7,19 +7,19 @@
  * 36.5%/16.1%/10.3% plan/message/action-selection split.
  */
 
-#include <cstdio>
-
-#include "bench_util.h"
 #include "stats/table.h"
+#include "suite.h"
+
+namespace {
 
 int
-main()
+run(ebs::bench::SuiteContext &ctx)
 {
     using namespace ebs;
-    const int kSeeds = bench::seedCount(12);
+    const int kSeeds = ctx.seedCount(12);
     const auto difficulty = env::Difficulty::Medium;
 
-    std::printf("=== Fig. 2a: per-step latency breakdown by module ===\n\n");
+    ctx.printf("=== Fig. 2a: per-step latency breakdown by module ===\n\n");
     stats::Table fig2a({"workload", "s/step", "Sense%", "Plan%", "Comm%",
                         "Mem%", "Refl%", "Exec%"});
     stats::Table fig2b({"workload", "success", "steps", "total (min)"});
@@ -34,8 +34,7 @@ main()
         v.seeds = kSeeds;
         variants.push_back(std::move(v));
     }
-    const auto results =
-        runner::runAveragedMany(runner::EpisodeRunner::shared(), variants);
+    const auto results = ctx.runAveragedMany(variants);
 
     double llm_share_sum = 0.0;
     double refl_share_sum = 0.0;
@@ -55,7 +54,7 @@ main()
         fig2b.addRow({spec.name, stats::Table::pct(r.success_rate, 0),
                       stats::Table::num(r.avg_steps, 0),
                       stats::Table::num(r.avg_runtime_min, 1)});
-        bench::emitMetric(spec.name, r);
+        ctx.emitMetric(spec.name, r);
 
         llm_share_sum += lat.fraction(stats::ModuleKind::Planning) +
                          lat.fraction(stats::ModuleKind::Communication) +
@@ -63,18 +62,18 @@ main()
         refl_share_sum += lat.fraction(stats::ModuleKind::Reflection);
     }
 
-    std::printf("%s\n", fig2a.render().c_str());
-    std::printf("=== Fig. 2b: total runtime per task ===\n\n%s\n",
+    ctx.printf("%s\n", fig2a.render().c_str());
+    ctx.printf("=== Fig. 2b: total runtime per task ===\n\n%s\n",
                 fig2b.render().c_str());
 
     const double n = static_cast<double>(workloads::suite().size());
-    std::printf("Aggregate: LLM-based modules account for %.1f%% of step\n"
+    ctx.printf("Aggregate: LLM-based modules account for %.1f%% of step\n"
                 "latency on average (paper: 70.2%%); reflection accounts\n"
                 "for %.2f%% (paper: 8.61%%).\n",
                 llm_share_sum / n * 100.0, refl_share_sum / n * 100.0);
-    bench::emitScalarMetric("aggregate", "llm_latency_share",
+    ctx.emitScalarMetric("aggregate", "llm_latency_share",
                             llm_share_sum / n);
-    bench::emitScalarMetric("aggregate", "reflection_latency_share",
+    ctx.emitScalarMetric("aggregate", "reflection_latency_share",
                             refl_share_sum / n);
 
     // Rec. 1 end-to-end: the same suite with batch_llm_calls charging
@@ -90,10 +89,9 @@ main()
         v.pipeline.batch_llm_calls = true;
         v.engine_service = &charged_service;
     }
-    const auto charged = runner::runAveragedMany(
-        runner::EpisodeRunner::shared(), charged_variants);
+    const auto charged = ctx.runAveragedMany(charged_variants);
 
-    std::printf("=== Fig. 2 ablation: batched inference charged to the "
+    ctx.printf("=== Fig. 2 ablation: batched inference charged to the "
                 "clock (Rec. 1) ===\n\n");
     stats::Table batched_table(
         {"workload", "s/step", "s/step charged", "saved"});
@@ -102,7 +100,7 @@ main()
         const auto &spec = *variants[i].workload;
         const auto &seq = results[i];
         const auto &chg = charged[i];
-        const double saved = bench::emitChargedMetrics(
+        const double saved = ctx.emitChargedMetrics(
             spec.name, seq.avg_step_latency_s, chg.avg_step_latency_s);
         saved_sum += saved;
         batched_table.addRow(
@@ -110,13 +108,20 @@ main()
              stats::Table::num(chg.avg_step_latency_s, 1),
              stats::Table::pct(saved, 0)});
     }
-    std::printf("%s\n", batched_table.render().c_str());
-    std::printf("Average charged-batching step-latency saving across the "
+    ctx.printf("%s\n", batched_table.render().c_str());
+    ctx.printf("Average charged-batching step-latency saving across the "
                 "suite: %.1f%%\n",
                 saved_sum / n * 100.0);
-    bench::emitScalarMetric("aggregate", "batch_charge_saved_pct",
+    ctx.emitScalarMetric("aggregate", "batch_charge_saved_pct",
                             saved_sum / n * 100.0);
 
-    bench::emitSharedServiceSummary("fig2 suite fleet");
+    ctx.emitSharedServiceSummary("fig2 suite fleet");
     return 0;
 }
+
+} // namespace
+
+EBS_BENCH_SUITE("bench_fig2_latency",
+                "Fig. 2: per-step latency share by module and end-to-end "
+                "runtime across the 14-workload suite",
+                run);

@@ -7,23 +7,24 @@
  * steps / -27.7% success; reflection off -> 1.88x steps / -33.3% success.
  */
 
-#include <cstdio>
 #include <string>
 #include <vector>
 
-#include "bench_util.h"
 #include "stats/table.h"
+#include "suite.h"
+
+namespace {
 
 int
-main()
+run(ebs::bench::SuiteContext &ctx)
 {
     using namespace ebs;
-    const int kSeeds = bench::seedCount(20);
+    const int kSeeds = ctx.seedCount(20);
     const auto difficulty = env::Difficulty::Medium;
     const char *systems[] = {"JARVIS-1", "CoELA",    "COMBO",
                              "COHERENT", "RoCo",     "HMAS"};
 
-    std::printf("=== Fig. 3: module sensitivity (medium tasks, %d seeds) "
+    ctx.printf("=== Fig. 3: module sensitivity (medium tasks, %d seeds) "
                 "===\n\n",
                 kSeeds);
     stats::Table table({"workload", "variant", "success", "avg steps"});
@@ -82,8 +83,7 @@ main()
         }
     }
 
-    const auto results =
-        runner::runAveragedMany(runner::EpisodeRunner::shared(), variants);
+    const auto results = ctx.runAveragedMany(variants);
 
     double mem_steps_ratio = 0.0, mem_sr_drop = 0.0;
     int mem_n = 0;
@@ -99,7 +99,7 @@ main()
         table.addRow({row.spec->name, row.label,
                       stats::Table::pct(r.success_rate, 0),
                       stats::Table::num(r.avg_steps, 1)});
-        bench::emitMetric(row.spec->name + " " + row.label, r);
+        ctx.emitMetric(row.spec->name + " " + row.label, r);
 
         const auto &base = results[row.base_variant];
         if (row.label == "w/o Memory") {
@@ -114,22 +114,29 @@ main()
         }
     }
 
-    std::printf("%s\n", table.render().c_str());
+    ctx.printf("%s\n", table.render().c_str());
     if (mem_n > 0) {
-        std::printf("Memory ablation aggregate:     %.2fx steps, "
+        ctx.printf("Memory ablation aggregate:     %.2fx steps, "
                     "-%.1f%% success (paper: 1.61x, -27.7%%)\n",
                     mem_steps_ratio / mem_n, mem_sr_drop / mem_n * 100.0);
-        bench::emitScalarMetric("aggregate", "memory_ablation_steps_ratio",
+        ctx.emitScalarMetric("aggregate", "memory_ablation_steps_ratio",
                                 mem_steps_ratio / mem_n);
     }
     if (refl_n > 0) {
-        std::printf("Reflection ablation aggregate: %.2fx steps, "
+        ctx.printf("Reflection ablation aggregate: %.2fx steps, "
                     "-%.1f%% success (paper: 1.88x, -33.3%%)\n",
                     refl_steps_ratio / refl_n,
                     refl_sr_drop / refl_n * 100.0);
-        bench::emitScalarMetric("aggregate",
+        ctx.emitScalarMetric("aggregate",
                                 "reflection_ablation_steps_ratio",
                                 refl_steps_ratio / refl_n);
     }
     return 0;
 }
+
+} // namespace
+
+EBS_BENCH_SUITE("bench_fig3_sensitivity",
+                "Fig. 3: module-ablation sensitivity for six systems "
+                "(success rate and steps)",
+                run);

@@ -7,23 +7,24 @@
  * drops and total runtime rises (some workloads fail outright).
  */
 
-#include <cstdio>
 #include <vector>
 
-#include "bench_util.h"
 #include "stats/table.h"
+#include "suite.h"
+
+namespace {
 
 int
-main()
+run(ebs::bench::SuiteContext &ctx)
 {
     using namespace ebs;
-    const int kSeeds = bench::seedCount(20);
+    const int kSeeds = ctx.seedCount(20);
     const auto difficulty = env::Difficulty::Medium;
     const char *systems[] = {"JARVIS-1", "DaDu-E", "MP5",   "DEPS",
                              "MindAgent", "OLA",   "CoELA", "COMBO",
                              "RoCo",      "DMAS"};
 
-    std::printf("=== Fig. 4: GPT-4 API vs Llama-3-8B local planning "
+    ctx.printf("=== Fig. 4: GPT-4 API vs Llama-3-8B local planning "
                 "(medium tasks, %d seeds) ===\n\n",
                 kSeeds);
     stats::Table table({"workload", "backend", "success", "steps",
@@ -56,8 +57,7 @@ main()
         variants.push_back(std::move(local));
     }
 
-    const auto results =
-        runner::runAveragedMany(runner::EpisodeRunner::shared(), variants);
+    const auto results = ctx.runAveragedMany(variants);
 
     for (std::size_t i = 0; i < std::size(systems); ++i) {
         const auto &spec = *variants[2 * i].workload;
@@ -73,13 +73,20 @@ main()
                           : stats::Table::pct(llama.success_rate, 0),
                       stats::Table::num(llama.avg_steps, 0),
                       stats::Table::num(llama.avg_runtime_min, 1)});
-        bench::emitMetric(spec.name + std::string(" gpt4-api"), api);
-        bench::emitMetric(spec.name + std::string(" llama3-8b"), llama);
+        ctx.emitMetric(spec.name + std::string(" gpt4-api"), api);
+        ctx.emitMetric(spec.name + std::string(" llama3-8b"), llama);
     }
 
-    std::printf("%s\n", table.render().c_str());
-    std::printf("Expected shape: the local 8B model reduces success rates\n"
+    ctx.printf("%s\n", table.render().c_str());
+    ctx.printf("Expected shape: the local 8B model reduces success rates\n"
                 "and, despite faster per-inference time, needs more steps —\n"
                 "raising end-to-end runtime (paper Takeaway 3).\n");
     return 0;
 }
+
+} // namespace
+
+EBS_BENCH_SUITE("bench_fig4_local_model",
+                "Fig. 4: GPT-4 API vs local Llama-3-8B planning across "
+                "ten workloads",
+                run);

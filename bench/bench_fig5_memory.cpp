@@ -6,37 +6,38 @@
  * the retrieval-latency growth and the full-history inconsistency dip.
  */
 
-#include <cstdio>
 #include <fstream>
 #include <memory>
 #include <vector>
 
-#include "bench_util.h"
 #include "stats/csv.h"
 #include "stats/table.h"
+#include "suite.h"
+
+namespace {
 
 /** Usage: bench_fig5_memory [csv_output_dir] */
 int
-main(int argc, char **argv)
+run(ebs::bench::SuiteContext &ctx)
 {
     using namespace ebs;
     std::ofstream csv_file;
     std::unique_ptr<stats::CsvWriter> csv;
-    if (argc > 1) {
-        csv_file.open(std::string(argv[1]) + "/fig5_memory.csv");
+    if (!ctx.args().empty()) {
+        csv_file.open(ctx.args()[0] + "/fig5_memory.csv");
         csv = std::make_unique<stats::CsvWriter>(
             csv_file, std::vector<std::string>{
                           "system", "difficulty", "capacity", "success",
                           "avg_steps", "retrieval_s_per_step"});
     }
-    const int kSeeds = bench::seedCount(20);
+    const int kSeeds = ctx.seedCount(20);
     const char *systems[] = {"JARVIS-1", "MindAgent", "CoELA"};
     const int capacities[] = {5, 10, 20, 30, 40, 60};
     const env::Difficulty difficulties[] = {env::Difficulty::Easy,
                                             env::Difficulty::Medium,
                                             env::Difficulty::Hard};
 
-    std::printf("=== Fig. 5: memory capacity vs success/steps "
+    ctx.printf("=== Fig. 5: memory capacity vs success/steps "
                 "(%d seeds) ===\n\n",
                 kSeeds);
 
@@ -56,12 +57,11 @@ main(int argc, char **argv)
             }
         }
     }
-    const auto results =
-        runner::runAveragedMany(runner::EpisodeRunner::shared(), variants);
+    const auto results = ctx.runAveragedMany(variants);
 
     std::size_t idx = 0;
     for (const char *name : systems) {
-        std::printf("--- %s ---\n", name);
+        ctx.printf("--- %s ---\n", name);
         stats::Table table({"difficulty", "capacity (steps)", "success",
                             "avg steps", "retrieval s/step"});
         for (const auto difficulty : difficulties) {
@@ -78,7 +78,7 @@ main(int argc, char **argv)
                               stats::Table::num(r.avg_steps, 1),
                               stats::Table::num(retrieval_per_step, 3)});
                 if (difficulty == env::Difficulty::Medium)
-                    bench::emitMetric(std::string(name) + " cap=" +
+                    ctx.emitMetric(std::string(name) + " cap=" +
                                           std::to_string(capacity),
                                       r);
                 if (csv)
@@ -89,20 +89,26 @@ main(int argc, char **argv)
                               stats::Table::num(retrieval_per_step, 4)});
             }
         }
-        std::printf("%s\n", table.render().c_str());
+        ctx.printf("%s\n", table.render().c_str());
     }
     if (idx != results.size()) {
-        std::fprintf(stderr,
-                     "fig5: consumed %zu of %zu results — the print loops "
-                     "fell out of sync with the variant grid\n",
-                     idx, results.size());
+        ctx.eprintf("fig5: consumed %zu of %zu results — the print loops "
+                    "fell out of sync with the variant grid\n",
+                    idx, results.size());
         return 1;
     }
 
-    std::printf(
+    ctx.printf(
         "Expected shape: success rises (and steps fall) with capacity;\n"
         "easy tasks saturate at small windows; retrieval latency grows\n"
         "with capacity; unbounded history shows a slight quality dip from\n"
         "memory inconsistency (paper Takeaway 4).\n");
     return 0;
 }
+
+} // namespace
+
+EBS_BENCH_SUITE("bench_fig5_memory",
+                "Fig. 5: memory capacity vs success/steps across three "
+                "systems and difficulties",
+                run);

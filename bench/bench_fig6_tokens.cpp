@@ -7,20 +7,21 @@
  */
 
 #include <algorithm>
-#include <cstdio>
 #include <map>
 #include <vector>
 
-#include "bench_util.h"
 #include "stats/table.h"
+#include "suite.h"
+
+namespace {
 
 int
-main()
+run(ebs::bench::SuiteContext &ctx)
 {
     using namespace ebs;
     const char *systems[] = {"RoCo", "MindAgent", "CoELA"};
 
-    std::printf("=== Fig. 6: prompt token length over time steps ===\n\n");
+    ctx.printf("=== Fig. 6: prompt token length over time steps ===\n\n");
 
     // One token-recorded episode per system, run as a single batch.
     std::vector<runner::EpisodeJob> jobs;
@@ -36,7 +37,7 @@ main()
         job.record_tokens = true;
         jobs.push_back(std::move(job));
     }
-    const auto episodes = runner::EpisodeRunner::shared().run(jobs);
+    const auto episodes = ctx.run(jobs);
 
     for (std::size_t i = 0; i < std::size(systems); ++i) {
         const char *name = systems[i];
@@ -50,7 +51,7 @@ main()
             cell.second = std::max(cell.second, sample.message_tokens);
         }
 
-        std::printf("--- %s (%d steps, success=%s) ---\n", name, r.steps,
+        ctx.printf("--- %s (%d steps, success=%s) ---\n", name, r.steps,
                     r.success ? "yes" : "no");
         stats::Table table({"step", "agent", "plan tokens", "msg tokens"});
         const int stride = std::max(1, r.steps / 12);
@@ -65,9 +66,9 @@ main()
                               std::to_string(tokens.second)});
             }
         }
-        std::printf("%s\n", table.render().c_str());
+        ctx.printf("%s\n", table.render().c_str());
 
-        bench::emitMetric(name, runner::foldEpisodes({&r, 1}));
+        ctx.emitMetric(name, runner::foldEpisodes({&r, 1}));
 
         // Growth summary: first vs last quartile of plan tokens.
         double early = 0.0, late = 0.0;
@@ -84,17 +85,24 @@ main()
             }
         }
         if (early_n > 0 && late_n > 0) {
-            std::printf("plan-prompt growth: %.0f -> %.0f tokens "
+            ctx.printf("plan-prompt growth: %.0f -> %.0f tokens "
                         "(%.1fx) over the task\n\n",
                         early / early_n, late / late_n,
                         (late / late_n) / (early / early_n));
-            bench::emitScalarMetric(name, "plan_prompt_growth_ratio",
+            ctx.emitScalarMetric(name, "plan_prompt_growth_ratio",
                                     (late / late_n) / (early / early_n));
         }
     }
 
-    std::printf("Expected shape: token consumption increases with the time\n"
+    ctx.printf("Expected shape: token consumption increases with the time\n"
                 "step, dominated by input tokens from retrieved memory and\n"
                 "concatenated multi-agent dialogue (paper Takeaway 5).\n");
     return 0;
 }
+
+} // namespace
+
+EBS_BENCH_SUITE("bench_fig6_tokens",
+                "Fig. 6: prompt token growth over time steps for RoCo, "
+                "MindAgent, and CoELA",
+                run);

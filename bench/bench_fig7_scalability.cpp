@@ -7,38 +7,39 @@
  * describes as linear (centralized) vs. quadratic (decentralized).
  */
 
-#include <cstdio>
 #include <fstream>
 #include <memory>
 #include <vector>
 
-#include "bench_util.h"
 #include "stats/csv.h"
 #include "stats/table.h"
+#include "suite.h"
+
+namespace {
 
 /** Usage: bench_fig7_scalability [csv_output_dir] */
 int
-main(int argc, char **argv)
+run(ebs::bench::SuiteContext &ctx)
 {
     using namespace ebs;
     std::ofstream csv_file;
     std::unique_ptr<stats::CsvWriter> csv;
-    if (argc > 1) {
-        csv_file.open(std::string(argv[1]) + "/fig7_scalability.csv");
+    if (!ctx.args().empty()) {
+        csv_file.open(ctx.args()[0] + "/fig7_scalability.csv");
         csv = std::make_unique<stats::CsvWriter>(
             csv_file, std::vector<std::string>{
                           "system", "paradigm", "difficulty", "agents",
                           "success", "latency_min", "llm_calls",
                           "tokens_k"});
     }
-    const int kSeeds = bench::seedCount(12);
+    const int kSeeds = ctx.seedCount(12);
     const char *systems[] = {"MindAgent", "CoELA", "COMBO"};
     const int agent_counts[] = {2, 4, 6, 8, 10, 12};
     const env::Difficulty difficulties[] = {env::Difficulty::Easy,
                                             env::Difficulty::Medium,
                                             env::Difficulty::Hard};
 
-    std::printf("=== Fig. 7: scalability across 2-12 agents "
+    ctx.printf("=== Fig. 7: scalability across 2-12 agents "
                 "(%d seeds) ===\n\n",
                 kSeeds);
 
@@ -58,13 +59,12 @@ main(int argc, char **argv)
             }
         }
     }
-    const auto results =
-        runner::runAveragedMany(runner::EpisodeRunner::shared(), variants);
+    const auto results = ctx.runAveragedMany(variants);
 
     std::size_t idx = 0;
     for (const char *name : systems) {
         const auto &spec = workloads::workload(name);
-        std::printf("--- %s (%s) ---\n", name,
+        ctx.printf("--- %s (%s) ---\n", name,
                     workloads::paradigmName(spec.paradigm));
         stats::Table table({"difficulty", "agents", "success",
                             "latency (min)", "LLM calls", "tokens (k)"});
@@ -78,7 +78,7 @@ main(int argc, char **argv)
                      stats::Table::num(r.llmCallsPerEpisode(), 0),
                      stats::Table::num(r.tokensPerEpisode() / 1000.0, 0)});
                 if (difficulty == env::Difficulty::Medium)
-                    bench::emitMetric(std::string(name) + " agents=" +
+                    ctx.emitMetric(std::string(name) + " agents=" +
                                           std::to_string(n),
                                       r);
                 if (csv)
@@ -92,17 +92,16 @@ main(int argc, char **argv)
                                   r.tokensPerEpisode() / 1000.0, 1)});
             }
         }
-        std::printf("%s\n", table.render().c_str());
+        ctx.printf("%s\n", table.render().c_str());
     }
     if (idx != results.size()) {
-        std::fprintf(stderr,
-                     "fig7: consumed %zu of %zu results — the print loops "
-                     "fell out of sync with the variant grid\n",
-                     idx, results.size());
+        ctx.eprintf("fig7: consumed %zu of %zu results — the print loops "
+                    "fell out of sync with the variant grid\n",
+                    idx, results.size());
         return 1;
     }
 
-    std::printf(
+    ctx.printf(
         "Expected shape (paper Takeaway 7): the centralized system's\n"
         "success drops sharply with more agents while its latency scales\n"
         "mildly (fewer LLM calls, linear); the decentralized systems'\n"
@@ -132,10 +131,9 @@ main(int argc, char **argv)
             charged_variants.push_back(std::move(v));
         }
     }
-    const auto charged = runner::runAveragedMany(
-        runner::EpisodeRunner::shared(), charged_variants);
+    const auto charged = ctx.runAveragedMany(charged_variants);
 
-    std::printf("=== Fig. 7 ablation: batched inference charged to the "
+    ctx.printf("=== Fig. 7 ablation: batched inference charged to the "
                 "clock (Rec. 1, medium difficulty) ===\n\n");
     std::size_t charged_idx = 0;
     for (std::size_t s = 0; s < 3; ++s) {
@@ -150,7 +148,7 @@ main(int argc, char **argv)
             const std::string bench_case =
                 std::string(name) + " agents=" +
                 std::to_string(agent_counts[k]);
-            const double saved = bench::emitChargedMetrics(
+            const double saved = ctx.emitChargedMetrics(
                 bench_case, seq.avg_step_latency_s,
                 chg.avg_step_latency_s);
             batched_table.addRow(
@@ -159,7 +157,7 @@ main(int argc, char **argv)
                  stats::Table::num(chg.avg_step_latency_s, 1),
                  stats::Table::pct(saved, 0)});
         }
-        std::printf("--- %s ---\n%s\n", name,
+        ctx.printf("--- %s ---\n%s\n", name,
                     batched_table.render().c_str());
     }
 
@@ -186,10 +184,9 @@ main(int argc, char **argv)
             spec_variants.push_back(std::move(v));
         }
     }
-    const auto speculative = runner::runAveragedMany(
-        runner::EpisodeRunner::shared(), spec_variants);
+    const auto speculative = ctx.runAveragedMany(spec_variants);
 
-    std::printf("=== Fig. 7 ablation: speculative execute phase "
+    ctx.printf("=== Fig. 7 ablation: speculative execute phase "
                 "(medium difficulty) ===\n\n");
     std::size_t spec_idx = 0;
     for (std::size_t s = 0; s < 3; ++s) {
@@ -202,13 +199,12 @@ main(int argc, char **argv)
             if (spc.success_rate != seq.success_rate ||
                 spc.avg_steps != seq.avg_steps ||
                 spc.avg_step_latency_s != seq.avg_step_latency_s) {
-                std::fprintf(stderr,
-                             "fig7: speculative execute diverged from the "
-                             "serial schedule (%s, %d agents)\n",
-                             name, agent_counts[k]);
+                ctx.eprintf("fig7: speculative execute diverged from "
+                            "the serial schedule (%s, %d agents)\n",
+                            name, agent_counts[k]);
                 return 1;
             }
-            bench::emitSpeculativeMetrics(std::string(name) + " agents=" +
+            ctx.emitSpeculativeMetrics(std::string(name) + " agents=" +
                                               std::to_string(
                                                   agent_counts[k]),
                                           spc);
@@ -219,7 +215,7 @@ main(int argc, char **argv)
                  stats::Table::pct(spc.specReexecFraction(), 0),
                  std::to_string(spc.spec_exec.committed)});
         }
-        std::printf("--- %s ---\n%s\n", name, spec_table.render().c_str());
+        ctx.printf("--- %s ---\n%s\n", name, spec_table.render().c_str());
     }
 
     // Measured (host) execute-phase wall-clock at the largest team:
@@ -227,8 +223,8 @@ main(int argc, char **argv)
     // the speculative fan-out, serial vs speculative execute. Host wall
     // depends on EBS_JOBS and machine load → stderr only.
     {
-        runner::EpisodeRunner timing_runner(1,
-                                            &sched::FleetScheduler::shared());
+        runner::EpisodeRunner timing_runner(1, &ctx.scheduler(),
+                                            &ctx.tracer());
         llm::LlmEngineService timing_service;
         const auto &timing_spec = workloads::workload("CoELA");
         runner::RunVariant v;
@@ -238,26 +234,32 @@ main(int argc, char **argv)
         v.seeds = kSeeds;
         v.n_agents = 12;
         v.engine_service = &timing_service;
-        const auto wall_start = stats::PhaseWallClock::shared().snapshot();
-        runner::runAveraged(timing_runner, v);
-        const auto wall_mid = stats::PhaseWallClock::shared().snapshot();
+        const auto wall_start = ctx.phaseWall().snapshot();
+        runner::runAveraged(timing_runner, ctx.stamped(v));
+        const auto wall_mid = ctx.phaseWall().snapshot();
         v.pipeline.speculative_execute = true;
-        const auto spec_run = runner::runAveraged(timing_runner, v);
-        const auto wall_end = stats::PhaseWallClock::shared().snapshot();
+        const auto spec_run =
+            runner::runAveraged(timing_runner, ctx.stamped(v));
+        const auto wall_end = ctx.phaseWall().snapshot();
         const double serial_exec_s =
             wall_mid.execute_s - wall_start.execute_s;
         const double spec_exec_s = wall_end.execute_s - wall_mid.execute_s;
-        std::fprintf(stderr,
-                     "fig7 execute-phase host wall @12 agents (%d workers): "
-                     "serial %.3fs, speculative %.3fs (%.2fx measured, "
-                     "%.2fx modeled)\n",
-                     sched::FleetScheduler::shared().workers(),
-                     serial_exec_s, spec_exec_s,
-                     spec_exec_s > 0.0 ? serial_exec_s / spec_exec_s : 0.0,
-                     spec_run.specExecSpeedup());
+        ctx.eprintf("fig7 execute-phase host wall @12 agents (%d "
+                    "workers): serial %.3fs, speculative %.3fs (%.2fx "
+                    "measured, %.2fx modeled)\n",
+                    ctx.scheduler().workers(), serial_exec_s, spec_exec_s,
+                    spec_exec_s > 0.0 ? serial_exec_s / spec_exec_s : 0.0,
+                    spec_run.specExecSpeedup());
     }
 
-    bench::emitSharedServiceSummary("fig7 scalability fleet");
-    bench::emitPhaseWallSummary();
+    ctx.emitSharedServiceSummary("fig7 scalability fleet");
+    ctx.emitPhaseWallSummary();
     return 0;
 }
+
+} // namespace
+
+EBS_BENCH_SUITE("bench_fig7_scalability",
+                "Fig. 7: multi-agent scalability across 2-12 agents, with "
+                "charged-batching and speculative-execute ablations",
+                run);

@@ -5,21 +5,27 @@
  * RRT motion planning, memory retrieval, the token counter, and the LLM
  * engine's sampling path.
  *
- * Honors EBS_BENCH_SMOKE (set by `run_all --smoke`) by clamping
- * --benchmark_min_time to a few milliseconds so the suite stops
- * dominating smoke runs. Full runs use a 0.05 s window instead of
- * Google Benchmark's 0.5 s default — every op here is ns-to-µs scale,
- * so that still means 1e4-1e7 iterations per measurement while keeping
- * `run_all` wall-clock dominated by the episode suites the runner can
- * actually parallelize.
+ * Honors smoke mode (ctx.smoke(), set by `run_all --smoke` or
+ * EBS_BENCH_SMOKE standalone) by clamping --benchmark_min_time to a few
+ * milliseconds so the suite stops dominating smoke runs. Full runs use
+ * a 0.05 s window instead of Google Benchmark's 0.5 s default — every
+ * op here is ns-to-µs scale, so that still means 1e4-1e7 iterations per
+ * measurement while keeping `run_all` wall-clock dominated by the
+ * episode suites the runner can actually parallelize.
+ *
+ * The console report is rendered into a string and forwarded to the
+ * suite's stdout sink in one write. The numbers are host timings, so
+ * this is the one suite whose stdout is *not* byte-stable across runs —
+ * the fleet equivalence gate skips it (it emits no EBS_METRIC lines).
  */
 
 #include <benchmark/benchmark.h>
 
+#include <sstream>
 #include <string>
 #include <vector>
 
-#include "bench_util.h"
+#include "suite.h"
 
 #include "core/coordinator.h"
 #include "envs/transport_env.h"
@@ -138,25 +144,50 @@ BM_EpisodeTransportEasy(benchmark::State &state)
 }
 BENCHMARK(BM_EpisodeTransportEasy);
 
-} // namespace
-
 int
-main(int argc, char **argv)
+run(ebs::bench::SuiteContext &ctx)
 {
-    // Clamp per-benchmark measurement time (hard in smoke mode, mild in
-    // full mode). Ours is inserted before any caller flags, and Google
-    // Benchmark lets the last occurrence win, so an explicit
-    // --benchmark_min_time on the command line still takes precedence.
-    std::vector<char *> args(argv, argv + argc);
-    std::string min_time = ebs::bench::smokeMode()
-                               ? "--benchmark_min_time=0.005"
-                               : "--benchmark_min_time=0.05";
-    args.insert(args.begin() + 1, min_time.data());
+    // Rebuild an argv for Google Benchmark from the suite arguments.
+    // Our min-time clamp (hard in smoke mode, mild in full mode) is
+    // inserted before any caller flags, and Google Benchmark lets the
+    // last occurrence win, so an explicit --benchmark_min_time on the
+    // command line still takes precedence.
+    std::vector<std::string> arg_storage;
+    arg_storage.emplace_back("bench_micro_substrate");
+    arg_storage.emplace_back(ctx.smoke() ? "--benchmark_min_time=0.005"
+                                         : "--benchmark_min_time=0.05");
+    for (const auto &arg : ctx.args())
+        arg_storage.push_back(arg);
+    std::vector<char *> args;
+    args.reserve(arg_storage.size());
+    for (auto &arg : arg_storage)
+        args.push_back(arg.data());
+
     int args_count = static_cast<int>(args.size());
     benchmark::Initialize(&args_count, args.data());
     if (benchmark::ReportUnrecognizedArguments(args_count, args.data()))
         return 1;
-    benchmark::RunSpecifiedBenchmarks();
+
+    // Render the console report into strings and hand them to the
+    // suite's sinks, so the fleet captures this suite's output the same
+    // way it captures every other suite's.
+    std::ostringstream report;
+    std::ostringstream errors;
+    benchmark::ConsoleReporter reporter;
+    reporter.SetOutputStream(&report);
+    reporter.SetErrorStream(&errors);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
     benchmark::Shutdown();
+
+    ctx.write(report.str());
+    if (!errors.str().empty())
+        ctx.eprintf("%s", errors.str().c_str());
     return 0;
 }
+
+} // namespace
+
+EBS_BENCH_SUITE("bench_micro_substrate",
+                "Google-benchmark micro timings of the substrate: A*, "
+                "RRT, memory retrieval, token counting, LLM sampling",
+                run);

@@ -16,27 +16,27 @@
  * Each row reports success, steps, and runtime against the baseline.
  */
 
-#include <cstdio>
 #include <vector>
 
-#include "bench_util.h"
 #include "envs/transport_env.h"
 #include "llm/engine.h"
 #include "stats/table.h"
+#include "suite.h"
+
+namespace {
 
 int
-main()
+run(ebs::bench::SuiteContext &ctx)
 {
     using namespace ebs;
-    const int kSeeds = bench::seedCount(20);
+    const int kSeeds = ctx.seedCount(20);
     const auto difficulty = env::Difficulty::Medium;
-    const auto &shared_runner = runner::EpisodeRunner::shared();
 
     // ----- Local-model optimizations on DaDu-E (Llama-8B planner) -----
     {
         const auto &spec = workloads::workload("DaDu-E");
-        std::printf("=== Local-model optimizations (DaDu-E, Llama-8B) "
-                    "===\n\n");
+        ctx.printf("=== Local-model optimizations (DaDu-E, Llama-8B) "
+                   "===\n\n");
 
         auto variant = [&](core::AgentConfig config) {
             runner::RunVariant v;
@@ -69,9 +69,9 @@ main()
             "LoRA-tuned Llama-8B (Rec. 4)",
             "AWQ-4bit quantized models (Rec. 1)",
         };
-        const auto results = runner::runAveragedMany(
-            shared_runner, {variant(spec.config), variant(raw),
-                            variant(lora), variant(quant)});
+        const auto results =
+            ctx.runAveragedMany({variant(spec.config), variant(raw),
+                                 variant(lora), variant(quant)});
 
         stats::Table table({"variant", "success", "steps",
                             "runtime (min)"});
@@ -80,14 +80,14 @@ main()
             table.addRow({labels[i], stats::Table::pct(r.success_rate, 0),
                           stats::Table::num(r.avg_steps, 1),
                           stats::Table::num(r.avg_runtime_min, 1)});
-            bench::emitMetric(std::string("dadu-e ") + labels[i], r);
+            ctx.emitMetric(std::string("dadu-e ") + labels[i], r);
         }
-        std::printf("%s\n", table.render().c_str());
+        ctx.printf("%s\n", table.render().c_str());
     }
 
     // ----- Batched inference (Rec. 1) microcomparison -----
     {
-        std::printf("=== Batched inference (Rec. 1) ===\n\n");
+        ctx.printf("=== Batched inference (Rec. 1) ===\n\n");
         llm::LlmEngine seq(llm::ModelProfile::gpt4Api(), sim::Rng(1));
         llm::LlmEngine bat(llm::ModelProfile::gpt4Api(), sim::Rng(1));
         stats::Table table({"batch size", "sequential (s)", "batched (s)",
@@ -108,17 +108,17 @@ main()
                           stats::Table::num(sequential, 1),
                           stats::Table::num(batched, 1),
                           stats::Table::num(sequential / batched, 2) + "x"});
-            bench::emitScalarMetric("batched inference k=" +
-                                        std::to_string(k),
-                                    "speedup", sequential / batched);
+            ctx.emitScalarMetric("batched inference k=" +
+                                     std::to_string(k),
+                                 "speedup", sequential / batched);
         }
-        std::printf("%s\n", table.render().c_str());
+        ctx.printf("%s\n", table.render().c_str());
     }
 
     // ----- Memory and prompt optimizations on CoELA -----
     {
         const auto &spec = workloads::workload("CoELA");
-        std::printf("=== Memory & prompt optimizations (CoELA) ===\n\n");
+        ctx.printf("=== Memory & prompt optimizations (CoELA) ===\n\n");
 
         runner::RunVariant base;
         base.workload = &spec;
@@ -139,8 +139,7 @@ main()
             "dual long/short-term memory (Rec. 5)",
             "context compression 0.4 (Rec. 6)",
         };
-        const auto results = runner::runAveragedMany(
-            shared_runner, {base, dual, compressed});
+        const auto results = ctx.runAveragedMany({base, dual, compressed});
 
         stats::Table table({"variant", "success", "steps", "s/step",
                             "runtime (min)"});
@@ -150,16 +149,16 @@ main()
                           stats::Table::num(r.avg_steps, 1),
                           stats::Table::num(r.avg_step_latency_s, 1),
                           stats::Table::num(r.avg_runtime_min, 1)});
-            bench::emitMetric(std::string("coela ") + labels[i], r);
+            ctx.emitMetric(std::string("coela ") + labels[i], r);
         }
-        std::printf("%s\n", table.render().c_str());
+        ctx.printf("%s\n", table.render().c_str());
     }
 
     // ----- Scalability optimizations at 8 agents (Recs. 8/6 + 9) -----
     {
         const auto &spec = workloads::workload("CoELA");
-        std::printf("=== Scalability optimizations (CoELA config, "
-                    "8 agents, transport medium) ===\n\n");
+        ctx.printf("=== Scalability optimizations (CoELA config, "
+                   "8 agents, transport medium) ===\n\n");
 
         // These drive paradigm entry points directly (no WorkloadSpec
         // paradigm exists for hierarchical), so they run as custom jobs.
@@ -175,8 +174,7 @@ main()
             return v;
         };
 
-        const auto results = runner::runAveragedMany(
-            shared_runner,
+        const auto results = ctx.runAveragedMany(
             {custom([](const core::AgentConfig &config,
                        const core::EpisodeOptions &options) {
                  sim::Rng env_rng = sim::Rng(options.seed).fork(7);
@@ -216,10 +214,10 @@ main()
             table.addRow({labels[i], stats::Table::pct(r.success_rate, 0),
                           stats::Table::num(r.avg_runtime_min, 1),
                           stats::Table::num(r.llmCallsPerEpisode(), 0)});
-            bench::emitMetric(std::string("transport8 ") + labels[i], r);
+            ctx.emitMetric(std::string("transport8 ") + labels[i], r);
         }
-        std::printf("%s\n", table.render().c_str());
-        std::printf(
+        ctx.printf("%s\n", table.render().c_str());
+        ctx.printf(
             "Rec. 9's hierarchical paradigm bounds joint-plan complexity\n"
             "by the cluster size and cross-cluster dialogue by the number\n"
             "of clusters, cutting both LLM calls and latency at scale.\n");
@@ -227,3 +225,11 @@ main()
 
     return 0;
 }
+
+} // namespace
+
+EBS_BENCH_SUITE("bench_optimizations",
+                "Sec. IV-VI ablations of the paper's optimization "
+                "recommendations (quantization, batching, memory, "
+                "compression, hierarchy)",
+                run);

@@ -12,16 +12,15 @@
  * long-horizon one, where the modular system's explicit planning pays off.
  */
 
-#include <cstdio>
 #include <memory>
 #include <span>
 #include <vector>
 
-#include "bench_util.h"
 #include "core/vla.h"
 #include "envs/craft_env.h"
 #include "envs/manipulation_env.h"
 #include "stats/table.h"
+#include "suite.h"
 
 namespace {
 
@@ -46,12 +45,10 @@ makeLongHorizon(sim::Rng rng)
     return std::make_unique<envs::CraftEnv>(env::Difficulty::Medium, 1, rng);
 }
 
-} // namespace
-
 int
-main()
+run(ebs::bench::SuiteContext &ctx)
 {
-    const int kSeeds = ebs::bench::seedCount(20);
+    const int kSeeds = ctx.seedCount(20);
     const TaskCase cases[] = {
         {"short-horizon (manipulation, easy)", &makeShortHorizon},
         {"long-horizon (craft, medium)", &makeLongHorizon},
@@ -94,7 +91,7 @@ main()
             });
     }
 
-    const auto episodes = runner::EpisodeRunner::shared().run(jobs);
+    const auto episodes = ctx.run(std::move(jobs));
 
     std::size_t offset = 0;
     auto next_stats = [&] {
@@ -105,7 +102,7 @@ main()
     };
 
     for (const auto &task_case : cases) {
-        std::printf("=== %s ===\n\n", task_case.label);
+        ctx.printf("=== %s ===\n\n", task_case.label);
         stats::Table table(
             {"system", "success", "runtime (min)", "s/decision"});
 
@@ -115,8 +112,8 @@ main()
                       stats::Table::pct(modular.success_rate, 0),
                       stats::Table::num(modular.avg_runtime_min, 1),
                       stats::Table::num(modular.avg_step_latency_s, 2)});
-        bench::emitMetric(std::string(task_case.label) + " " + modular_label,
-                          modular);
+        ctx.emitMetric(std::string(task_case.label) + " " + modular_label,
+                       modular);
 
         for (const auto &profile : profiles) {
             const auto r = next_stats();
@@ -124,24 +121,30 @@ main()
                           stats::Table::pct(r.success_rate, 0),
                           stats::Table::num(r.avg_runtime_min, 1),
                           stats::Table::num(r.avg_step_latency_s, 2)});
-            bench::emitMetric(std::string(task_case.label) + " " +
-                                  profile.name,
-                              r);
+            ctx.emitMetric(std::string(task_case.label) + " " +
+                               profile.name,
+                           r);
         }
-        std::printf("%s\n", table.render().c_str());
+        ctx.printf("%s\n", table.render().c_str());
     }
     if (offset != episodes.size()) {
-        std::fprintf(stderr,
-                     "paradigm_endtoend: consumed %zu of %zu episodes — "
-                     "the print loops fell out of sync with the batch\n",
-                     offset, episodes.size());
+        ctx.eprintf("paradigm_endtoend: consumed %zu of %zu episodes — "
+                    "the print loops fell out of sync with the batch\n",
+                    offset, episodes.size());
         return 1;
     }
 
-    std::printf(
+    ctx.printf(
         "Expected shape (paper Sec. II-C): end-to-end VLA control runs at\n"
         "orders-of-magnitude lower per-decision latency and holds its own\n"
         "on short-horizon tasks, but cannot sustain long-horizon\n"
         "dependency chains, where the modular paradigm dominates.\n");
     return 0;
 }
+
+} // namespace
+
+EBS_BENCH_SUITE("bench_paradigm_endtoend",
+                "Fig. 1c extension: modular GPT-4 pipeline vs end-to-end "
+                "VLA profiles on short- and long-horizon tasks",
+                run);

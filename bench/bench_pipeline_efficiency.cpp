@@ -7,21 +7,22 @@
  * execution (Rec. 7) and planning-then-communication (Rec. 8).
  */
 
-#include <cstdio>
 #include <vector>
 
-#include "bench_util.h"
 #include "stats/table.h"
+#include "suite.h"
+
+namespace {
 
 int
-main()
+run(ebs::bench::SuiteContext &ctx)
 {
     using namespace ebs;
-    const int kSeeds = bench::seedCount(20);
+    const int kSeeds = ctx.seedCount(20);
     const auto &spec = workloads::workload("CoELA");
     const auto difficulty = env::Difficulty::Medium;
 
-    std::printf("=== Sec. V-D: modular pipeline efficiency (CoELA, "
+    ctx.printf("=== Sec. V-D: modular pipeline efficiency (CoELA, "
                 "%d seeds) ===\n\n",
                 kSeeds);
 
@@ -71,15 +72,14 @@ main()
         v.pipeline = c.pipeline;
         variants.push_back(std::move(v));
     }
-    const auto results =
-        runner::runAveragedMany(runner::EpisodeRunner::shared(), variants);
+    const auto results = ctx.runAveragedMany(variants);
 
     const auto &base = results.front();
-    std::printf("Message utility: %.0f of %.0f generated messages per task "
+    ctx.printf("Message utility: %.0f of %.0f generated messages per task "
                 "carried information (%.1f%%; paper: ~20%%)\n\n",
                 base.msgs_useful, base.msgs_generated,
                 base.msgs_useful / base.msgs_generated * 100.0);
-    bench::emitScalarMetric("sequential baseline", "message_utility",
+    ctx.emitScalarMetric("sequential baseline", "message_utility",
                             base.msgs_useful / base.msgs_generated);
 
     stats::Table table({"pipeline variant", "success", "steps", "s/step",
@@ -91,7 +91,7 @@ main()
                       stats::Table::num(r.avg_step_latency_s, 1),
                       stats::Table::num(r.avg_runtime_min, 1),
                       stats::Table::num(r.msgs_generated, 0)});
-        bench::emitMetric(cases[i].label, r);
+        ctx.emitMetric(cases[i].label, r);
     }
 
     // Speculation must not perturb paper metrics: the speculative variant
@@ -101,14 +101,14 @@ main()
     if (spec_case.success_rate != base.success_rate ||
         spec_case.avg_steps != base.avg_steps ||
         spec_case.avg_step_latency_s != base.avg_step_latency_s) {
-        std::fprintf(stderr, "pipeline efficiency: speculative execute "
-                             "diverged from the sequential baseline\n");
+        ctx.eprintf("pipeline efficiency: speculative execute diverged "
+                    "from the sequential baseline\n");
         return 1;
     }
-    bench::emitSpeculativeMetrics("speculative execute", spec_case);
+    ctx.emitSpeculativeMetrics("speculative execute", spec_case);
 
-    std::printf("%s\n", table.render().c_str());
-    std::printf("Expected shape: parallel pipelines cut wall-clock without\n"
+    ctx.printf("%s\n", table.render().c_str());
+    ctx.printf("Expected shape: parallel pipelines cut wall-clock without\n"
                 "changing work; Rec. 7 removes per-action replanning; Rec. 8\n"
                 "eliminates most pre-generated messages — all with success\n"
                 "held roughly constant (paper Takeaway 6).\n");
@@ -125,18 +125,15 @@ main()
         v.difficulty = difficulty;
         v.seeds = kSeeds;
         v.pipeline = pipeline;
-        return bench::hostSeconds([&] {
-            runner::runAveraged(runner::EpisodeRunner::shared(), v);
-        });
+        return bench::hostSeconds([&] { ctx.runAveraged(v); });
     };
     const double serial_s = time_variant(cases[0].pipeline);
     const double parallel_s = time_variant(cases[1].pipeline);
-    std::fprintf(stderr,
-                 "host wall-clock: sequential %.3fs, parallel agent "
-                 "pipelines %.3fs (%.2fx, %d workers)\n",
-                 serial_s, parallel_s,
-                 parallel_s > 0.0 ? serial_s / parallel_s : 0.0,
-                 runner::EpisodeRunner::shared().scheduler()->workers());
+    ctx.eprintf("host wall-clock: sequential %.3fs, parallel agent "
+                "pipelines %.3fs (%.2fx, %d workers)\n",
+                serial_s, parallel_s,
+                parallel_s > 0.0 ? serial_s / parallel_s : 0.0,
+                ctx.scheduler().workers());
 
     // Same host-side check for speculative execute, isolated to the
     // execute-phase bucket: serial episodes on a one-job runner so the
@@ -144,29 +141,35 @@ main()
     // phase wall clock rather than end-to-end suite time (compute phases
     // dominate the latter).
     {
-        runner::EpisodeRunner timing_runner(1,
-                                            &sched::FleetScheduler::shared());
+        runner::EpisodeRunner timing_runner(1, &ctx.scheduler(),
+                                            &ctx.tracer());
         runner::RunVariant v;
         v.workload = &spec;
         v.config = spec.config;
         v.difficulty = difficulty;
         v.seeds = kSeeds;
-        const auto wall_start = stats::PhaseWallClock::shared().snapshot();
-        runner::runAveraged(timing_runner, v);
-        const auto wall_mid = stats::PhaseWallClock::shared().snapshot();
+        const auto wall_start = ctx.phaseWall().snapshot();
+        runner::runAveraged(timing_runner, ctx.stamped(v));
+        const auto wall_mid = ctx.phaseWall().snapshot();
         v.pipeline.speculative_execute = true;
-        runner::runAveraged(timing_runner, v);
-        const auto wall_end = stats::PhaseWallClock::shared().snapshot();
+        runner::runAveraged(timing_runner, ctx.stamped(v));
+        const auto wall_end = ctx.phaseWall().snapshot();
         const double serial_exec_s =
             wall_mid.execute_s - wall_start.execute_s;
         const double spec_exec_s = wall_end.execute_s - wall_mid.execute_s;
-        std::fprintf(stderr,
-                     "execute-phase host wall: serial %.3fs, speculative "
-                     "%.3fs (%.2fx measured, %.2fx modeled)\n",
-                     serial_exec_s, spec_exec_s,
-                     spec_exec_s > 0.0 ? serial_exec_s / spec_exec_s : 0.0,
-                     spec_case.specExecSpeedup());
+        ctx.eprintf("execute-phase host wall: serial %.3fs, speculative "
+                    "%.3fs (%.2fx measured, %.2fx modeled)\n",
+                    serial_exec_s, spec_exec_s,
+                    spec_exec_s > 0.0 ? serial_exec_s / spec_exec_s : 0.0,
+                    spec_case.specExecSpeedup());
     }
-    bench::emitPhaseWallSummary();
+    ctx.emitPhaseWallSummary();
     return 0;
 }
+
+} // namespace
+
+EBS_BENCH_SUITE("bench_pipeline_efficiency",
+                "Sec. V-D: CoELA pipeline-efficiency variants (parallel, "
+                "plan-guided, comm-on-demand, speculative)",
+                run);

@@ -7,9 +7,8 @@
  * static rows (they are categorization data, not executable workloads).
  */
 
-#include <cstdio>
-
 #include "stats/table.h"
+#include "suite.h"
 #include "workloads/workload.h"
 
 namespace {
@@ -82,15 +81,13 @@ const CatalogRow kCatalog[] = {
      "Simulation (V)"},
 };
 
-} // namespace
-
 int
-main()
+run(ebs::bench::SuiteContext &ctx)
 {
     using namespace ebs;
-    std::printf("=== Table I: embodied AI agent systems by paradigm and "
+    ctx.printf("=== Table I: embodied AI agent systems by paradigm and "
                 "module composition ===\n\n");
-    std::printf("-- Executable workload suite (live configurations) --\n\n");
+    ctx.printf("-- Executable workload suite (live configurations) --\n\n");
 
     stats::Table live({"paradigm", "system", "Sense", "Plan", "Comm", "Mem",
                        "Refl", "Exec", "environment"});
@@ -103,15 +100,22 @@ main()
                      mark(c.has_reflection), mark(c.has_execution),
                      spec.env_name});
     }
-    std::printf("%s\n", live.render().c_str());
+    ctx.printf("%s\n", live.render().c_str());
 
-    std::printf("-- Catalogued systems (Table I rows outside the "
+    ctx.printf("-- Catalogued systems (Table I rows outside the "
                 "suite) --\n\n");
     stats::Table catalog({"paradigm", "system", "Sense", "Plan", "Comm",
                           "Mem", "Refl", "Exec", "embodied type"});
     for (const auto &row : kCatalog)
         catalog.addRow({row.paradigm, row.name, row.sense, row.plan,
                         row.comm, row.mem, row.refl, row.exec, row.type});
-    std::printf("%s", catalog.render().c_str());
+    ctx.printf("%s", catalog.render().c_str());
     return 0;
 }
+
+} // namespace
+
+EBS_BENCH_SUITE("bench_table1_paradigms",
+                "Table I: embodied AI agent systems by paradigm and "
+                "module composition",
+                run);

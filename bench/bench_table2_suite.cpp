@@ -6,17 +6,18 @@
  * paradigm — printed from the live workload registry.
  */
 
-#include <cstdio>
-
 #include "stats/table.h"
+#include "suite.h"
 #include "workloads/workload.h"
 
+namespace {
+
 int
-main()
+run(ebs::bench::SuiteContext &ctx)
 {
     using namespace ebs;
-    std::printf("=== Table II: embodied agent systems workload suite "
-                "===\n\n");
+    ctx.printf("=== Table II: embodied agent systems workload suite "
+               "===\n\n");
 
     stats::Table table({"system", "sensing", "planning", "comm", "memory",
                         "reflection", "execution", "paradigm", "agents"});
@@ -31,11 +32,18 @@ main()
                                          ? 1
                                          : spec.default_agents)});
     }
-    std::printf("%s\n", table.render().c_str());
+    ctx.printf("%s\n", table.render().c_str());
 
     stats::Table tasks({"system", "environment", "datasets and tasks"});
     for (const auto &spec : workloads::suite())
         tasks.addRow({spec.name, spec.env_name, spec.tasks_desc});
-    std::printf("%s", tasks.render().c_str());
+    ctx.printf("%s", tasks.render().c_str());
     return 0;
 }
+
+} // namespace
+
+EBS_BENCH_SUITE("bench_table2_suite",
+                "Table II: the 14-system workload suite from the live "
+                "registry",
+                run);

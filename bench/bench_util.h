@@ -3,29 +3,32 @@
 
 #include <cctype>
 #include <cmath>
-#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
-#include "llm/engine_service.h"
-#include "stats/host_clock.h"
-#include "stats/phase_wall.h"
-#include "runner/averaged.h"
-#include "runner/episode_runner.h"
 #include "runner/run_stats.h"
-#include "workloads/workload.h"
+#include "stats/host_clock.h"
 
+/**
+ * Pure bench helpers: formatting, host timing, and the smoke-mode env
+ * parse. Everything that *emits* suite output (EBS_METRIC lines,
+ * tables, EBS_PHASE_WALL) lives on bench::SuiteContext (suite.h) so all
+ * suite I/O flows through the per-suite sinks — the `suite-io` lint
+ * rule bans direct stream writes under bench/ to keep it that way.
+ */
 namespace ebs::bench {
 
 /** Averaged episode metrics (promoted into the library in PR 2). */
 using runner::RunStats;
 
 /**
- * Smoke mode (EBS_BENCH_SMOKE=1 in the environment, set by
- * `run_all --smoke`): run every suite with a single seed so the whole
- * fleet finishes in CI-friendly time. A falsy value ("", "0", "false",
- * "off", "no") leaves smoke mode disabled.
+ * Smoke mode from the environment (EBS_BENCH_SMOKE=1, set for children
+ * of `run_all --spawn --smoke`): run every suite with a single seed so
+ * the whole fleet finishes in CI-friendly time. A falsy value ("", "0",
+ * "false", "off", "no") leaves smoke mode disabled. The in-process
+ * fleet never reads this — run_all passes smoke through SuiteContext;
+ * only the standalone wrapper (suite_main.cpp) consults the env.
  */
 inline bool
 smokeMode()
@@ -44,49 +47,14 @@ smokeMode()
 }
 
 /**
- * Seed count a suite should use: the requested count, clamped to 1 in
- * smoke mode. Suites must derive their seed constant through this (and
- * normalize by the returned value) so the clamp stays visible to any
- * per-seed arithmetic and printed headers.
- */
-inline int
-seedCount(int requested)
-{
-    return smokeMode() ? 1 : requested;
-}
-
-/**
- * Run a workload variant over `seeds` seeds and average the results,
- * fanning the episodes across the shared EpisodeRunner (EBS_JOBS
- * threads). Benches with a parameter grid should build RunVariant lists
- * and call runner::runAveragedMany directly so the whole grid shares one
- * fan-out.
- */
-inline RunStats
-runAveraged(const workloads::WorkloadSpec &spec,
-            const core::AgentConfig &config, env::Difficulty difficulty,
-            int seeds, int n_agents = -1,
-            const core::PipelineOptions &pipeline = {})
-{
-    runner::RunVariant variant;
-    variant.workload = &spec;
-    variant.config = config;
-    variant.difficulty = difficulty;
-    variant.seeds = seeds;
-    variant.n_agents = n_agents;
-    variant.pipeline = pipeline;
-    return runner::runAveraged(runner::EpisodeRunner::shared(), variant);
-}
-
-/**
  * Host (not simulated) wall-clock of `fn`, in seconds. Suites print
- * these to *stderr* as scheduling diagnostics — e.g. the real speedup of
- * `parallel_agents` episodes fanning per-agent phases onto the fleet
- * scheduler. Host timings depend on EBS_JOBS and machine load, so they
- * must never reach stdout, which stays byte-identical across worker
- * counts (EBS_METRIC lines feed the regression gate). Reads the host
- * clock only through stats::hostNow(), the repo's single lint-sanctioned
- * host-timing site.
+ * these to the *stderr sink* as scheduling diagnostics — e.g. the real
+ * speedup of `parallel_agents` episodes fanning per-agent phases onto
+ * the fleet scheduler. Host timings depend on EBS_JOBS and machine
+ * load, so they must never reach the stdout sink, which stays
+ * byte-identical across worker counts (EBS_METRIC lines feed the
+ * regression gate). Reads the host clock only through stats::hostNow(),
+ * the repo's single lint-sanctioned host-timing site.
  */
 template <typename Fn>
 inline double
@@ -127,41 +95,6 @@ jsonEscape(const std::string &s)
 }
 
 /**
- * Emit one machine-readable headline-metrics line for a measured case.
- *
- * `run_all` greps the captured stdout of every suite for "EBS_METRIC "
- * prefixed JSON objects and folds them into BENCH_results.json, giving
- * successive PRs a paper-metric trajectory (success rate, s/step, token
- * volume) alongside the runtime counters.
- */
-inline void
-emitMetric(const std::string &bench_case, const RunStats &r)
-{
-    std::printf("EBS_METRIC {\"case\":\"%s\",\"episodes\":%d,"
-                "\"success_rate\":%s,\"avg_steps\":%s,"
-                "\"s_per_step\":%s,\"runtime_min\":%s,"
-                "\"llm_calls_per_episode\":%s,"
-                "\"tokens_per_episode\":%s}\n",
-                jsonEscape(bench_case).c_str(), r.episodes,
-                jsonNum(r.success_rate, 4).c_str(),
-                jsonNum(r.avg_steps, 2).c_str(),
-                jsonNum(r.avg_step_latency_s, 3).c_str(),
-                jsonNum(r.avg_runtime_min, 3).c_str(),
-                jsonNum(r.llmCallsPerEpisode(), 1).c_str(),
-                jsonNum(r.tokensPerEpisode(), 0).c_str());
-}
-
-/** Emit a single named scalar as an EBS_METRIC line. */
-inline void
-emitScalarMetric(const std::string &bench_case, const std::string &name,
-                 double value)
-{
-    std::printf("EBS_METRIC {\"case\":\"%s\",\"%s\":%s}\n",
-                jsonEscape(bench_case).c_str(), jsonEscape(name).c_str(),
-                jsonNum(value, 6).c_str());
-}
-
-/**
  * Fraction of sequential step latency saved by the charged-batching
  * ablation (`batch_llm_calls`), from the two runs' s/step. Sub-epsilon
  * ratios are float noise from the reassociated clock sums, not a real
@@ -176,90 +109,6 @@ chargedSavedFraction(double sequential_s_per_step,
         return 0.0;
     const double saved = 1.0 - charged_s_per_step / sequential_s_per_step;
     return std::abs(saved) < 1e-9 ? 0.0 : saved;
-}
-
-/**
- * Emit the charged-batching metric pair for one case — the charged
- * s/step (`batched_s_per_step`) and its saving versus the sequential
- * run (`batch_charge_saved_pct`), both gated by metricDirection() —
- * and return the saved fraction for the suite's own table. One
- * definition, so every suite reports the ablation identically.
- */
-inline double
-emitChargedMetrics(const std::string &bench_case,
-                   double sequential_s_per_step,
-                   double charged_s_per_step)
-{
-    const double saved =
-        chargedSavedFraction(sequential_s_per_step, charged_s_per_step);
-    emitScalarMetric(bench_case, "batched_s_per_step",
-                     charged_s_per_step);
-    emitScalarMetric(bench_case, "batch_charge_saved_pct", 100.0 * saved);
-    return saved;
-}
-
-/**
- * Report what the process-wide engine service saw over this suite: every
- * episode's LLM traffic routes through LlmEngineService::shared() by
- * default, so after the suite's fan-outs this is a fleet-level view of
- * call volume and cross-agent batch occupancy.
- *
- * Only worker-order-independent values are printed (integer tallies and
- * their ratio): the service's float latency sums accumulate in
- * completion order under the mutex, so printing them would break the
- * byte-identical-stdout-across-EBS_JOBS contract. Modeled latency
- * savings are reported by bench_engine_service from deterministic
- * per-episode folds instead.
- */
-inline void
-emitSharedServiceSummary(const std::string &bench_case)
-{
-    auto &service = llm::LlmEngineService::shared();
-    const auto usage = service.totalUsage();
-    const auto stats = service.stats();
-    std::printf("shared engine service: %zu calls, %lld batches "
-                "(%lld cross-agent), occupancy %.2f\n",
-                usage.calls, stats.batches, stats.cross_agent_batches,
-                stats.occupancy());
-    emitScalarMetric(bench_case, "batch_occupancy", stats.occupancy());
-}
-
-/**
- * Emit the speculative-execute metric triple for one case: the modeled
- * execute-phase speedup (serial latency sum over the speculative
- * critical path), the conflict rate among speculated turns, and the
- * fraction of turns that ended up on the serial lane. All three derive
- * from deterministic read/write-set arithmetic, so they are stdout-safe
- * and gated by metricDirection() (speedup higher-is-better, the other
- * two lower-is-better).
- */
-inline void
-emitSpeculativeMetrics(const std::string &bench_case, const RunStats &r)
-{
-    emitScalarMetric(bench_case, "spec_exec_speedup", r.specExecSpeedup());
-    emitScalarMetric(bench_case, "spec_conflict_rate",
-                     r.specConflictRate());
-    emitScalarMetric(bench_case, "spec_reexec_fraction",
-                     r.specReexecFraction());
-}
-
-/**
- * Report the process-wide compute/execute host wall-clock split to
- * *stderr* as one `EBS_PHASE_WALL {json}` line. run_all scans each
- * suite's captured log for the last such line and folds the split into
- * the straggler summary and BENCH_timeline.json, making the execute-phase
- * win (or loss) of speculation visible per suite. Host time varies with
- * EBS_JOBS and machine load, so this must never reach stdout.
- */
-inline void
-emitPhaseWallSummary()
-{
-    const auto wall = stats::PhaseWallClock::shared().snapshot();
-    std::fprintf(stderr,
-                 "EBS_PHASE_WALL {\"compute_s\":%s,\"execute_s\":%s,"
-                 "\"episodes\":%lld}\n",
-                 jsonNum(wall.compute_s, 3).c_str(),
-                 jsonNum(wall.execute_s, 3).c_str(), wall.episodes);
 }
 
 } // namespace ebs::bench

@@ -1,43 +1,45 @@
 /**
  * @file
- * Benchmark fleet driver: discovers every `bench_*` binary sitting next to
- * this executable, runs each one with stdout/stderr captured to a per-suite
- * log, and consolidates the per-suite performance counters into one
- * `BENCH_results.json` (suite -> metric -> value) so successive PRs have a
- * perf trajectory to compare against.
+ * Benchmark fleet driver. Default mode runs every suite **in-process**:
+ * suites are library functions registered in bench::SuiteRegistry (see
+ * suite.h), and the driver submits the whole fleet as one dependency-free
+ * sched::TaskGraph onto a single FleetScheduler pool of `--jobs` workers.
+ * There is no static budget split any more — a suite's episodes fan onto
+ * the same shared pool its siblings run on, so when a short suite drains,
+ * its workers immediately start absorbing the straggler's episodes.
  *
- * Suites are submitted as one sched::TaskGraph onto a FleetScheduler pool,
- * so several suites run concurrently under a single global `EBS_JOBS`
- * budget: with budget J the driver runs `C = min(J, suites)` suite
- * processes at once and hands each child `EBS_JOBS = max(1, J / C)` for
- * its internal episode fan-out — episodes from different suites interleave
- * in time while the total in-flight episode count stays within the budget.
- * Per-episode results are bit-identical at any worker split (the episode
- * runner's determinism contract), so only wall-clock changes. The
- * scheduler's task timeline becomes the per-suite wall-clock / straggler
- * summary, printed at the end and written to `BENCH_timeline.json`.
+ * Each suite writes its stdout sink to `<logs>/<suite>.log` and its
+ * stderr sink to `<logs>/<suite>.err.log`; the logs are byte-identical
+ * to what the suite's standalone binary would have printed (the
+ * SuiteContext contract, pinned by the fleet equivalence test). The
+ * captured stdout is scanned for `EBS_METRIC {...}` lines and folded
+ * into `BENCH_results.json` (suite -> paper_metrics) so successive PRs
+ * have a perf trajectory; the scheduler's task timeline becomes the
+ * per-suite wall-clock / straggler summary and `BENCH_timeline.json`.
  *
- * Besides runtime counters, every suite's captured stdout is scanned for
- * `EBS_METRIC {...}` lines (emitted by the benches via bench_util.h) and
- * the JSON objects are folded into the suite's `paper_metrics` array, so
- * the trajectory tracks the paper's headline metrics (success rate,
- * s/step, token volume) and not just wall-clock.
+ * `--spawn` keeps the legacy posix_spawn fleet as a transition oracle:
+ * each `bench_*` binary next to this executable runs as a child process
+ * under the old static budget split (C = min(J, suites) children x
+ * EBS_JOBS = max(1, J / C) each), with the same per-suite log layout so
+ * `diff_metrics` and byte-comparison can pin in-process == spawned.
  *
  * Flags:
- *   --smoke        run each suite with tiny iteration counts (sets
- *                  EBS_BENCH_SMOKE=1, honored by bench_util.h)
+ *   --smoke        run each suite with tiny iteration counts
  *   --jobs N       global worker budget (default: EBS_JOBS, else the
  *                  hardware concurrency)
- *   --serial       legacy schedule: suites one at a time, each child
- *                  getting the whole budget (the pre-scheduler baseline
- *                  for wall-clock comparisons)
+ *   --serial       suites one at a time (each still using the whole
+ *                  pool for its own episodes)
+ *   --spawn        legacy mode: run each suite as a child process
  *   --out PATH     output JSON path (default: BENCH_results.json in cwd)
- *   --logs DIR     per-suite stdout logs (default: BENCH_logs in cwd)
+ *   --logs DIR     per-suite logs (default: BENCH_logs in cwd)
  *   --timeline P   scheduler timeline JSON (default: BENCH_timeline.json)
+ *   --trace-out P  merged Chrome trace path (with EBS_TRACE=1)
  *   --filter STR   only run suites whose name contains STR
  *   --suites LIST  comma-separated suite names to run (with or without
- *                  the bench_ prefix; substrings accepted when unique)
- *   --list         print discovered suite names and exit
+ *                  the bench_ prefix; substrings accepted when unique;
+ *                  misses fail with near-miss suggestions)
+ *   --list         print the selected suite names and exit
+ *   --list-suites  print every registered suite with its description
  */
 
 #include <algorithm>
@@ -45,12 +47,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <filesystem>
 #include <fstream>
-#include <limits>
-#include <map>
 #include <memory>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -61,9 +61,11 @@
 #include <unistd.h>
 
 #include "core/sync.h"
+#include "fleet_plan.h"
 #include "obs/trace.h"
 #include "sched/fleet_scheduler.h"
 #include "stats/host_clock.h"
+#include "suite.h"
 
 extern char **environ;
 
@@ -82,7 +84,7 @@ struct SuiteResult
     std::vector<std::string> paper_metrics; ///< raw EBS_METRIC objects
 
     /** Host compute/execute phase split reported by the suite's last
-     * `EBS_PHASE_WALL` stderr line (see bench_util.h); absent when the
+     * `EBS_PHASE_WALL` stderr line (see suite.h); absent when the
      * suite does not run episodes or predates the reporting. */
     bool has_phase_wall = false;
     double phase_compute_s = 0.0;
@@ -92,7 +94,7 @@ struct SuiteResult
 
 /**
  * Collect the JSON objects of `EBS_METRIC {...}` lines from a suite's
- * captured stdout. The objects are emitted by bench_util.h and embedded
+ * captured stdout. The objects are emitted by SuiteContext and embedded
  * verbatim, so run_all needs no JSON parser — only a sanity check that
  * the payload looks like a single-line object.
  */
@@ -118,9 +120,8 @@ collectMetricLines(const fs::path &log_path)
 
 /**
  * Parse the *last* `EBS_PHASE_WALL {...}` line of a suite's captured
- * output into the result's phase split (stderr shares the log file via
- * dup2, so the line lands in the same capture as EBS_METRIC). The clock
- * is process-wide and monotone, so the last line is the suite total.
+ * stderr log into the result's phase split. The clock accumulates
+ * monotonically over the suite, so the last line is the suite total.
  *
  * Anchored on the *whole line*, not a substring scan: a candidate line
  * must start with the prefix and the remainder must be exactly one flat
@@ -131,10 +132,10 @@ collectMetricLines(const fs::path &log_path)
  * fused or truncated line must simply not count.
  */
 void
-readPhaseWall(const fs::path &log_path, SuiteResult &result)
+readPhaseWall(const fs::path &err_path, SuiteResult &result)
 {
     static const std::string kPrefix = "EBS_PHASE_WALL ";
-    std::ifstream log(log_path);
+    std::ifstream log(err_path);
     std::string line, last;
     while (std::getline(log, line)) {
         if (line.rfind(kPrefix, 0) != 0)
@@ -196,12 +197,12 @@ isExecutableFile(const fs::path &p)
 }
 
 /**
- * The environment block every suite child receives: the parent's
- * environment minus the fleet knobs, plus the driver-chosen values.
- * Built once before scheduling — with suite tasks running on scheduler
- * threads, children must not mutate the (non-thread-safe) parent
- * environment between fork and exec; posix_spawn with an explicit envp
- * sidesteps the problem entirely.
+ * The environment block every `--spawn` suite child receives: the
+ * parent's environment minus the fleet knobs, plus the driver-chosen
+ * values. Built once before scheduling — with suite tasks running on
+ * scheduler threads, children must not mutate the (non-thread-safe)
+ * parent environment between fork and exec; posix_spawn with an
+ * explicit envp sidesteps the problem entirely.
  */
 class ChildEnvironment
 {
@@ -242,10 +243,12 @@ class ChildEnvironment
     std::vector<char *> pointers_;
 };
 
-/** Run one benchmark binary, capturing output and resource usage. */
+/** Run one benchmark binary as a child process (`--spawn`), capturing
+ * stdout/stderr to separate per-suite logs and resource usage from
+ * wait4 — the transition oracle the in-process path is compared to. */
 SuiteResult
-runSuite(const fs::path &binary, const fs::path &log_path,
-         const ChildEnvironment &env)
+runSuiteSpawned(const fs::path &binary, const fs::path &log_path,
+                const fs::path &err_path, const ChildEnvironment &env)
 {
     SuiteResult result;
     result.name = binary.filename().string();
@@ -255,8 +258,12 @@ runSuite(const fs::path &binary, const fs::path &log_path,
     posix_spawn_file_actions_addopen(&actions, STDOUT_FILENO,
                                      log_path.c_str(),
                                      O_CREAT | O_WRONLY | O_TRUNC, 0644);
-    posix_spawn_file_actions_adddup2(&actions, STDOUT_FILENO,
-                                     STDERR_FILENO);
+    // stderr gets its own capture: stdout must stay byte-comparable to
+    // the in-process sink, and host-timing diagnostics interleaved by
+    // dup2 would break that.
+    posix_spawn_file_actions_addopen(&actions, STDERR_FILENO,
+                                     err_path.c_str(),
+                                     O_CREAT | O_WRONLY | O_TRUNC, 0644);
 
     char *const argv[] = {const_cast<char *>(binary.c_str()), nullptr};
     pid_t pid = -1;
@@ -289,8 +296,55 @@ runSuite(const fs::path &binary, const fs::path &log_path,
     result.sys_seconds = static_cast<double>(usage.ru_stime.tv_sec) +
                          usage.ru_stime.tv_usec / 1e6;
     result.max_rss_kb = usage.ru_maxrss;
-    result.paper_metrics = collectMetricLines(log_path);
-    readPhaseWall(log_path, result);
+    return result;
+}
+
+/**
+ * Run one registered suite in-process through its SuiteContext. The
+ * suite function's sinks are already bound to the per-suite log files;
+ * this wrapper adds what the process boundary used to provide: wall
+ * clock, CPU accounting, an RSS reading, and exception containment (a
+ * throwing suite must report a failing exit code, not kill the fleet).
+ */
+SuiteResult
+runSuiteInProcess(const ebs::bench::SuiteInfo &suite,
+                  ebs::bench::SuiteContext &context)
+{
+    SuiteResult result;
+    result.name = suite.name;
+
+    struct rusage before{};
+    ::getrusage(RUSAGE_SELF, &before);
+    const double start = ebs::stats::hostNow();
+    try {
+        result.exit_code = suite.fn(context);
+    } catch (const std::exception &e) {
+        context.eprintf("run_all: suite %s threw: %s\n",
+                        suite.name.c_str(), e.what());
+        result.exit_code = 1;
+    } catch (...) {
+        context.eprintf("run_all: suite %s threw a non-std exception\n",
+                        suite.name.c_str());
+        result.exit_code = 1;
+    }
+    result.wall_seconds = ebs::stats::hostNow() - start;
+    struct rusage after{};
+    ::getrusage(RUSAGE_SELF, &after);
+    // CPU time is a process-wide delta over the suite's window:
+    // concurrently running suites overlap, so per-suite user/sys can
+    // sum to more than the fleet total. Wall and paper metrics are the
+    // comparable numbers; these stay for rough cost attribution.
+    result.user_seconds =
+        static_cast<double>(after.ru_utime.tv_sec -
+                            before.ru_utime.tv_sec) +
+        (after.ru_utime.tv_usec - before.ru_utime.tv_usec) / 1e6;
+    result.sys_seconds =
+        static_cast<double>(after.ru_stime.tv_sec -
+                            before.ru_stime.tv_sec) +
+        (after.ru_stime.tv_usec - before.ru_stime.tv_usec) / 1e6;
+    // ru_maxrss is the process high-water mark — monotone, so this is
+    // "fleet peak as of this suite's completion", not a per-suite peak.
+    result.max_rss_kb = after.ru_maxrss;
     return result;
 }
 
@@ -332,25 +386,30 @@ writeJson(const fs::path &out_path, const std::vector<SuiteResult> &results,
 
 /**
  * The scheduler-side view of the fleet run: how the suite tasks packed
- * onto the pool, who the straggler was, and how busy the budget stayed.
+ * onto the pool, who the straggler was, and how busy the capacity
+ * stayed. In-process the capacity is the single shared pool (`budget`
+ * workers); under --spawn it is the legacy static split (`concurrent`
+ * child processes).
  */
 struct FleetSummary
 {
     int budget = 1;
-    int concurrent_suites = 1;
-    int jobs_per_child = 1;
+    bool spawn = false;
+    int concurrent_suites = 1; ///< spawn only: the static C
+    int jobs_per_child = 1;    ///< spawn only: EBS_JOBS per child
     double makespan_s = 0.0;
     double busy_s = 0.0; ///< summed per-suite wall inside the schedule
     double utilization = 0.0;
-    std::size_t straggler = 0; ///< index into the timings/results
+    std::size_t straggler = 0; ///< index into the timings
 };
 
 FleetSummary
 summarize(const std::vector<ebs::sched::TaskTiming> &timings, int budget,
-          int concurrent, int child_jobs)
+          bool spawn, int concurrent, int child_jobs)
 {
     FleetSummary s;
     s.budget = budget;
+    s.spawn = spawn;
     s.concurrent_suites = concurrent;
     s.jobs_per_child = child_jobs;
     if (timings.empty())
@@ -366,7 +425,13 @@ summarize(const std::vector<ebs::sched::TaskTiming> &timings, int budget,
             s.straggler = i;
     }
     s.makespan_s = last_end - first_start;
-    const double capacity = s.makespan_s * s.concurrent_suites;
+    // Capacity: spawn children own disjoint worker shares, so suite
+    // walls against C slots is exact; in-process suites share one pool
+    // and their episodes interleave, so "suite wall over budget slots"
+    // is a lower bound on pool business.
+    const double slots =
+        spawn ? double(s.concurrent_suites) : double(budget);
+    const double capacity = s.makespan_s * slots;
     s.utilization = capacity > 0.0 ? s.busy_s / capacity : 0.0;
     return s;
 }
@@ -387,14 +452,21 @@ writeTimeline(const fs::path &path,
     std::fprintf(f,
                  "{\n"
                  "  \"budget\": %d,\n"
-                 "  \"concurrent_suites\": %d,\n"
-                 "  \"jobs_per_child\": %d,\n"
+                 "  \"mode\": \"%s\",\n",
+                 s.budget, s.spawn ? "spawn" : "in-process");
+    if (s.spawn)
+        std::fprintf(f,
+                     "  \"concurrent_suites\": %d,\n"
+                     "  \"jobs_per_child\": %d,\n",
+                     s.concurrent_suites, s.jobs_per_child);
+    else
+        std::fprintf(f, "  \"pool_workers\": %d,\n", s.budget);
+    std::fprintf(f,
                  "  \"makespan_seconds\": %.6f,\n"
                  "  \"busy_seconds\": %.6f,\n"
                  "  \"utilization\": %.4f,\n"
                  "  \"straggler\": \"%s\",\n"
                  "  \"suites\": [",
-                 s.budget, s.concurrent_suites, s.jobs_per_child,
                  s.makespan_s, s.busy_s, s.utilization,
                  timings.empty() ? "" : timings[s.straggler].label.c_str());
     for (std::size_t i = 0; i < timings.size(); ++i) {
@@ -421,22 +493,13 @@ writeTimeline(const fs::path &path,
     std::fclose(f);
 }
 
-/**
- * Merge the per-suite Chrome trace files the children exported (each
- * suite ran with EBS_TRACE_OUT=<logs>/<suite>.trace.json and a disjoint
- * EBS_TRACE_PID_BASE, see obs/trace.h) into one Perfetto-loadable
- * BENCH_trace.json, and add run_all's own fleet-level view: one 'X'
- * slice per suite on pid 1 (tid = the pool worker that babysat the
- * child, -1 = the help-executing main thread). The writer emits one
- * event per line between a fixed header and footer, so the merge is a
- * pure line concatenation — no JSON parser in the driver.
- */
-void
-writeMergedTrace(const fs::path &trace_path,
-                 const std::vector<fs::path> &suite_traces,
-                 const std::vector<ebs::sched::TaskTiming> &timings,
-                 const std::vector<SuiteResult> &results,
-                 const std::vector<std::size_t> &order)
+/** The driver's own fleet-level trace lines: a process-name metadata
+ * record and one 'X' slice per suite on pid 1 (tid = the pool worker
+ * that ran, or babysat, the suite). */
+std::vector<std::string>
+fleetTraceLines(const std::vector<ebs::sched::TaskTiming> &timings,
+                const std::vector<SuiteResult> &results,
+                const std::vector<std::size_t> &order)
 {
     std::vector<std::string> lines;
     lines.push_back("{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"ts\":0,"
@@ -458,6 +521,46 @@ writeMergedTrace(const fs::path &trace_path,
                       result.max_rss_kb);
         lines.push_back(buf);
     }
+    return lines;
+}
+
+void
+writeTraceFile(const fs::path &trace_path,
+               const std::vector<std::string> &lines)
+{
+    std::FILE *f = std::fopen(trace_path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "run_all: cannot write %s: %s\n",
+                     trace_path.c_str(), std::strerror(errno));
+        return;
+    }
+    std::fputs("{ \"traceEvents\": [\n", f);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        std::fputs(lines[i].c_str(), f);
+        std::fputs(i + 1 < lines.size() ? ",\n" : "\n", f);
+    }
+    std::fputs("] }\n", f);
+    std::fclose(f);
+}
+
+/**
+ * Merge the per-suite Chrome trace files `--spawn` children exported
+ * (each suite ran with EBS_TRACE_OUT=<logs>/<suite>.trace.json and a
+ * disjoint EBS_TRACE_PID_BASE, see obs/trace.h) into one
+ * Perfetto-loadable BENCH_trace.json, plus the driver's fleet-level
+ * view. The child writer emits one event per line between a fixed
+ * header and footer, so the merge is a pure line concatenation — no
+ * JSON parser in the driver.
+ */
+void
+writeMergedTraceSpawn(const fs::path &trace_path,
+                      const std::vector<fs::path> &suite_traces,
+                      const std::vector<ebs::sched::TaskTiming> &timings,
+                      const std::vector<SuiteResult> &results,
+                      const std::vector<std::size_t> &order)
+{
+    std::vector<std::string> lines =
+        fleetTraceLines(timings, results, order);
     for (const fs::path &child : suite_traces) {
         std::ifstream in(child);
         if (!in) {
@@ -480,152 +583,35 @@ writeMergedTrace(const fs::path &trace_path,
             lines.push_back(std::move(line));
         }
     }
-
-    std::FILE *f = std::fopen(trace_path.c_str(), "w");
-    if (!f) {
-        std::fprintf(stderr, "run_all: cannot write %s: %s\n",
-                     trace_path.c_str(), std::strerror(errno));
-        return;
-    }
-    std::fputs("{ \"traceEvents\": [\n", f);
-    for (std::size_t i = 0; i < lines.size(); ++i) {
-        std::fputs(lines[i].c_str(), f);
-        std::fputs(i + 1 < lines.size() ? ",\n" : "\n", f);
-    }
-    std::fputs("] }\n", f);
-    std::fclose(f);
+    writeTraceFile(trace_path, lines);
 }
 
 /**
- * Per-suite wall-clock of a previous fleet run, read back from the
- * BENCH_timeline.json the run wrote. Used to seed the schedule order:
- * submitting the longest suites first shaves the straggler tail versus
- * the default alphabetical order (a long suite started last overhangs
- * the makespan by almost its whole duration). The parser is a minimal
- * scan over the file this binary itself writes — on any mismatch it
- * returns an empty map and the schedule falls back to list order.
+ * The in-process replacement for stitching child trace files: every
+ * suite's private Tracer renders its lines in memory (same disjoint
+ * 10 + 10*i pid block a spawned child would have exported under), and
+ * the shared Tracer contributes the scheduler's host-task track — the
+ * single pool every suite's episodes actually ran on.
  */
-std::map<std::string, double>
-readTimelineDurations(const fs::path &path)
+void
+writeMergedTraceInProcess(
+    const fs::path &trace_path,
+    const std::vector<ebs::sched::TaskTiming> &timings,
+    const std::vector<SuiteResult> &results,
+    const std::vector<std::size_t> &order,
+    const std::vector<std::string> &names,
+    const std::vector<std::unique_ptr<ebs::bench::SuiteContext>> &contexts)
 {
-    std::map<std::string, double> durations;
-    std::ifstream in(path);
-    if (!in)
-        return durations;
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    const std::string text = buffer.str();
-
-    static const std::string kName = "\"name\": \"";
-    static const std::string kWall = "\"wall_seconds\": ";
-    std::size_t pos = 0;
-    while ((pos = text.find(kName, pos)) != std::string::npos) {
-        pos += kName.size();
-        const std::size_t name_end = text.find('"', pos);
-        if (name_end == std::string::npos)
-            break;
-        const std::string name = text.substr(pos, name_end - pos);
-        const std::size_t wall_at = text.find(kWall, name_end);
-        const std::size_t next_name = text.find(kName, name_end);
-        // The wall_seconds must belong to this entry, not a later one.
-        if (wall_at == std::string::npos ||
-            (next_name != std::string::npos && wall_at > next_name)) {
-            pos = name_end;
-            continue;
-        }
-        // Skip entries whose wall_seconds doesn't parse as a clean
-        // number (strtod consuming nothing, or a non-JSON tail): a
-        // corrupt timeline entry should fall back to "unknown duration"
-        // rather than feed garbage into the schedule.
-        const char *wall_start = text.c_str() + wall_at + kWall.size();
-        char *wall_end = nullptr;
-        const double wall = std::strtod(wall_start, &wall_end);
-        const bool clean_tail =
-            wall_end != wall_start &&
-            (*wall_end == ',' || *wall_end == '}' || *wall_end == '\n' ||
-             *wall_end == '\r' || *wall_end == ' ' || *wall_end == '\0');
-        if (clean_tail && wall > 0.0)
-            durations[name] = wall;
-        pos = name_end;
-    }
-    return durations;
-}
-
-/**
- * The order suite tasks are submitted to the scheduler: previous-run
- * longest first (suites absent from the previous timeline are treated
- * as unknown-and-possibly-long and go first, keeping their relative
- * order), or plain list order when no usable timeline exists.
- */
-std::vector<std::size_t>
-scheduleOrder(const std::vector<fs::path> &binaries,
-              const std::map<std::string, double> &durations)
-{
-    std::vector<std::size_t> order(binaries.size());
-    for (std::size_t i = 0; i < order.size(); ++i)
-        order[i] = i;
-    if (durations.empty())
-        return order;
-    const auto duration_of = [&](std::size_t i) {
-        const auto it = durations.find(binaries[i].filename().string());
-        return it == durations.end()
-                   ? std::numeric_limits<double>::infinity()
-                   : it->second;
-    };
-    std::stable_sort(order.begin(), order.end(),
-                     [&](std::size_t a, std::size_t b) {
-                         return duration_of(a) > duration_of(b);
-                     });
-    return order;
-}
-
-/** Split a comma-separated list, dropping empty items. */
-std::vector<std::string>
-splitList(const std::string &list)
-{
-    std::vector<std::string> out;
-    std::size_t begin = 0;
-    while (begin <= list.size()) {
-        const std::size_t comma = list.find(',', begin);
-        const std::size_t end =
-            comma == std::string::npos ? list.size() : comma;
-        if (end > begin)
-            out.push_back(list.substr(begin, end - begin));
-        if (comma == std::string::npos)
-            break;
-        begin = comma + 1;
-    }
-    return out;
-}
-
-/**
- * Resolve one --suites entry against the discovered binaries: exact name
- * first (with or without the bench_ prefix), then unique substring.
- * Returns npos and prints the candidates when nothing (or too much)
- * matches, so a typo'd suite name fails loudly instead of silently
- * shrinking the fleet.
- */
-std::size_t
-resolveSuite(const std::string &entry,
-             const std::vector<fs::path> &binaries)
-{
-    std::vector<std::size_t> substring_hits;
-    for (std::size_t i = 0; i < binaries.size(); ++i) {
-        const std::string name = binaries[i].filename().string();
-        if (name == entry || name == "bench_" + entry)
-            return i;
-        if (name.find(entry) != std::string::npos)
-            substring_hits.push_back(i);
-    }
-    if (substring_hits.size() == 1)
-        return substring_hits[0];
-    std::fprintf(stderr, "run_all: --suites entry '%s' %s\n", entry.c_str(),
-                 substring_hits.empty() ? "matches no suite"
-                                        : "is ambiguous");
-    for (const std::size_t i : substring_hits)
-        std::fprintf(stderr, "run_all:   candidate: %s\n",
-                     binaries[i].filename().c_str());
-    return static_cast<std::size_t>(-1);
+    std::vector<std::string> lines =
+        fleetTraceLines(timings, results, order);
+    for (const auto &line : ebs::obs::Tracer::shared().chromeLines(
+             "run_all scheduler", /*pid_base=*/4))
+        lines.push_back(line);
+    for (std::size_t i = 0; i < contexts.size(); ++i)
+        for (const auto &line : contexts[i]->tracer().chromeLines(
+                 names[i], /*pid_base=*/static_cast<int>(10 + 10 * i)))
+            lines.push_back(line);
+    writeTraceFile(trace_path, lines);
 }
 
 } // namespace
@@ -635,7 +621,9 @@ main(int argc, char **argv)
 {
     bool smoke = false;
     bool list_only = false;
+    bool list_suites = false;
     bool serial = false;
+    bool spawn = false;
     std::string filter;
     std::string suites_arg;
     int budget = 0; // 0 = EBS_JOBS / hardware default
@@ -650,8 +638,12 @@ main(int argc, char **argv)
             smoke = true;
         } else if (arg == "--list") {
             list_only = true;
+        } else if (arg == "--list-suites") {
+            list_suites = true;
         } else if (arg == "--serial") {
             serial = true;
+        } else if (arg == "--spawn") {
+            spawn = true;
         } else if (arg == "--out" && i + 1 < argc) {
             out_path = argv[++i];
         } else if (arg == "--logs" && i + 1 < argc) {
@@ -679,7 +671,8 @@ main(int argc, char **argv)
             budget = static_cast<int>(parsed);
         } else {
             std::fprintf(stderr,
-                         "usage: run_all [--smoke] [--list] [--serial] "
+                         "usage: run_all [--smoke] [--list] "
+                         "[--list-suites] [--serial] [--spawn] "
                          "[--out PATH] [--logs DIR] [--timeline PATH] "
                          "[--trace-out PATH] [--filter STR] "
                          "[--suites a,b,c] [--jobs N]\n");
@@ -689,51 +682,87 @@ main(int argc, char **argv)
     if (budget <= 0)
         budget = ebs::sched::FleetScheduler::defaultWorkers();
 
+    const auto &registry = ebs::bench::SuiteRegistry::instance();
+    if (list_suites) {
+        for (const auto &suite : registry.suites())
+            std::printf("%-28s %s\n", suite.name.c_str(),
+                        suite.description.c_str());
+        return 0;
+    }
+
+    // The suite universe: the linked registry (in-process, the default)
+    // or the bench_* binaries next to this executable (--spawn).
+    std::vector<std::string> names;
+    std::vector<fs::path> spawn_binaries;
     const fs::path bench_dir = selfDirectory(argv[0]);
-    std::vector<fs::path> discovered;
-    for (const auto &entry : fs::directory_iterator(bench_dir)) {
-        const std::string name = entry.path().filename().string();
-        if (name.rfind("bench_", 0) == 0 && isExecutableFile(entry.path()))
-            discovered.push_back(entry.path());
-    }
-    std::sort(discovered.begin(), discovered.end());
-
-    if (discovered.empty()) {
-        std::fprintf(stderr, "run_all: no bench_* binaries found in %s\n",
-                     bench_dir.c_str());
-        return 1;
-    }
-
-    std::vector<fs::path> binaries;
-    if (!suites_arg.empty()) {
-        // --suites: an explicit, validated selection in list order.
-        for (const auto &entry : splitList(suites_arg)) {
-            const std::size_t found = resolveSuite(entry, discovered);
-            if (found == static_cast<std::size_t>(-1))
-                return 2;
-            if (std::find(binaries.begin(), binaries.end(),
-                          discovered[found]) == binaries.end())
-                binaries.push_back(discovered[found]);
+    if (spawn) {
+        for (const auto &entry : fs::directory_iterator(bench_dir)) {
+            const std::string name = entry.path().filename().string();
+            if (name.rfind("bench_", 0) == 0 &&
+                isExecutableFile(entry.path()))
+                spawn_binaries.push_back(entry.path());
+        }
+        std::sort(spawn_binaries.begin(), spawn_binaries.end());
+        for (const auto &binary : spawn_binaries)
+            names.push_back(binary.filename().string());
+        if (names.empty()) {
+            std::fprintf(stderr,
+                         "run_all: no bench_* binaries found in %s\n",
+                         bench_dir.c_str());
+            return 1;
         }
     } else {
-        binaries = discovered;
+        for (const auto &suite : registry.suites())
+            names.push_back(suite.name);
+        if (names.empty()) {
+            std::fprintf(stderr, "run_all: no suites registered\n");
+            return 1;
+        }
+    }
+
+    // --suites: an explicit, validated selection in list order; a miss
+    // fails loudly with near-miss suggestions instead of silently
+    // shrinking the fleet.
+    std::vector<std::size_t> selected;
+    if (!suites_arg.empty()) {
+        for (const auto &entry : ebs::bench::splitList(suites_arg)) {
+            const auto resolution = ebs::bench::resolveSuite(entry, names);
+            if (!resolution.ok()) {
+                std::fprintf(stderr, "run_all: --suites entry '%s' %s\n",
+                             entry.c_str(),
+                             resolution.ambiguous ? "is ambiguous"
+                                                  : "matches no suite");
+                for (const auto &candidate : resolution.candidates)
+                    std::fprintf(stderr, "run_all:   %s %s\n",
+                                 resolution.ambiguous ? "candidate:"
+                                                      : "did you mean:",
+                                 candidate.c_str());
+                return 2;
+            }
+            if (std::find(selected.begin(), selected.end(),
+                          resolution.index) == selected.end())
+                selected.push_back(resolution.index);
+        }
+    } else {
+        selected.resize(names.size());
+        for (std::size_t i = 0; i < names.size(); ++i)
+            selected[i] = i;
     }
     if (!filter.empty()) {
-        std::erase_if(binaries, [&](const fs::path &p) {
-            return p.filename().string().find(filter) == std::string::npos;
+        std::erase_if(selected, [&](std::size_t i) {
+            return names[i].find(filter) == std::string::npos;
         });
-        if (binaries.empty()) {
+        if (selected.empty()) {
             std::fprintf(stderr,
                          "run_all: --filter '%s' matched none of the %zu "
-                         "selected bench_* binaries in %s\n",
-                         filter.c_str(), discovered.size(),
-                         bench_dir.c_str());
+                         "known suites\n",
+                         filter.c_str(), names.size());
             return 1;
         }
     }
     if (list_only) {
-        for (const auto &b : binaries)
-            std::printf("%s\n", b.filename().c_str());
+        for (const std::size_t i : selected)
+            std::printf("%s\n", names[i].c_str());
         return 0;
     }
 
@@ -746,115 +775,239 @@ main(int argc, char **argv)
         return 1;
     }
 
-    // Split the global budget: run `concurrent` suite processes at once,
-    // each fanning its episodes across `child_jobs` workers, so the
-    // in-flight episode count stays within `budget`. --serial restores
-    // the legacy schedule (one suite at a time owning the whole budget).
-    const int n_suites = static_cast<int>(binaries.size());
-    const int concurrent = serial ? 1 : std::min(budget, n_suites);
-    const int child_jobs = std::max(1, budget / concurrent);
-
-    std::printf("[run_all] fleet: %d suites, budget %d "
-                "(%d concurrent x %d jobs/child%s)\n",
-                n_suites, budget, concurrent, child_jobs,
-                serial ? ", --serial" : "");
-
-    // Tracing (EBS_TRACE truthy in the driver's own environment): each
-    // child exports its trace to a per-suite file in the log dir, under
-    // a disjoint pid block, and the driver merges them after the fleet
-    // drains. Off (the default): the EBS_TRACE_* knobs are stripped from
-    // every child and no trace machinery runs anywhere.
-    const bool tracing = ebs::obs::traceEnabled();
-    std::vector<fs::path> suite_traces;
-    std::vector<std::unique_ptr<ChildEnvironment>> child_envs;
-    child_envs.reserve(binaries.size());
-    for (std::size_t i = 0; i < binaries.size(); ++i) {
-        std::vector<std::string> extra;
-        if (tracing) {
-            const std::string suite = binaries[i].filename().string();
-            const fs::path child_trace =
-                log_dir / (suite + ".trace.json");
-            suite_traces.push_back(child_trace);
-            extra.push_back("EBS_TRACE_OUT=" + child_trace.string());
-            extra.push_back("EBS_TRACE_NAME=" + suite);
-            extra.push_back("EBS_TRACE_PID_BASE=" +
-                            std::to_string(10 + 10 * i));
-        }
-        child_envs.push_back(std::make_unique<ChildEnvironment>(
-            smoke, child_jobs, std::move(extra)));
+    const std::size_t n_suites = selected.size();
+    std::vector<std::string> sel_names;
+    std::vector<fs::path> log_paths, err_paths;
+    for (const std::size_t i : selected) {
+        sel_names.push_back(names[i]);
+        log_paths.push_back(log_dir / (names[i] + ".log"));
+        err_paths.push_back(log_dir / (names[i] + ".err.log"));
     }
-
-    std::vector<SuiteResult> results(binaries.size());
-    ebs::core::Mutex print_mutex;
 
     // Seed the submission order from the previous run's timeline
     // (longest suite first): the scheduler starts tasks in submission
     // order, so known stragglers begin immediately instead of last.
-    const auto previous_durations = readTimelineDurations(timeline_path);
+    const auto previous_durations =
+        ebs::bench::readTimelineDurations(timeline_path.string());
     const std::vector<std::size_t> order =
-        scheduleOrder(binaries, previous_durations);
-    if (!previous_durations.empty())
-        std::printf("[run_all] schedule seeded from %s "
-                    "(longest suite first)\n",
-                    timeline_path.c_str());
+        ebs::bench::scheduleOrder(sel_names, previous_durations);
 
-    // One work-graph for the whole fleet: a node per suite, no edges —
-    // the scheduler packs them onto `concurrent` pool threads and its
-    // timings become the straggler report. (Each node blocks in wait4
-    // while the child burns the actual CPU, so pool threads are cheap
-    // placeholders for the child's budget share.)
-    ebs::sched::FleetScheduler scheduler(concurrent);
-    ebs::sched::TaskGraph graph;
-    for (const std::size_t i : order) {
-        const fs::path &binary = binaries[i];
-        const fs::path log_path =
-            log_dir / (binary.filename().string() + ".log");
-        graph.add(
-            [&, i, log_path] {
-                results[i] = runSuite(binaries[i], log_path,
-                                      *child_envs[i]);
-                ebs::core::MutexLock lock(print_mutex);
-                std::printf("[run_all] %-32s exit=%d wall=%.2fs rss=%ldKB\n",
-                            results[i].name.c_str(), results[i].exit_code,
-                            results[i].wall_seconds, results[i].max_rss_kb);
-                std::fflush(stdout);
-            },
-            binary.filename().string());
+    const bool tracing = ebs::obs::traceEnabled();
+    std::vector<SuiteResult> results(n_suites);
+    std::vector<ebs::sched::TaskTiming> timings;
+    ebs::core::Mutex print_mutex;
+
+    if (spawn) {
+        // Legacy static split: C children at once, each child's episode
+        // fan-out capped by its own EBS_JOBS share.
+        const int concurrent =
+            serial ? 1 : std::min<int>(budget, int(n_suites));
+        const int child_jobs = std::max(1, budget / concurrent);
+        std::printf("[run_all] fleet: %zu suites, budget %d "
+                    "(--spawn: %d concurrent x %d jobs/child%s)\n",
+                    n_suites, budget, concurrent, child_jobs,
+                    serial ? ", --serial" : "");
+        if (!previous_durations.empty())
+            std::printf("[run_all] schedule seeded from %s "
+                        "(longest suite first)\n",
+                        timeline_path.c_str());
+
+        // Tracing: each child exports its trace to a per-suite file in
+        // the log dir, under a disjoint pid block, and the driver
+        // merges them after the fleet drains.
+        std::vector<fs::path> suite_traces;
+        std::vector<std::unique_ptr<ChildEnvironment>> child_envs;
+        child_envs.reserve(n_suites);
+        for (std::size_t i = 0; i < n_suites; ++i) {
+            std::vector<std::string> extra;
+            if (tracing) {
+                const fs::path child_trace =
+                    log_dir / (sel_names[i] + ".trace.json");
+                suite_traces.push_back(child_trace);
+                extra.push_back("EBS_TRACE_OUT=" + child_trace.string());
+                extra.push_back("EBS_TRACE_NAME=" + sel_names[i]);
+                extra.push_back("EBS_TRACE_PID_BASE=" +
+                                std::to_string(10 + 10 * i));
+            }
+            child_envs.push_back(std::make_unique<ChildEnvironment>(
+                smoke, child_jobs, std::move(extra)));
+        }
+
+        // A node per suite, no edges: each node blocks in wait4 while
+        // the child burns the actual CPU, so pool threads are cheap
+        // placeholders for the child's budget share.
+        ebs::sched::FleetScheduler scheduler(concurrent);
+        ebs::sched::TaskGraph graph;
+        for (const std::size_t i : order) {
+            graph.add(
+                [&, i] {
+                    results[i] = runSuiteSpawned(
+                        spawn_binaries[selected[i]], log_paths[i],
+                        err_paths[i], *child_envs[i]);
+                    results[i].paper_metrics =
+                        collectMetricLines(log_paths[i]);
+                    readPhaseWall(err_paths[i], results[i]);
+                    ebs::core::MutexLock lock(print_mutex);
+                    std::printf(
+                        "[run_all] %-32s exit=%d wall=%.2fs rss=%ldKB\n",
+                        results[i].name.c_str(), results[i].exit_code,
+                        results[i].wall_seconds, results[i].max_rss_kb);
+                    std::fflush(stdout);
+                },
+                sel_names[i]);
+        }
+        // The cap matters even with a right-sized pool: the run()
+        // caller help-executes while waiting, which would otherwise add
+        // a budget-breaching (concurrent+1)-th suite.
+        timings = scheduler.run(std::move(graph), concurrent);
+
+        const FleetSummary summary =
+            summarize(timings, budget, true, concurrent, child_jobs);
+        std::printf("[run_all] schedule: makespan %.2fs, suite wall sum "
+                    "%.2fs, pool busy %.0f%%\n",
+                    summary.makespan_s, summary.busy_s,
+                    100.0 * summary.utilization);
+        if (!timings.empty()) {
+            const auto &straggler = timings[summary.straggler];
+            std::printf(
+                "[run_all] straggler: %s (%.2fs, %.0f%% of makespan)\n",
+                straggler.label.c_str(), straggler.duration(),
+                summary.makespan_s > 0.0
+                    ? 100.0 * straggler.duration() / summary.makespan_s
+                    : 0.0);
+        }
+        writeTimeline(timeline_path, timings, results, summary, order);
+        if (tracing) {
+            writeMergedTraceSpawn(trace_path, suite_traces, timings,
+                                  results, order);
+            std::printf("[run_all] wrote %s (merged %zu suite traces)\n",
+                        trace_path.c_str(), suite_traces.size());
+        }
+    } else {
+        // In-process fleet: one shared FleetScheduler pool for the suite
+        // tasks AND every suite's episode fan-out. The pool is built
+        // here (not FleetScheduler::shared()) so --jobs sizes it
+        // regardless of when EBS_JOBS was read. No budget split: a
+        // draining suite's workers immediately absorb the straggler's
+        // episodes.
+        std::printf("[run_all] fleet: %zu suites, budget %d "
+                    "(in-process, one shared pool%s)\n",
+                    n_suites, budget, serial ? ", --serial" : "");
+        if (!previous_durations.empty())
+            std::printf("[run_all] schedule seeded from %s "
+                        "(longest suite first)\n",
+                        timeline_path.c_str());
+
+        ebs::sched::FleetScheduler scheduler(budget);
+        std::vector<const ebs::bench::SuiteInfo *> infos;
+        std::vector<std::FILE *> outs(n_suites, nullptr);
+        std::vector<std::FILE *> errs(n_suites, nullptr);
+        std::vector<std::unique_ptr<ebs::bench::SuiteContext>> contexts;
+        for (std::size_t i = 0; i < n_suites; ++i) {
+            const auto *info = registry.find(sel_names[i]);
+            if (info == nullptr) { // unreachable: names came from it
+                std::fprintf(stderr, "run_all: suite %s vanished from "
+                                     "the registry\n",
+                             sel_names[i].c_str());
+                return 1;
+            }
+            infos.push_back(info);
+            outs[i] = std::fopen(log_paths[i].c_str(), "w");
+            errs[i] = std::fopen(err_paths[i].c_str(), "w");
+            if (outs[i] == nullptr || errs[i] == nullptr) {
+                std::fprintf(stderr,
+                             "run_all: cannot open logs for %s: %s\n",
+                             sel_names[i].c_str(), std::strerror(errno));
+                return 1;
+            }
+            ebs::bench::SuiteContext::Config config;
+            config.out = outs[i];
+            config.err = errs[i];
+            config.smoke = smoke;
+            config.scheduler = &scheduler;
+            config.jobs = budget;
+            // config.tracer stays null: each context owns a private
+            // Tracer, so episode ids and trace tracks are per-suite —
+            // exactly what a spawned child's process-wide tracer was.
+            contexts.push_back(std::make_unique<ebs::bench::SuiteContext>(
+                config));
+        }
+
+        ebs::sched::TaskGraph graph;
+        for (const std::size_t i : order) {
+            graph.add(
+                [&, i] {
+                    results[i] =
+                        runSuiteInProcess(*infos[i], *contexts[i]);
+                    std::fflush(outs[i]);
+                    std::fflush(errs[i]);
+                    ebs::core::MutexLock lock(print_mutex);
+                    std::printf(
+                        "[run_all] %-32s exit=%d wall=%.2fs rss=%ldKB\n",
+                        results[i].name.c_str(), results[i].exit_code,
+                        results[i].wall_seconds, results[i].max_rss_kb);
+                    std::fflush(stdout);
+                },
+                sel_names[i]);
+        }
+        // Cap at the pool width so the help-executing run() caller
+        // cannot add a (budget+1)-th in-flight suite; --serial runs
+        // suites one at a time, each still fanning episodes across the
+        // whole pool.
+        timings = scheduler.run(std::move(graph), serial ? 1 : budget);
+
+        for (std::size_t i = 0; i < n_suites; ++i) {
+            std::fclose(outs[i]);
+            std::fclose(errs[i]);
+            results[i].paper_metrics = collectMetricLines(log_paths[i]);
+            readPhaseWall(err_paths[i], results[i]);
+        }
+
+        const FleetSummary summary =
+            summarize(timings, budget, false, 1, 0);
+        std::printf("[run_all] schedule: makespan %.2fs, suite wall sum "
+                    "%.2fs, single shared pool (%d workers)\n",
+                    summary.makespan_s, summary.busy_s, budget);
+        if (!timings.empty()) {
+            const auto &straggler = timings[summary.straggler];
+            std::printf(
+                "[run_all] straggler: %s (%.2fs, %.0f%% of makespan)\n",
+                straggler.label.c_str(), straggler.duration(),
+                summary.makespan_s > 0.0
+                    ? 100.0 * straggler.duration() / summary.makespan_s
+                    : 0.0);
+        }
+        writeTimeline(timeline_path, timings, results, summary, order);
+        if (tracing) {
+            writeMergedTraceInProcess(trace_path, timings, results,
+                                      order, sel_names, contexts);
+            std::printf("[run_all] wrote %s (merged %zu suite tracks)\n",
+                        trace_path.c_str(), contexts.size());
+        }
     }
-    // The cap matters even with a right-sized pool: the run() caller
-    // help-executes while waiting, which would otherwise add a
-    // budget-breaching (concurrent+1)-th suite.
-    const auto timings = scheduler.run(std::move(graph), concurrent);
 
     int failures = 0;
     for (const auto &r : results)
         failures += r.exit_code != 0;
 
-    const FleetSummary summary =
-        summarize(timings, budget, concurrent, child_jobs);
-    std::printf("[run_all] schedule: makespan %.2fs, suite wall sum %.2fs, "
-                "pool busy %.0f%%\n",
-                summary.makespan_s, summary.busy_s,
-                100.0 * summary.utilization);
-    if (!timings.empty()) {
-        const auto &straggler = timings[summary.straggler];
-        std::printf("[run_all] straggler: %s (%.2fs, %.0f%% of makespan)\n",
-                    straggler.label.c_str(), straggler.duration(),
-                    summary.makespan_s > 0.0
-                        ? 100.0 * straggler.duration() / summary.makespan_s
-                        : 0.0);
-    }
-    // Memory high-water mark of the fleet: each suite is its own
-    // process, so the per-suite getrusage peaks are independent and the
-    // fleet peak is the max (suites also carry their own value in
-    // BENCH_results.json and BENCH_timeline.json).
+    // Memory high-water mark of the fleet. Spawn children are separate
+    // processes, so the per-suite peaks are independent and the fleet
+    // peak is the max; in-process every value is the one process's
+    // monotone high-water mark, so the max is simply the final reading.
     if (!results.empty()) {
         std::size_t peak = 0;
         for (std::size_t i = 1; i < results.size(); ++i)
             if (results[i].max_rss_kb > results[peak].max_rss_kb)
                 peak = i;
-        std::printf("[run_all] peak rss: %s (%ld KB)\n",
-                    results[peak].name.c_str(), results[peak].max_rss_kb);
+        if (spawn)
+            std::printf("[run_all] peak rss: %s (%ld KB)\n",
+                        results[peak].name.c_str(),
+                        results[peak].max_rss_kb);
+        else
+            std::printf("[run_all] peak rss: %ld KB (process high-water; "
+                        "last reader %s)\n",
+                        results[peak].max_rss_kb,
+                        results[peak].name.c_str());
     }
     // Per-episode compute/execute host split across the suites that
     // report one (EBS_PHASE_WALL): makes the speculative execute-phase
@@ -878,13 +1031,6 @@ main(int argc, char **argv)
                         reporting, episodes, compute_s, execute_s,
                         1000.0 * compute_s / episodes,
                         1000.0 * execute_s / episodes);
-    }
-    writeTimeline(timeline_path, timings, results, summary, order);
-    if (tracing) {
-        writeMergedTrace(trace_path, suite_traces, timings, results,
-                         order);
-        std::printf("[run_all] wrote %s (merged %zu suite traces)\n",
-                    trace_path.c_str(), suite_traces.size());
     }
 
     writeJson(out_path, results, smoke);

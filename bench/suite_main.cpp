@@ -1,0 +1,43 @@
+#include <cstdio>
+
+#include "obs/trace.h"
+#include "suite.h"
+
+/**
+ * Thin standalone wrapper: each `bench_*` CMake target compiles this TU
+ * with -DEBS_SUITE_NAME="<suite name>" and links the suite library, so
+ * every registered suite stays runnable as its own binary (and as a
+ * `run_all --spawn` child). The wrapper rebuilds the process-global
+ * environment a SuiteContext abstracts: real stdout/stderr as the
+ * sinks, EBS_BENCH_SMOKE for smoke mode, FleetScheduler::shared() as
+ * the pool, and obs::Tracer::shared() so the EBS_TRACE_OUT atexit
+ * exporter keeps working for spawned children.
+ */
+int
+main(int argc, char **argv)
+{
+    using ebs::bench::SuiteContext;
+    using ebs::bench::SuiteInfo;
+    using ebs::bench::SuiteRegistry;
+
+    const SuiteInfo *suite = SuiteRegistry::instance().find(EBS_SUITE_NAME);
+    if (suite == nullptr) {
+        // EBS_LINT_ALLOW(suite-io): wrapper failure before any sink exists
+        std::fprintf(stderr, "%s: suite \"%s\" is not registered\n",
+                     argv[0], EBS_SUITE_NAME);
+        return 2;
+    }
+
+    SuiteContext::Config config;
+    // EBS_LINT_ALLOW(suite-io): the wrapper binds the real process streams
+    config.out = stdout;
+    // EBS_LINT_ALLOW(suite-io): the wrapper binds the real process streams
+    config.err = stderr;
+    config.smoke = ebs::bench::smokeMode();
+    config.tracer = &ebs::obs::Tracer::shared();
+    for (int i = 1; i < argc; ++i)
+        config.args.emplace_back(argv[i]);
+
+    SuiteContext context(config);
+    return suite->fn(context);
+}

@@ -231,7 +231,7 @@ class Harness
         const double host_end = stats::hostNow();
         if (trace_ != nullptr)
             trace_->endSpan(clock_.now(), host_end);
-        stats::PhaseWallClock::shared().addCompute(host_end - host_begin);
+        options_.phase_wall->addCompute(host_end - host_begin);
     }
 
     /** computePhase() with no per-agent commit step. */
@@ -282,7 +282,7 @@ class Harness
         const double host_end = stats::hostNow();
         if (trace_ != nullptr)
             trace_->endSpan(clock_.now(), host_end);
-        stats::PhaseWallClock::shared().addExecute(host_end - host_begin);
+        options_.phase_wall->addExecute(host_end - host_begin);
     }
 
     /**
@@ -479,7 +479,7 @@ class Harness
         const double host_end = stats::hostNow();
         if (trace_ != nullptr)
             trace_->endSpan(clock_.now(), host_end);
-        stats::PhaseWallClock::shared().addExecute(host_end - host_begin);
+        options_.phase_wall->addExecute(host_end - host_begin);
     }
 
     /** Run a single-actor phase (e.g., the central planner). Under
@@ -508,7 +508,7 @@ class Harness
         const double host_end = stats::hostNow();
         if (trace_ != nullptr)
             trace_->endSpan(clock_.now(), host_end);
-        stats::PhaseWallClock::shared().addCompute(host_end - host_begin);
+        options_.phase_wall->addCompute(host_end - host_begin);
     }
 
     /** Finish bookkeeping for one global step; true when episode is over. */
@@ -547,7 +547,7 @@ class Harness
         result.token_series = std::move(token_series_);
         result.spec_exec = spec_stats_;
         fillMetrics(result);
-        stats::PhaseWallClock::shared().addEpisode();
+        options_.phase_wall->addEpisode();
         return result;
     }
 

@@ -7,6 +7,7 @@
 #include "env/env.h"
 #include "llm/engine_service.h"
 #include "sched/fleet_scheduler.h"
+#include "stats/phase_wall.h"
 
 namespace ebs::obs {
 class EpisodeTraceLog;
@@ -42,6 +43,15 @@ struct EpisodeOptions
      * agent-index-ordered commit step.
      */
     sched::FleetScheduler *scheduler = &sched::FleetScheduler::shared();
+
+    /**
+     * Host-wall accumulator the harness reports its compute/execute
+     * phase times and episode count into (not owned). Defaults to the
+     * process-wide clock; in-process bench suites substitute a per-suite
+     * instance so run_all's phase-wall summary stays attributable per
+     * suite after the spawn-per-suite model was retired. Never null.
+     */
+    stats::PhaseWallClock *phase_wall = &stats::PhaseWallClock::shared();
 
     /**
      * Episode-confined trace log the harness records dual-clock phase

@@ -273,10 +273,8 @@ Tracer::simStream() const
     return out;
 }
 
-bool
-Tracer::writeChromeJson(const std::string &path,
-                        const std::string &process_label,
-                        int pid_base) const
+std::vector<std::string>
+Tracer::chromeLines(const std::string &process_label, int pid_base) const
 {
     core::MutexLock lock(mu_);
     const int sim_pid = pid_base;
@@ -450,6 +448,17 @@ Tracer::writeChromeJson(const std::string &path,
             lines.push_back(std::move(line));
         }
     }
+
+    return lines;
+}
+
+bool
+Tracer::writeChromeJson(const std::string &path,
+                        const std::string &process_label,
+                        int pid_base) const
+{
+    const std::vector<std::string> lines =
+        chromeLines(process_label, pid_base);
 
     std::FILE *file = std::fopen(path.c_str(), "w");
     if (file == nullptr)

@@ -131,6 +131,14 @@ class EpisodeTraceLog
 class Tracer
 {
   public:
+    /** Tracers are also directly constructible: run_all's in-process
+     * fleet gives every suite its own instance so episode-id streams and
+     * trace tracks stay per-suite (matching what a spawned child's
+     * process-wide tracer produced). Only the shared() instance may
+     * receive hostTask() — the scheduler's emission point — because the
+     * per-thread buffer slot is process-global (see threadBuffer()). */
+    Tracer() = default;
+
     /** The process-wide instance. First touch with tracing enabled and
      * `EBS_TRACE_OUT` set registers an atexit exporter that writes the
      * Chrome JSON to that path (see writeChromeJson for the env knobs). */
@@ -180,13 +188,23 @@ class Tracer
                          const std::string &process_label,
                          int pid_base = 1) const EBS_EXCLUDES(mu_);
 
+    /**
+     * The body lines of writeChromeJson() without the header/footer or
+     * any file I/O: one Chrome trace-event JSON object per element, in
+     * emission order. run_all's in-process fleet concatenates every
+     * suite tracer's lines (distinct pid_base per suite) plus the shared
+     * tracer's scheduler track into one merged file — the in-memory
+     * replacement for stitching per-child trace files.
+     */
+    std::vector<std::string>
+    chromeLines(const std::string &process_label,
+                int pid_base = 1) const EBS_EXCLUDES(mu_);
+
     /** Drop every adopted log and buffered task span and reset the
      * episode-id counters (tests; requires quiescence). */
     void clear() EBS_EXCLUDES(mu_);
 
   private:
-    Tracer() = default;
-
     struct HostTaskEvent
     {
         const char *cat = "";

@@ -25,6 +25,7 @@ runAveragedMany(const EpisodeRunner &runner,
             job.n_agents = variant.n_agents;
             job.pipeline = variant.pipeline;
             job.engine_service = variant.engine_service;
+            job.phase_wall = variant.phase_wall;
             job.custom = variant.custom;
             jobs.push_back(std::move(job));
         }

@@ -27,6 +27,10 @@ struct RunVariant
     /** Engine service for every episode of the variant (see EpisodeJob). */
     llm::LlmEngineService *engine_service = &llm::LlmEngineService::shared();
 
+    /** Phase-wall accumulator for every episode of the variant (see
+     * EpisodeJob::phase_wall). */
+    stats::PhaseWallClock *phase_wall = &stats::PhaseWallClock::shared();
+
     /** Custom episode entry point (see EpisodeJob::custom); when set,
      * `workload`/`config`/`difficulty`/`n_agents` are ignored. */
     std::function<core::EpisodeResult(const core::EpisodeOptions &)> custom;

@@ -10,10 +10,12 @@
 
 namespace ebs::runner {
 
-EpisodeRunner::EpisodeRunner(int jobs, sched::FleetScheduler *scheduler)
+EpisodeRunner::EpisodeRunner(int jobs, sched::FleetScheduler *scheduler,
+                             obs::Tracer *tracer)
     : jobs_(jobs > 0 ? jobs : defaultJobs()),
       scheduler_(scheduler != nullptr ? scheduler
-                                      : &sched::FleetScheduler::shared())
+                                      : &sched::FleetScheduler::shared()),
+      tracer_(tracer != nullptr ? tracer : &obs::Tracer::shared())
 {
 }
 
@@ -32,13 +34,14 @@ EpisodeRunner::shared()
 
 core::EpisodeResult
 runEpisode(const EpisodeJob &job, sched::FleetScheduler *scheduler,
-           std::uint64_t trace_episode)
+           std::uint64_t trace_episode, obs::Tracer *tracer_hint)
 {
     core::EpisodeOptions options;
     options.seed = job.seed;
     options.record_tokens = job.record_tokens;
     options.pipeline = job.pipeline;
     options.engine_service = job.engine_service;
+    options.phase_wall = job.phase_wall;
     options.scheduler = job.scheduler != nullptr ? job.scheduler
                         : scheduler != nullptr
                             ? scheduler
@@ -62,7 +65,10 @@ runEpisode(const EpisodeJob &job, sched::FleetScheduler *scheduler,
     // time starts at 0 by definition of the episode clock) and adopt the
     // log once done. The id either came from the runner batch (stable
     // across EBS_JOBS) or is minted as a solo id here.
-    obs::Tracer &tracer = obs::Tracer::shared();
+    obs::Tracer &tracer = job.tracer != nullptr ? *job.tracer
+                          : tracer_hint != nullptr
+                              ? *tracer_hint
+                              : obs::Tracer::shared();
     obs::EpisodeTraceLog log(trace_episode != 0 ? trace_episode
                                                 : tracer.nextSoloId());
     options.trace = &log;
@@ -86,14 +92,15 @@ EpisodeRunner::run(const std::vector<EpisodeJob> &batch) const
     // of submission order — which is what keeps the sim-time trace
     // stream byte-identical at any EBS_JOBS. 0 when tracing is off.
     const std::uint64_t trace_base =
-        obs::traceEnabled() ? obs::Tracer::shared().nextBatchBase() : 0;
+        obs::traceEnabled() ? tracer_->nextBatchBase() : 0;
 
     if (jobs_ <= 1 || batch.size() <= 1) {
         // EBS_JOBS=1 (or a singleton batch) stays entirely on the calling
         // thread: the pre-runner serial behavior, exactly.
         for (std::size_t i = 0; i < batch.size(); ++i)
             results[i] = runEpisode(batch[i], scheduler_,
-                                    trace_base == 0 ? 0 : trace_base + i);
+                                    trace_base == 0 ? 0 : trace_base + i,
+                                    tracer_);
         return results;
     }
 
@@ -107,7 +114,8 @@ EpisodeRunner::run(const std::vector<EpisodeJob> &batch) const
             [this, &results, &job, i, trace_base] {
                 results[i] = runEpisode(job, scheduler_,
                                         trace_base == 0 ? 0
-                                                        : trace_base + i);
+                                                        : trace_base + i,
+                                        tracer_);
             },
             std::move(label));
     }

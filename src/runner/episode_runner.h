@@ -11,6 +11,10 @@
 #include "sched/fleet_scheduler.h"
 #include "workloads/workload.h"
 
+namespace ebs::obs {
+class Tracer;
+} // namespace ebs::obs
+
 namespace ebs::runner {
 
 /**
@@ -56,6 +60,22 @@ struct EpisodeJob
      */
     sched::FleetScheduler *scheduler = nullptr;
 
+    /**
+     * Host-wall accumulator the episode's phase times are reported into
+     * (see EpisodeOptions::phase_wall). Defaults to the process-wide
+     * clock; in-process bench suites substitute their own instance.
+     */
+    stats::PhaseWallClock *phase_wall = &stats::PhaseWallClock::shared();
+
+    /**
+     * Trace sink the episode's log is adopted into when tracing is
+     * enabled (not owned). nullptr = inherit: the runner executing this
+     * job passes its own tracer, and a directly-called runEpisode() uses
+     * obs::Tracer::shared(). In-process bench suites substitute a
+     * per-suite tracer so each suite keeps its own trace track.
+     */
+    obs::Tracer *tracer = nullptr;
+
     /** When set, runs instead of the workload path. Must be thread-safe
      * with respect to every other job in the same batch. */
     std::function<core::EpisodeResult(const core::EpisodeOptions &)> custom;
@@ -91,15 +111,22 @@ class EpisodeRunner
      * @param jobs      in-flight episode cap; <= 0 selects defaultJobs()
      * @param scheduler pool to run on (not owned); nullptr selects
      *                  FleetScheduler::shared()
+     * @param tracer    trace sink batches mint episode ids from and
+     *                  adopt logs into (not owned); nullptr selects
+     *                  obs::Tracer::shared()
      */
     explicit EpisodeRunner(int jobs = 0,
-                           sched::FleetScheduler *scheduler = nullptr);
+                           sched::FleetScheduler *scheduler = nullptr,
+                           obs::Tracer *tracer = nullptr);
 
     /** In-flight episode cap of this runner (>= 1). */
     int jobs() const { return jobs_; }
 
     /** The scheduler batches execute on (never null). */
     sched::FleetScheduler *scheduler() const { return scheduler_; }
+
+    /** The trace sink batches record into (never null). */
+    obs::Tracer *tracer() const { return tracer_; }
 
     /** Execute a batch; results are in submission order. */
     std::vector<core::EpisodeResult>
@@ -118,6 +145,7 @@ class EpisodeRunner
   private:
     int jobs_ = 1;
     sched::FleetScheduler *scheduler_ = nullptr;
+    obs::Tracer *tracer_ = nullptr;
 };
 
 /**
@@ -128,14 +156,16 @@ class EpisodeRunner
  *
  * When tracing is enabled (obs::traceEnabled()) the episode runs with an
  * EpisodeTraceLog wired through EpisodeOptions::trace and adopts it into
- * obs::Tracer::shared() afterwards. `trace_episode` is the episode id for
- * that log; 0 (the default, and always the case when tracing is off)
- * mints a solo id — EpisodeRunner batches pass deterministic
- * batch-derived ids instead so trace streams reproduce at any EBS_JOBS.
+ * the job's tracer (else `tracer`, else obs::Tracer::shared()).
+ * `trace_episode` is the episode id for that log; 0 (the default, and
+ * always the case when tracing is off) mints a solo id — EpisodeRunner
+ * batches pass deterministic batch-derived ids instead so trace streams
+ * reproduce at any EBS_JOBS.
  */
 core::EpisodeResult runEpisode(const EpisodeJob &job,
                                sched::FleetScheduler *scheduler = nullptr,
-                               std::uint64_t trace_episode = 0);
+                               std::uint64_t trace_episode = 0,
+                               obs::Tracer *tracer = nullptr);
 
 } // namespace ebs::runner
 

@@ -1,0 +1,135 @@
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stats/metric_diff.h"
+
+/**
+ * The in-process-vs-spawn transition gate: the smoke fleet must produce
+ * byte-identical per-suite stdout and exactly equal paper metrics
+ * whether suites run as registered library functions on the shared
+ * scheduler pool (the default) or as posix_spawn children (--spawn, the
+ * legacy oracle) — and identically at --jobs 1 and --jobs 8 in both
+ * modes (the determinism contract).
+ *
+ * bench_micro_substrate is excluded from the *byte* comparison: its
+ * stdout is Google Benchmark's console report of host timings, not
+ * byte-stable across runs by design (it emits no EBS_METRIC lines, so
+ * the metric comparison is unaffected). The `.err.log` diagnostics
+ * (host timings, EBS_PHASE_WALL) are likewise host-dependent and
+ * deliberately outside the determinism contract.
+ */
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct FleetRun
+{
+    fs::path json;
+    fs::path logs;
+};
+
+fs::path
+benchBinary(const std::string &name)
+{
+    return fs::path(EBS_BENCH_BIN_DIR) / name;
+}
+
+FleetRun
+runFleet(const std::string &label, const std::string &flags)
+{
+    const fs::path dir = fs::path(testing::TempDir()) / ("fleet_" + label);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    FleetRun run{dir / "results.json", dir / "logs"};
+    std::ostringstream cmd;
+    cmd << benchBinary("run_all") << " --smoke " << flags << " --out "
+        << run.json << " --logs " << run.logs << " --timeline "
+        << (dir / "timeline.json") << " > " << (dir / "driver.out")
+        << " 2> " << (dir / "driver.err");
+    const int rc = std::system(cmd.str().c_str());
+    EXPECT_EQ(rc, 0) << cmd.str();
+    return run;
+}
+
+std::string
+readFile(const fs::path &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/** The byte-compared per-suite stdout logs of one fleet run. */
+std::set<std::string>
+suiteLogs(const FleetRun &run)
+{
+    std::set<std::string> names;
+    for (const auto &entry : fs::directory_iterator(run.logs)) {
+        const std::string name = entry.path().filename().string();
+        if (name.size() > 4 && name.ends_with(".log") &&
+            !name.ends_with(".err.log") &&
+            name != "bench_micro_substrate.log")
+            names.insert(name);
+    }
+    return names;
+}
+
+/** (suite, case) -> exact metric values of one BENCH_results.json. */
+std::map<std::pair<std::string, std::string>,
+         std::map<std::string, double>>
+paperMetrics(const fs::path &json_path)
+{
+    std::string error;
+    const auto entries =
+        ebs::stats::parseBenchResults(readFile(json_path), &error);
+    EXPECT_TRUE(error.empty()) << json_path << ": " << error;
+    std::map<std::pair<std::string, std::string>,
+             std::map<std::string, double>>
+        by_case;
+    for (const auto &entry : entries)
+        by_case[{entry.suite, entry.case_name}] = entry.values;
+    return by_case;
+}
+
+TEST(FleetEquivalence, InProcessMatchesSpawnAtZeroTolerance)
+{
+    if (!fs::exists(benchBinary("run_all")))
+        GTEST_SKIP() << "bench targets not built";
+
+    const FleetRun baseline = runFleet("spawn8", "--spawn --jobs 8");
+    const std::vector<std::pair<std::string, FleetRun>> others = {
+        {"in-process --jobs 8", runFleet("ip8", "--jobs 8")},
+        {"in-process --jobs 1", runFleet("ip1", "--jobs 1")},
+        {"--spawn --jobs 1", runFleet("spawn1", "--spawn --jobs 1")},
+    };
+
+    const auto baseline_logs = suiteLogs(baseline);
+    ASSERT_GE(baseline_logs.size(), 10u)
+        << "smoke fleet unexpectedly small";
+    const auto baseline_metrics = paperMetrics(baseline.json);
+    ASSERT_GE(baseline_metrics.size(), 50u)
+        << "paper metrics unexpectedly sparse";
+
+    for (const auto &[label, run] : others) {
+        EXPECT_EQ(suiteLogs(run), baseline_logs) << label;
+        for (const auto &name : baseline_logs)
+            EXPECT_EQ(readFile(run.logs / name),
+                      readFile(baseline.logs / name))
+                << label << ": per-suite stdout diverged in " << name;
+        // Exact equality — the zero-tolerance paper-metric gate.
+        EXPECT_EQ(paperMetrics(run.json), baseline_metrics) << label;
+    }
+}
+
+} // namespace

@@ -1,0 +1,18 @@
+// Fixture: suite-io violations — direct process-stream I/O in a file
+// the rule scopes to (basename bench_*.cpp). Member calls through the
+// SuiteContext sink (ctx.printf / ctx->eprintf) are sanctioned and
+// must not fire; the suppressed line proves the allow escape works.
+#include <cstdio>
+
+void leaky(double value) {
+    std::printf("value %f\n", value);
+    std::fprintf(stderr, "diag %f\n", value);
+    std::cout << "streamed " << value;
+    std::fputs("done\n", stdout);
+}
+
+void sanctioned(ebs::bench::SuiteContext &ctx) {
+    ctx.printf("value %f\n", 1.0);
+    // EBS_LINT_ALLOW(suite-io): fixture demonstrates the escape hatch
+    std::puts("allowed");
+}

@@ -72,7 +72,7 @@ TEST(LintFormat, RuleNamesAreSortedAndComplete)
 {
     const std::vector<std::string> expected = {
         "float-accum-unordered", "host-clock", "pointer-keyed-order",
-        "raw-random", "unordered-container"};
+        "raw-random", "suite-io", "unordered-container"};
     EXPECT_EQ(ebs::lint::ruleNames(), expected);
 }
 
@@ -132,6 +132,34 @@ TEST(LintFixtures, FloatAccumulationInUnorderedRangeFor)
     EXPECT_EQ(lineRules(findings),
               (LineRules{{10, "float-accum-unordered"}}))
         << joined(findings);
+}
+
+TEST(LintFixtures, SuiteIoInBenchScope)
+{
+    // Lines 8-11 write to the process streams directly; the ctx.printf
+    // member call on line 15 and the suppressed std::puts on line 17
+    // stay silent.
+    const auto findings = lintFile(fixture("bench_suite_io.cpp"));
+    EXPECT_EQ(lineRules(findings),
+              (LineRules{{8, "suite-io"},
+                         {9, "suite-io"},
+                         {10, "suite-io"},
+                         {11, "suite-io"}}))
+        << joined(findings);
+}
+
+TEST(LintSource, SuiteIoScopedByFileName)
+{
+    // The same bytes fire only under a suite basename: the fleet
+    // driver and the library tree keep their own stdio.
+    const std::string src = "int f() { return std::printf(\"x\"); }\n";
+    EXPECT_EQ(lineRules(lintSource("bench/bench_x.cpp", src)),
+              (LineRules{{1, "suite-io"}}));
+    EXPECT_EQ(lineRules(lintSource("bench/suite.cpp", src)),
+              (LineRules{{1, "suite-io"}}));
+    EXPECT_TRUE(lintSource("bench/run_all.cpp", src).empty());
+    EXPECT_TRUE(lintSource("bench/fleet_plan.cpp", src).empty());
+    EXPECT_TRUE(lintSource("src/core/coordinator.cpp", src).empty());
 }
 
 TEST(LintFixtures, SuppressedVariantsAreClean)

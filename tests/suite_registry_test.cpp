@@ -1,0 +1,161 @@
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "llm/engine_service.h"
+#include "stats/phase_wall.h"
+#include "suite.h"
+
+/**
+ * Unit tests for the in-process suite registry and SuiteContext
+ * (bench/suite.h): registration order vs. sorted listing, sink capture,
+ * smoke-mode seed clamping, and the stamping that re-points
+ * process-global service/clock/tracer defaults at the per-suite
+ * instances.
+ */
+
+namespace {
+
+using ebs::bench::SuiteContext;
+using ebs::bench::SuiteInfo;
+using ebs::bench::SuiteRegistry;
+
+int
+dummySuite(SuiteContext &)
+{
+    return 0;
+}
+
+// Registered the way a real suite registers (static initializer).
+EBS_BENCH_SUITE("bench_zz_macro", "macro-registered test suite",
+                dummySuite);
+
+/** Read everything written to a tmpfile-backed sink. */
+std::string
+drained(std::FILE *f)
+{
+    std::fflush(f);
+    std::rewind(f);
+    std::string text;
+    char buf[256];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, n);
+    return text;
+}
+
+TEST(SuiteRegistry, SortedListingAndLookup)
+{
+    auto &registry = SuiteRegistry::instance();
+    registry.add({"bench_aa_added", "added after the macro", dummySuite});
+
+    const auto &suites = registry.suites();
+    ASSERT_GE(suites.size(), 2u);
+    for (std::size_t i = 1; i < suites.size(); ++i)
+        EXPECT_LT(suites[i - 1].name, suites[i].name);
+
+    const SuiteInfo *found = registry.find("bench_zz_macro");
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->description, "macro-registered test suite");
+    EXPECT_EQ(found->fn, &dummySuite);
+    EXPECT_NE(registry.find("bench_aa_added"), nullptr);
+    EXPECT_EQ(registry.find("bench_not_registered"), nullptr);
+}
+
+TEST(SuiteContext, SinksCaptureEveryWrite)
+{
+    std::FILE *out = std::tmpfile();
+    std::FILE *err = std::tmpfile();
+    ASSERT_NE(out, nullptr);
+    ASSERT_NE(err, nullptr);
+    {
+        SuiteContext::Config config;
+        config.out = out;
+        config.err = err;
+        SuiteContext ctx(config);
+        ctx.printf("table %d\n", 7);
+        ctx.write("raw bytes");
+        ctx.eprintf("diag %.1f\n", 0.5);
+        EXPECT_EQ(ctx.out(), out);
+        EXPECT_EQ(ctx.err(), err);
+    }
+    EXPECT_EQ(drained(out), "table 7\nraw bytes");
+    EXPECT_EQ(drained(err), "diag 0.5\n");
+    std::fclose(out);
+    std::fclose(err);
+}
+
+TEST(SuiteContext, SmokeClampsSeeds)
+{
+    SuiteContext::Config config;
+    config.smoke = true;
+    SuiteContext smoke_ctx(config);
+    EXPECT_TRUE(smoke_ctx.smoke());
+    EXPECT_EQ(smoke_ctx.seedCount(12), 1);
+
+    SuiteContext full_ctx({});
+    EXPECT_FALSE(full_ctx.smoke());
+    EXPECT_EQ(full_ctx.seedCount(12), 12);
+}
+
+TEST(SuiteContext, ArgsPassThrough)
+{
+    SuiteContext::Config config;
+    config.args = {"--window=0.5", "extra"};
+    SuiteContext ctx(config);
+    EXPECT_EQ(ctx.args(),
+              (std::vector<std::string>{"--window=0.5", "extra"}));
+}
+
+TEST(SuiteContext, StampingRepointsSharedDefaultsOnly)
+{
+    SuiteContext ctx({});
+
+    // A job left at the process-global defaults gets the per-suite
+    // instances — the substitution that keeps per-suite accounting
+    // (service summaries, phase-wall splits, trace tracks) intact
+    // without process isolation.
+    ebs::runner::EpisodeJob defaulted;
+    ASSERT_EQ(defaulted.engine_service,
+              &ebs::llm::LlmEngineService::shared());
+    const auto stamped = ctx.stamped(defaulted);
+    EXPECT_EQ(stamped.engine_service, &ctx.engineService());
+    EXPECT_EQ(stamped.phase_wall, &ctx.phaseWall());
+    EXPECT_EQ(stamped.tracer, &ctx.tracer());
+
+    // Deliberately-private services pass through untouched (the
+    // charged/queued ablation pattern in bench_engine_service).
+    ebs::llm::LlmEngineService private_service;
+    ebs::runner::EpisodeJob pinned;
+    pinned.engine_service = &private_service;
+    pinned.tracer = &ctx.tracer();
+    const auto kept = ctx.stamped(pinned);
+    EXPECT_EQ(kept.engine_service, &private_service);
+
+    // Without a caller-provided tracer the context owns a private one
+    // (per-suite trace tracks); a provided tracer is used as-is.
+    SuiteContext own_tracer_ctx({});
+    EXPECT_NE(&own_tracer_ctx.tracer(), &ebs::obs::Tracer::shared());
+    SuiteContext::Config shared_config;
+    shared_config.tracer = &ebs::obs::Tracer::shared();
+    SuiteContext shared_tracer_ctx(shared_config);
+    EXPECT_EQ(&shared_tracer_ctx.tracer(), &ebs::obs::Tracer::shared());
+}
+
+TEST(SuiteContext, MetricEmissionFormat)
+{
+    std::FILE *out = std::tmpfile();
+    ASSERT_NE(out, nullptr);
+    SuiteContext::Config config;
+    config.out = out;
+    SuiteContext ctx(config);
+    ctx.emitScalarMetric("demo/case", "spec_exec_speedup", 1.25);
+    EXPECT_EQ(drained(out),
+              "EBS_METRIC {\"case\":\"demo/case\","
+              "\"spec_exec_speedup\":1.250000}\n");
+    std::fclose(out);
+}
+
+} // namespace

@@ -291,6 +291,21 @@ matchDelim(const std::vector<Token> &toks, std::size_t open,
     return toks.size();
 }
 
+/**
+ * Files the suite-io rule applies to: the benchmark suites themselves
+ * (bench_*.cpp / bench_*.h anywhere) plus the SuiteContext
+ * implementation and the standalone wrapper. The fleet driver
+ * (run_all.cpp), diff_metrics, and fleet_plan are drivers, not suites —
+ * their stdout is not captured per-suite, so they stay out of scope.
+ */
+bool
+suiteIoScope(const std::string &path)
+{
+    const std::string name = fs::path(path).filename().string();
+    return name.rfind("bench_", 0) == 0 || name == "suite.h" ||
+           name == "suite.cpp" || name == "suite_main.cpp";
+}
+
 struct RuleSink
 {
     const std::string &path;
@@ -318,6 +333,13 @@ runTokenRules(const std::vector<Token> &toks, RuleSink &sink)
         "clock_gettime", "gettimeofday", "timespec_get", "get_id"};
     static const std::set<std::string> kOrderedAssoc = {
         "map", "set", "multimap", "multiset", "less"};
+    static const std::set<std::string> kPrintfFamily = {
+        "printf", "fprintf", "vprintf", "vfprintf", "puts",
+        "fputs",  "putchar", "fputc",   "putc",     "fwrite"};
+    static const std::set<std::string> kProcessStreams = {
+        "cout", "cerr", "clog", "stdout", "stderr"};
+
+    const bool suite_scope = suiteIoScope(sink.path);
 
     const auto prev = [&](std::size_t i) -> const std::string & {
         static const std::string empty;
@@ -350,6 +372,34 @@ runTokenRules(const std::vector<Token> &toks, RuleSink &sink)
                          "reproduced from an episode seed — fork a "
                          "seeded stream instead");
         }
+        // Direct process-stream I/O inside a benchmark suite bypasses
+        // the SuiteContext sink, so the bytes escape the per-suite log
+        // the in-process fleet captures (and byte-compares against the
+        // spawned oracle). Member calls (ctx.printf, stream.fputs) are
+        // the sanctioned sinks and don't fire; std::printf does (its
+        // previous token is '::').
+        if (suite_scope) {
+            if (kPrintfFamily.count(t) && prev(i) != "." &&
+                prev(i) != "->" && i + 1 < toks.size() &&
+                toks[i + 1].text == "(") {
+                sink.hit(line, "suite-io",
+                         "'" + t +
+                             "': direct stdio write in a suite escapes "
+                             "the per-suite capture — route output "
+                             "through SuiteContext (ctx.printf / "
+                             "ctx.eprintf / ctx.write)");
+            }
+            if (kProcessStreams.count(t) && prev(i) != "." &&
+                prev(i) != "->") {
+                sink.hit(line, "suite-io",
+                         "'" + t +
+                             "': process-global stream in a suite "
+                             "escapes the per-suite capture — use the "
+                             "SuiteContext sinks (ctx.out() / "
+                             "ctx.err())");
+            }
+        }
+
         if (kHostClock.count(t)) {
             sink.hit(line, "host-clock",
                      "'" + t +
@@ -453,7 +503,7 @@ ruleNames()
 {
     static const std::vector<std::string> names = {
         "float-accum-unordered", "host-clock", "pointer-keyed-order",
-        "raw-random", "unordered-container"};
+        "raw-random", "suite-io", "unordered-container"};
     return names;
 }
 
